@@ -1,0 +1,25 @@
+# Convenience targets.  In offline environments without the `wheel`
+# package, `make install` falls back to the legacy setuptools path.
+
+.PHONY: install test bench bench-show examples report all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-show:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+report:
+	python -m repro simulate /tmp/repro-campaign --scale 0.2
+	python -m repro report /tmp/repro-campaign
+
+all: install test bench

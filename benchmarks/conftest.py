@@ -1,0 +1,56 @@
+"""Shared paper-scale datasets for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures from a full
+paper-scale campaign (≈58 k HTTP / 41 k HTTPS / 19.6 k SSH ground-truth
+services — 1/1000 of the real study), prints the regenerated artifact
+next to the paper's numbers, and asserts the qualitative shape.  Absolute
+numbers are not expected to match (the substrate is a synthetic Internet);
+EXPERIMENTS.md records the comparisons.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.campaign import run_campaign
+from repro.sim.scenario import followup_scenario, paper_scenario
+
+#: One seed for the whole harness so printed numbers match EXPERIMENTS.md.
+SEED = 1
+
+
+@pytest.fixture(scope="session")
+def paper_world():
+    world, origins, config = paper_scenario(seed=SEED)
+    return world, origins, config
+
+
+@pytest.fixture(scope="session")
+def paper_ds(paper_world):
+    """The main experiment: 3 trials × 3 protocols × 8 origin configs."""
+    world, origins, config = paper_world
+    return run_campaign(world, origins, config, n_trials=3)
+
+
+@pytest.fixture(scope="session")
+def followup_world():
+    world, origins, config = followup_scenario(seed=SEED)
+    return world, origins, config
+
+
+@pytest.fixture(scope="session")
+def followup_ds(followup_world):
+    """The §7 follow-up: 2 HTTP trials with the colocated Tier-1 triad."""
+    world, origins, config = followup_world
+    return run_campaign(world, origins, config, protocols=("http",),
+                        n_trials=2)
+
+
+def bench_once(benchmark, fn):
+    """Benchmark an analysis with one warm round (analyses are pure)."""
+    return benchmark.pedantic(fn, rounds=3, iterations=1,
+                              warmup_rounds=1)

@@ -1,0 +1,82 @@
+"""Ablation A4 — permutation-family invariance.
+
+The simulator uses an invertible affine permutation where ZMap iterates a
+multiplicative cyclic group.  Both are full-cycle pseudorandom
+permutations; campaign-level results should not depend on the choice.
+This bench verifies (a) the statistical equivalence of the orders they
+produce and (b) that coverage results are invariant to the scan seed
+(which reshuffles the affine order completely).
+"""
+
+import dataclasses
+
+import numpy as np
+
+from benchmarks.conftest import SEED, bench_once
+from repro.core.coverage import coverage_table
+from repro.reporting.tables import render_table
+from repro.scanner.permutation import (
+    AffinePermutation,
+    CyclicGroupPermutation,
+)
+from repro.sim.campaign import run_campaign
+from repro.sim.scenario import paper_scenario
+
+
+def order_uniformity(addresses, domain: int, buckets: int = 16) -> float:
+    """Chi-square-ish uniformity score of first-quarter visit positions.
+
+    For a full-cycle pseudorandom permutation, the addresses visited in
+    the first quarter of the scan should be uniform over the space.
+    """
+    counts = np.zeros(buckets)
+    for address in addresses:
+        counts[int(address) * buckets // domain] += 1
+    expected = counts.sum() / buckets
+    return float(((counts - expected) ** 2 / expected).sum())
+
+
+def test_abl_permutation_families(benchmark):
+    domain = 4096
+    affine = AffinePermutation(12, seed=5)
+    cyclic = CyclicGroupPermutation(p=4099, seed=5, domain_size=domain)
+
+    affine_quarter = [affine.address_at(i) for i in range(domain // 4)]
+    cyclic_quarter = []
+    for address in cyclic:
+        cyclic_quarter.append(address)
+        if len(cyclic_quarter) >= domain // 4:
+            break
+
+    affine_score = order_uniformity(affine_quarter, domain)
+    cyclic_score = order_uniformity(cyclic_quarter, domain)
+    print()
+    print(render_table(
+        ["permutation", "uniformity χ² (15 dof)"],
+        [["affine (LCG)", f"{affine_score:.1f}"],
+         ["multiplicative group (ZMap)", f"{cyclic_score:.1f}"]],
+        title="A4 — first-quarter visit uniformity"))
+    # Both scatter early probes across the space (χ² not catastrophic;
+    # the 99.9th percentile of χ²(15) is ≈37.7).
+    assert affine_score < 60
+    assert cyclic_score < 60
+
+    # Campaign results are seed-invariant at the aggregate level: two
+    # different permutations of the same world give coverage within noise.
+    world, origins, config = paper_scenario(seed=SEED, scale=0.25)
+    subset = tuple(o for o in origins if o.name in ("AU", "JP", "CEN"))
+
+    def coverage_with_seed(seed):
+        cfg = dataclasses.replace(config, seed=seed)
+        ds = run_campaign(world, subset, cfg, protocols=("http",),
+                          n_trials=1)
+        table = coverage_table(ds, "http")
+        return {o: table.mean_coverage(o) for o in table.origins}
+
+    base = bench_once(benchmark, lambda: coverage_with_seed(1000))
+    other = coverage_with_seed(2000)
+    rows = [[o, f"{base[o]:.2%}", f"{other[o]:.2%}"] for o in base]
+    print(render_table(["origin", "seed A", "seed B"], rows,
+                       title="A4 — seed/permutation invariance"))
+    for origin in base:
+        assert abs(base[origin] - other[origin]) < 0.012

@@ -1,0 +1,57 @@
+"""Figure 2 — breakdown of missing hosts by origin and trial.
+
+Paper: transient misses are the majority overall (51.6 %) and nearly
+always hit individual hosts rather than whole /24s (49.7 % vs 1.9 %);
+about a third of misses are long-term; Censys' long-term losses dwarf
+everyone else's.
+"""
+
+from benchmarks.conftest import bench_once
+from repro.core.classification import figure2_rows
+from repro.reporting.figures import render_grouped_bars
+
+
+def test_fig02_missing_breakdown(benchmark, paper_ds):
+    rows = bench_once(benchmark, lambda: figure2_rows(paper_ds, "http"))
+
+    groups = {}
+    for row in rows:
+        key = f"{row['origin']}/t{row['trial']}"
+        groups[key] = {k: row[k] for k in
+                       ("transient_host", "transient_network",
+                        "long_term_host", "long_term_network", "unknown")}
+    print()
+    print(render_grouped_bars(groups,
+                              title="Figure 2 (http) — missing hosts"))
+
+    total = {k: sum(row[k] for row in rows)
+             for k in ("transient_host", "transient_network",
+                       "long_term_host", "long_term_network", "unknown")}
+    transient = total["transient_host"] + total["transient_network"]
+    long_term = total["long_term_host"] + total["long_term_network"]
+    everything = transient + long_term + total["unknown"]
+
+    # Transient beats long-term overall and is dominated by host-level
+    # misses, exactly as the paper reports.
+    assert transient > long_term
+    assert total["transient_host"] > 10 * total["transient_network"]
+    assert total["unknown"] > 0
+    assert transient / everything > 0.35
+
+    # Censys has the most long-term missing hosts in every trial.
+    by_origin_longterm = {}
+    for row in rows:
+        key = row["origin"]
+        by_origin_longterm.setdefault(key, 0)
+        by_origin_longterm[key] += row["long_term_host"] \
+            + row["long_term_network"]
+    assert max(by_origin_longterm, key=by_origin_longterm.get) == "CEN"
+
+    # For non-Censys origins, transient misses dominate long-term ones.
+    for origin in ("AU", "US1", "JP"):
+        o_rows = [r for r in rows if r["origin"] == origin]
+        o_transient = sum(r["transient_host"] + r["transient_network"]
+                          for r in o_rows)
+        o_longterm = sum(r["long_term_host"] + r["long_term_network"]
+                         for r in o_rows)
+        assert o_transient > o_longterm

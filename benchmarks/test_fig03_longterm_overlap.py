@@ -1,0 +1,36 @@
+"""Figure 3 — long-term inaccessibility among origins.
+
+Paper: excluding Censys, nearly half (≈47 %) of long-term inaccessible
+hosts are inaccessible from only one origin; very few are inaccessible
+from every origin.
+"""
+
+from benchmarks.conftest import bench_once
+from repro.core.exclusivity import (
+    exclusivity_report,
+    single_origin_longterm_share,
+)
+from repro.reporting.figures import render_bars
+
+
+def test_fig03_longterm_overlap(benchmark, paper_ds):
+    report = bench_once(benchmark,
+                        lambda: exclusivity_report(paper_ds, "http"))
+
+    histogram = report.longterm_overlap_histogram(exclude=("CEN",))
+    print()
+    print(render_bars({f"{k} origin(s)": v for k, v in histogram.items()},
+                      fmt="{:,.0f}",
+                      title="Figure 3 (http, excl. CEN) — #origins "
+                            "long-term missing each host"))
+
+    share = single_origin_longterm_share(report, exclude=("CEN",))
+    print(f"single-origin share: {share:.1%} (paper ≈47%)")
+
+    # The one-origin bucket is the biggest and holds a large share.
+    assert histogram[1] == max(histogram.values())
+    assert 0.3 < share < 0.8
+
+    # Monotone-ish tail: being long-term missing from many origins at
+    # once is much rarer than from one.
+    assert histogram[1] > 3 * histogram.get(6, 0)

@@ -1,0 +1,42 @@
+"""Figure 4 — AS concentration of long-term inaccessible hosts.
+
+Paper: three hosting providers (DXTL, EGI, Enzu) hold 67 % of the hosts
+Censys persistently misses on HTTP while representing <4 % of global HTTP;
+other origins' long-term losses are spread far more evenly over ASes.
+"""
+
+from benchmarks.conftest import bench_once
+from repro.core.by_as import longterm_as_concentration
+from repro.reporting.tables import render_table
+
+
+def test_fig04_as_concentration(benchmark, paper_ds, paper_world):
+    world, _, _ = paper_world
+    concentration = bench_once(
+        benchmark, lambda: longterm_as_concentration(paper_ds, "http"))
+
+    rows = []
+    for origin, conc in concentration.items():
+        top = [world.topology.ases.by_index(i).name
+               for i, _ in conc.ranked[:3]]
+        rows.append([origin, conc.total_missing,
+                     f"{conc.top_share(3):.1%}", ", ".join(top)])
+    print()
+    print(render_table(["origin", "LT missing", "top-3 share",
+                        "top-3 ASes"], rows,
+                       title="Figure 4 (http) — AS concentration"))
+
+    cen = concentration["CEN"]
+    # Censys' top three are the named blockers and hold the majority.
+    top3_names = {world.topology.ases.by_index(i).name
+                  for i, _ in cen.ranked[:3]}
+    assert top3_names <= {"DXTL Tseung Kwan O Service", "EGI Hosting",
+                          "Enzu", "ABCDE Group"}
+    assert cen.top_share(3) > 0.5
+
+    # Other origins' losses are more evenly distributed than Censys'.
+    for origin in ("AU", "JP", "US1"):
+        assert concentration[origin].top_share(3) < cen.top_share(3)
+
+    # Censys misses several times more hosts long-term than academics.
+    assert cen.total_missing > 2 * concentration["AU"].total_missing

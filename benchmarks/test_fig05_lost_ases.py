@@ -1,0 +1,33 @@
+"""Figure 5 — counts of (nearly) fully long-term inaccessible ASes.
+
+Paper: Brazil suffers the largest number of completely inaccessible ASes
+(≈1.4× Censys, ≈6.5× US1), driven by US health/finance networks that
+block it outright.
+"""
+
+from benchmarks.conftest import bench_once
+from repro.core.by_as import lost_as_counts
+from repro.reporting.tables import render_table
+
+
+def test_fig05_lost_ases(benchmark, paper_ds):
+    counts = bench_once(benchmark,
+                        lambda: lost_as_counts(paper_ds, "http"))
+
+    rows = [[o, c.fully, c.at_least_75, c.at_least_50]
+            for o, c in counts.items()]
+    print()
+    print(render_table(["origin", "100%", "≥75%", "≥50%"], rows,
+                       title="Figure 5 (http) — long-term "
+                             "inaccessible ASes"))
+
+    fully = {o: c.fully for o, c in counts.items()}
+    # Brazil loses the most whole ASes, ahead of Censys and far ahead of
+    # the US origins.
+    assert max(fully, key=fully.get) == "BR"
+    assert fully["BR"] > fully["CEN"] * 0.9
+    assert fully["BR"] > 3 * fully["US1"]
+
+    # Thresholds nest for every origin.
+    for c in counts.values():
+        assert c.fully <= c.at_least_75 <= c.at_least_50

@@ -1,0 +1,75 @@
+"""Figures 6 / 16 — exclusively accessible hosts by country.
+
+Paper: origins inside a country see hosts nobody outside can (≈1.1 % of
+Japanese and ≈2 % of Australian HTTP hosts are domestic-only); most hosts
+exclusively accessible from Brazil are actually US hosts (WA K-20's
+"Blocked Site" policy); and the Australian exclusives that geolocate
+abroad are Cloudflare anycast misattributions.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_once
+from repro.core.countries import (
+    counts_by_country,
+    exclusive_accessible_by_country,
+)
+from repro.core.exclusivity import exclusivity_report
+from repro.reporting.tables import render_table
+
+
+def test_fig06_exclusive_by_country(benchmark, paper_ds, paper_world):
+    world, origins, _ = paper_world
+    report = bench_once(benchmark,
+                        lambda: exclusivity_report(paper_ds, "http"))
+
+    codes = world.topology.countries.codes()
+    index_of = {code: i for i, code in enumerate(codes)}
+    classifiable = np.ones(len(report.ips), dtype=bool)
+    totals = counts_by_country(report.geo_index, classifiable,
+                               n_countries=len(codes))
+    origin_country = {o.name: index_of[o.country] for o in origins}
+
+    by_country = exclusive_accessible_by_country(
+        report, totals, origin_country)
+
+    rows = []
+    for label in by_country.origin_labels:
+        counts = by_country.counts[label]
+        top = np.argsort(counts)[::-1][:3]
+        cells = ", ".join(f"{codes[i]}:{counts[i]}"
+                          for i in top if counts[i] > 0)
+        rows.append([label, int(counts.sum()),
+                     f"{by_country.within_country_fraction[label]:.2%}",
+                     cells])
+    print()
+    print(render_table(["origin", "exclusive", "within-country %",
+                        "top countries"], rows,
+                       title="Figure 6 (http) — exclusively accessible"))
+
+    within = by_country.within_country_fraction
+    # Domestic advantage exists for JP and AU.
+    assert within["JP"] > 0.005
+    assert within["AU"] > 0.005
+
+    # JP's exclusives are mostly domestic (its biggest bucket), with the
+    # US second (Gateway Inc, a JP-registered host in the US); AU's
+    # domestic share is lower because the Cloudflare anycast hosts
+    # geolocate abroad (paper: 85 % vs 48 %).
+    jp_counts = by_country.counts["JP"]
+    au_counts = by_country.counts["AU"]
+    jp_domestic = jp_counts[index_of["JP"]] / max(jp_counts.sum(), 1)
+    au_domestic = au_counts[index_of["AU"]] / max(au_counts.sum(), 1)
+    assert int(np.argmax(jp_counts)) == index_of["JP"]
+    assert jp_counts[index_of["US"]] > 0
+    assert jp_domestic > 0.4
+    assert au_domestic < jp_domestic
+
+    # Brazil's exclusives are mostly US hosts (WA K-20).
+    br_counts = by_country.counts["BR"]
+    assert br_counts[index_of["US"]] > br_counts[index_of["BR"]]
+
+    # Globally the phenomenon is small (paper: ~0.17 % of all hosts).
+    total_exclusive = sum(by_country.counts[label].sum()
+                          for label in by_country.origin_labels)
+    assert total_exclusive / len(report.ips) < 0.02

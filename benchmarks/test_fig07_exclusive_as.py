@@ -1,0 +1,49 @@
+"""Figure 7 — ASes providing each origin's exclusively accessible hosts.
+
+Paper: Bekkoame and NTT dominate Japan's exclusives; WebCentral serves
+>80 % of Australia's; WA K-20 provides Brazil's; rate-IDS networks
+(Ruhr-Universität Bochum et al.) provide US64's.
+"""
+
+from benchmarks.conftest import bench_once
+from repro.core.by_as import exclusive_accessible_by_as
+from repro.core.exclusivity import exclusivity_report
+from repro.reporting.tables import render_table
+
+EXPECTED_TOP = {
+    "JP": {"Bekkoame Internet", "NTT Communications", "Gateway Inc"},
+    "AU": {"WebCentral", "Cloudflare Anycast AU-US",
+           "Cloudflare Anycast AU-DE"},
+    "BR": {"WA K-20 Telecommunications"},
+    "US64": {"Ruhr-Universitaet Bochum", "Hanyang University",
+             "TU Delft", "UNAM"},
+}
+
+
+def test_fig07_exclusive_as(benchmark, paper_ds, paper_world):
+    world, _, _ = paper_world
+    report = bench_once(benchmark,
+                        lambda: exclusivity_report(paper_ds, "http"))
+
+    rows = []
+    leaders = {}
+    for origin in ("JP", "AU", "BR", "US64"):
+        ranked = exclusive_accessible_by_as(report, origin, top=4)
+        names = [(world.topology.ases.by_index(i).name, count)
+                 for i, count in ranked]
+        leaders[origin] = [name for name, _ in names]
+        rows.append([origin, ", ".join(f"{n} ({c})" for n, c in names)])
+    print()
+    print(render_table(["origin", "top providing ASes"], rows,
+                       title="Figure 7 (http) — exclusive-access ASes"))
+
+    for origin, expected in EXPECTED_TOP.items():
+        top = set(leaders[origin][:3])
+        assert top & expected, (origin, top)
+
+    # The leading provider holds the majority of each origin's
+    # exclusives for AU (paper: WebCentral >80 %) and BR (WA K-20 ~2/3).
+    for origin in ("AU", "BR"):
+        ranked = exclusive_accessible_by_as(report, origin, top=10)
+        total = sum(count for _, count in ranked)
+        assert ranked[0][1] / total > 0.4

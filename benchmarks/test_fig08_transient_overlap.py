@@ -1,0 +1,39 @@
+"""Figure 8 — transient inaccessibility among origins.
+
+Paper: roughly two thirds of transiently inaccessible HTTP(S) hosts are
+missed by only one origin; SSH hosts are more likely to be missed by
+several origins at once (probabilistic blocking hits everyone).
+"""
+
+from benchmarks.conftest import bench_once
+from repro.core.transient import transient_overlap_histogram
+from repro.reporting.figures import render_bars
+
+
+def test_fig08_transient_overlap(benchmark, paper_ds):
+    histograms = bench_once(
+        benchmark,
+        lambda: {p: transient_overlap_histogram(paper_ds, p)
+                 for p in ("http", "ssh")})
+
+    for protocol, histogram in histograms.items():
+        print()
+        print(render_bars(
+            {f"{k} origin(s)": v for k, v in histogram.items()},
+            fmt="{:,.0f}",
+            title=f"Figure 8 ({protocol}) — #origins transiently "
+                  f"missing each host"))
+
+    for protocol in ("http", "ssh"):
+        histogram = histograms[protocol]
+        assert histogram[1] == max(histogram.values())
+
+    def single_share(histogram):
+        total = sum(histogram.values())
+        return histogram[1] / total if total else 0.0
+
+    http_share = single_share(histograms["http"])
+    ssh_share = single_share(histograms["ssh"])
+    # HTTP misses are more origin-private than SSH misses.
+    assert http_share > 0.45
+    assert ssh_share < http_share

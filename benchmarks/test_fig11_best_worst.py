@@ -1,0 +1,52 @@
+"""Figure 11 / §5.1 — consistent best and worst origins per destination AS.
+
+Paper: fewer than 5 % of ASes keep a consistent best origin; ~10 % keep a
+consistent worst — Australia for 72 % of those; for ~23 % of ASes the best
+origin of one trial is the worst of another, including at Amazon, Google,
+and Digital Ocean.
+"""
+
+from benchmarks.conftest import bench_once
+from repro.core.best_worst import stability_report
+from repro.core.transient import transient_rates
+from repro.reporting.figures import render_bars
+
+
+def test_fig11_best_worst_stability(benchmark, paper_ds, paper_world):
+    world, _, _ = paper_world
+
+    def compute():
+        rates = transient_rates(paper_ds, "http")
+        return stability_report(rates, min_hosts=20)
+
+    report = bench_once(benchmark, compute)
+
+    print()
+    print(f"eligible ASes: {report.n_eligible}")
+    print(f"consistent best:  {report.consistent_best_fraction():.1%} "
+          f"(paper <5%)")
+    print(f"consistent worst: {report.consistent_worst_fraction():.1%} "
+          f"(paper ~10%)")
+    print(f"best↔worst flips: {report.flip_fraction():.1%} (paper ~23%)")
+    print(render_bars(
+        {o: c for o, c in report.worst_origin_histogram().items()},
+        fmt="{:,.0f}", title="consistent-worst origin histogram"))
+
+    # Consistent best origins are rare.
+    assert report.consistent_best_fraction() < 0.08
+    # Consistent worst origins are more common than consistent best.
+    assert report.consistent_worst_fraction() \
+        > report.consistent_best_fraction()
+    # Australia dominates the consistent-worst population.
+    histogram = report.worst_origin_histogram()
+    assert report.dominant_worst_origin() == "AU"
+    assert histogram["AU"] / max(sum(histogram.values()), 1) > 0.4
+
+    # Flips happen for a solid share of ASes — including very large
+    # providers (the paper names Amazon, Digital Ocean, and Google; the
+    # specific giants that flip vary with the seed).
+    assert report.flip_fraction() > 0.03
+    biggest_flip = max(
+        (world.topology.ases.by_index(a).spec.hosts_for("http")
+         for a in report.flip_ases), default=0)
+    assert biggest_flip > 500

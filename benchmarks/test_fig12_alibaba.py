@@ -1,0 +1,71 @@
+"""Figure 12 — temporal blocking by SSH hosts in Alibaba networks.
+
+Paper: at some point during each trial Alibaba detects single-IP scanners
+and from then on *every* SSH host in the network completes the TCP
+handshake and immediately RSTs; detection timing is non-deterministic and
+differs per origin and per trial; Alibaba is the only network doing this,
+and only for SSH.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_once
+from repro.core.ssh import (
+    temporal_blocking_ases,
+    temporal_blocking_timeseries,
+)
+from repro.reporting.figures import render_series
+
+
+def test_fig12_alibaba_temporal_blocking(benchmark, paper_ds,
+                                         paper_world):
+    world, _, _ = paper_world
+    alibaba = [world.topology.ases.by_name("Alibaba CN").index,
+               world.topology.ases.by_name("HZ Alibaba Advanced").index]
+
+    def compute():
+        return {trial: temporal_blocking_timeseries(
+            paper_ds.trial_data("ssh", trial), alibaba)
+            for trial in paper_ds.trials_for("ssh")}
+
+    series_by_trial = bench_once(benchmark, compute)
+
+    for trial, series in series_by_trial.items():
+        print()
+        print(render_series(
+            {o: np.nan_to_num(s) for o, s in series.items()},
+            title=f"Figure 12 — Alibaba SSH RST fraction by hour, "
+                  f"trial {trial + 1}"))
+
+    # Single-IP origins get detected in most trials: the RST fraction
+    # jumps from ~0 early to ~1 late within a trial.
+    detections = 0
+    for trial, series in series_by_trial.items():
+        for origin in ("AU", "BR", "DE", "JP", "US1", "CEN"):
+            values = np.nan_to_num(series[origin])
+            early = values[: len(values) // 4].mean()
+            late = values[-len(values) // 4:].mean()
+            if late > 0.8 and early < 0.2:
+                detections += 1
+    assert detections >= 8  # most (origin, trial) pairs blocked
+
+    # Detection moments differ across origins within a trial.
+    t0 = series_by_trial[0]
+    onsets = []
+    for origin in ("AU", "BR", "DE", "JP", "US1", "CEN"):
+        values = np.nan_to_num(t0[origin])
+        above = np.flatnonzero(values > 0.5)
+        onsets.append(int(above[0]) if len(above) else -1)
+    assert len(set(onsets)) > 2
+
+    # US64 is (almost) never blocked.
+    us64_blocked = sum(
+        1 for series in series_by_trial.values()
+        if np.nan_to_num(series["US64"])[-6:].mean() > 0.8)
+    assert us64_blocked <= 1
+
+    # Alibaba's two ASes are the only networks with the signature.
+    td = paper_ds.trial_data("ssh", 0)
+    for origin in ("AU", "JP"):
+        flagged = set(temporal_blocking_ases(td, origin))
+        assert flagged <= set(alibaba)

@@ -1,0 +1,63 @@
+"""Figure 14 / §6 — why origins miss SSH hosts.
+
+Paper: probabilistic temporary blocking (32–63 % of missed SSH hosts) and
+Alibaba's temporal blocking together explain over half of the missing SSH
+hosts; probabilistic blocking hits all origins roughly equally while
+Alibaba only hits detected (single-IP) origins; ~30 % of probabilistic
+blockers masquerade as long-term inaccessible; and 57 % of transiently
+missed SSH hosts close explicitly vs ~70 % of HTTP(S) misses dropping.
+"""
+
+from benchmarks.conftest import bench_once
+from repro.core.ssh import (
+    close_style_shares,
+    probabilistic_longterm_fraction,
+    ssh_breakdown,
+)
+from repro.reporting.figures import render_grouped_bars
+
+
+def test_fig14_ssh_breakdown(benchmark, paper_ds, paper_world):
+    world, _, _ = paper_world
+    breakdown = bench_once(benchmark, lambda: ssh_breakdown(paper_ds))
+
+    totals = {o: breakdown.totals(o) for o in breakdown.origins}
+    print()
+    print(render_grouped_bars(totals, title="Figure 14 — missing SSH "
+                                            "hosts by mechanism"))
+
+    for origin, buckets in totals.items():
+        everything = sum(buckets.values())
+        prob_share = buckets["probabilistic"] / everything
+        # Probabilistic blocking is a big slice for every origin.
+        assert prob_share > 0.25, (origin, prob_share)
+
+    # Alibaba's temporal blocking hits single-IP origins hard; US64's
+    # diluted per-IP rate is detected only occasionally.
+    for origin in ("AU", "JP", "US1", "CEN"):
+        assert totals[origin]["temporal"] > 2.5 * max(
+            totals["US64"]["temporal"], 1)
+
+    # Probabilistic blocking is spread evenly: max/min across origins
+    # stays within a factor ~2.
+    prob_counts = [totals[o]["probabilistic"] for o in breakdown.origins]
+    assert max(prob_counts) < 2.5 * min(prob_counts)
+
+    # A meaningful share of probabilistic blockers look long-term.
+    fraction = probabilistic_longterm_fraction(paper_ds)
+    print(f"probabilistic blockers that look long-term: {fraction:.1%} "
+          f"(paper ≈30%)")
+    assert 0.1 < fraction < 0.7
+
+    # Close-style: transiently missed SSH hosts explicitly close far more
+    # often than HTTP ones (paper: 57 % close vs 70 % drop).
+    alibaba = [world.topology.ases.by_name("Alibaba CN").index,
+               world.topology.ases.by_name("HZ Alibaba Advanced").index]
+    ssh_shares = close_style_shares(paper_ds, "ssh", exclude_as=alibaba)
+    http_shares = close_style_shares(paper_ds, "http")
+    print("ssh close-style:", {k: round(v, 2)
+                               for k, v in ssh_shares.items()})
+    print("http close-style:", {k: round(v, 2)
+                                for k, v in http_shares.items()})
+    assert ssh_shares["close"] > http_shares["close"] + 0.2
+    assert http_shares["close"] < 0.25

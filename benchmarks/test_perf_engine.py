@@ -1,0 +1,35 @@
+"""Engine performance benchmarks (not a paper artifact).
+
+Tracks the simulator's own throughput so regressions in the hot paths
+(vectorized observation, trie compilation, classification) are visible.
+A full paper-scale (protocol, trial, origin) observation covers ≈58 k
+services and should stay in the tens of milliseconds.
+"""
+
+from repro.core.classification import classify_misses
+from repro.core.ground_truth import build_presence
+from repro.scanner.zmap import ZMapScanner
+
+
+def test_perf_single_observation(benchmark, paper_world):
+    world, origins, config = paper_world
+    scanner = ZMapScanner(config)
+    names = tuple(o.name for o in origins)
+    au = origins[0]
+    # Warm the lazily built per-AS parameter tables first.
+    world.observe("http", 0, au, scanner, names)
+    result = benchmark(
+        lambda: world.observe("http", 0, au, scanner, names))
+    assert len(result) > 50_000
+
+
+def test_perf_presence_cube(benchmark, paper_ds):
+    presence = benchmark(lambda: build_presence(paper_ds, "http"))
+    assert presence.n_hosts() > 50_000
+
+
+def test_perf_classification(benchmark, paper_ds):
+    presence = build_presence(paper_ds, "http")
+    cls = benchmark(lambda: classify_misses(paper_ds, "http", "AU",
+                                            presence=presence))
+    assert cls.category.shape[0] == 3

@@ -1,0 +1,40 @@
+"""§4.4 — country size vs inaccessible-host correlation.
+
+Paper: Spearman ρ = 0.92 (p < 0.001) between a country's total host count
+and its number of long-term inaccessible hosts: big countries lose the
+most hosts simply by being big, even though *fractional* losses
+concentrate in small, single-ISP countries.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_once
+from repro.core.countries import (
+    country_inaccessibility,
+    country_size_correlation,
+)
+
+
+def test_sec44_country_size_correlation(benchmark, paper_ds):
+    report = bench_once(benchmark,
+                        lambda: country_inaccessibility(paper_ds, "http"))
+
+    rho, p = country_size_correlation(report)
+    print()
+    print(f"Spearman ρ = {rho:.2f} (p = {p:.2g}); paper: 0.92, p<0.001")
+
+    assert rho > 0.55
+    assert p < 0.001
+
+    # Fractional coverage collapse is a small-country phenomenon: among
+    # the (origin, country) cells losing >10 %, the median country is
+    # small (paper: 50 countries lose >10 % somewhere, nearly all
+    # single-AS-dominated).
+    totals = report.totals.astype(float)
+    big_loss_sizes = []
+    for oi in range(len(report.origins)):
+        for ci in np.flatnonzero(report.fraction[oi] > 0.10):
+            big_loss_sizes.append(totals[ci])
+    assert big_loss_sizes, "expected some >10% country losses"
+    assert np.median(big_loss_sizes) < np.percentile(totals[totals > 0],
+                                                     75)

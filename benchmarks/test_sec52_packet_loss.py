@@ -1,0 +1,59 @@
+"""§5.2 — packet-drop estimation and its (weak) link to transient loss.
+
+Paper: global estimated drop rates run 0.44–1.6 % depending on origin and
+trial, with Australia worst; the per-AS correlation between estimated drop
+and transient loss is only moderate (ρ = 0.40–0.52); and China-bound paths
+are lossy from everywhere.
+"""
+
+from benchmarks.conftest import bench_once
+from repro.core.packet_loss import (
+    both_probe_loss_fraction,
+    drop_summary,
+    drop_vs_transient_correlation,
+    per_as_drop_rates,
+)
+from repro.core.transient import transient_rates
+from repro.reporting.tables import render_table
+
+
+def test_sec52_packet_loss(benchmark, paper_ds, paper_world):
+    world, _, _ = paper_world
+    summary = bench_once(benchmark,
+                         lambda: drop_summary(paper_ds, "http"))
+
+    rows = [[origin]
+            + [f"{summary.rates[i, t]:.3%}" for t in range(3)]
+            for i, origin in enumerate(summary.origins)]
+    print()
+    print(render_table(["origin", "trial1", "trial2", "trial3"], rows,
+                       title="§5.2 — estimated global drop rates"))
+
+    lo, hi = summary.range_global()
+    # Same order of magnitude as the paper's 0.44–1.6 % band.
+    assert 0.002 < lo < hi < 0.03
+    assert summary.worst_origin() == "AU"
+
+    # Weak-to-moderate per-AS correlation between drop and transient loss.
+    rates = transient_rates(paper_ds, "http")
+    correlations = drop_vs_transient_correlation(rates, paper_ds, "http")
+    print("drop-vs-transient Spearman ρ:",
+          {o: round(v[0], 2) for o, v in correlations.items()})
+    rhos = [rho for rho, _ in correlations.values()]
+    assert all(rho < 0.75 for rho in rhos)
+    assert any(rho > 0.1 for rho in rhos)
+
+    # China sees elevated drop from every origin (paper: 3–14 %).
+    china_telecom = world.topology.ases.by_name("China Telecom").index
+    td = paper_ds.trial_data("http", 0)
+    for origin in summary.origins:
+        china_drop = per_as_drop_rates(td, origin)[china_telecom]
+        global_drop = summary.rates[summary.origins.index(origin), 0]
+        assert china_drop >= global_drop
+
+    # Correlated loss: losing both probes is the common loss mode.  (The
+    # paper reports >93 %; the estimator-compatible calibration lands
+    # lower — see EXPERIMENTS.md — but far above the independent-loss
+    # expectation of ≈25 % at these rates.)
+    fractions = [both_probe_loss_fraction(td, o) for o in summary.origins]
+    assert min(fractions) > 0.6

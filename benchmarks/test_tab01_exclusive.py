@@ -1,0 +1,55 @@
+"""Table 1 — origins responsible for exclusively (in)accessible hosts.
+
+Paper: US64 sees the most exclusively accessible hosts (33.8 % of HTTP
+exclusives; 64.4 % of SSH) thanks to IDS evasion; Censys owns the vast
+majority of exclusively inaccessible hosts (83.4 % HTTP); Germany's dead
+Telecom Italia paths give it the most exclusive inaccessibility among
+academic origins.
+"""
+
+from benchmarks.conftest import bench_once
+from repro.core.exclusivity import exclusivity_report
+from repro.reporting.tables import render_table
+
+
+def test_tab01_exclusive_breakdown(benchmark, paper_ds):
+    reports = bench_once(
+        benchmark,
+        lambda: {p: exclusivity_report(paper_ds, p)
+                 for p in ("http", "https", "ssh")})
+
+    tables = {p: r.table1() for p, r in reports.items()}
+    origins = reports["http"].origins
+    rows = []
+    for protocol in ("http", "https", "ssh"):
+        rows.append([f"Acc. {protocol} %"]
+                    + [f"{tables[protocol][o]['accessible']:.1%}"
+                       for o in origins])
+    for protocol in ("http", "https", "ssh"):
+        rows.append([f"Inacc. {protocol} %"]
+                    + [f"{tables[protocol][o]['inaccessible']:.1%}"
+                       for o in origins])
+    print()
+    print(render_table([""] + origins, rows, title="Table 1"))
+
+    for protocol in ("http", "https", "ssh"):
+        acc = {o: tables[protocol][o]["accessible"] for o in origins}
+        inacc = {o: tables[protocol][o]["inaccessible"] for o in origins}
+        # US64 dominates exclusive accessibility; Censys dominates
+        # exclusive inaccessibility.
+        assert max(acc, key=acc.get) == "US64"
+        assert max(inacc, key=inacc.get) == "CEN"
+        assert inacc["CEN"] > 0.3
+
+    # Within-country allowlists give AU/JP/BR big accessible shares on
+    # HTTP, well above US1 (whose IPs grant no exclusive access).
+    http_acc = {o: tables["http"][o]["accessible"] for o in origins}
+    for origin in ("AU", "JP", "BR"):
+        assert http_acc[origin] > http_acc["US1"]
+
+    # DE's dead paths beat the other academics' exclusive
+    # inaccessibility on HTTP(S).
+    for protocol in ("http", "https"):
+        inacc = {o: tables[protocol][o]["inaccessible"] for o in origins}
+        for other in ("AU", "JP", "US1", "US64"):
+            assert inacc["DE"] > inacc[other]

@@ -1,0 +1,111 @@
+"""Tables 2 and 5 — countries with the most long-term inaccessible hosts.
+
+Paper: single-origin coverage of whole countries can collapse when one AS
+blocks that origin — 43 % of Bangladesh and 27 % of South Africa are
+invisible to Censys (DXTL's blocking); Germany loses large slices of
+IT/AM/LY/SD; JP/US1/CEN lose BF and MW; nearly every big per-country loss
+is concentrated in a handful of ASes.
+"""
+
+from benchmarks.conftest import bench_once
+from repro.core.countries import country_inaccessibility
+from repro.reporting.tables import render_table
+
+#: Paper cells to match in direction: (origin, country, paper fraction).
+PAPER_CELLS = [
+    ("CEN", "BD", 0.429),
+    ("CEN", "ZA", 0.270),
+    ("DE", "LY", 0.341),
+    ("DE", "SD", 0.269),
+    ("DE", "AM", 0.125),
+    ("JP", "BF", 0.379),
+    ("US1", "BF", 0.380),
+    ("BR", "EE", 0.122),
+    ("JP", "EE", 0.122),
+]
+
+
+def test_tab02_country_losses(benchmark, paper_ds, paper_world):
+    world, _, _ = paper_world
+    report = bench_once(benchmark,
+                        lambda: country_inaccessibility(paper_ds, "http"))
+
+    code_of = world.topology.countries.codes()
+    index_of = {code: i for i, code in enumerate(code_of)}
+
+    show = ["HK", "US", "CN", "RU", "ZA", "IT", "BD", "EE", "BF", "MW",
+            "LY", "SD", "AM"]
+    rows = []
+    for origin in report.origins:
+        row = [origin]
+        fractions = report.for_origin(origin)
+        for code in show:
+            ci = index_of[code]
+            row.append(f"{fractions[ci] * 100:.1f}")
+        rows.append(row)
+    print()
+    print(render_table(["origin"] + show, rows,
+                       title="Table 2 (http) — % of country long-term "
+                             "inaccessible"))
+
+    # Every paper cell is reproduced as a meaningful loss (≥ one third of
+    # the paper's fraction) and the right origin is hit hardest there.
+    for origin, code, paper_fraction in PAPER_CELLS:
+        ci = index_of[code]
+        oi = report.origins.index(origin)
+        measured = report.fraction[oi, ci]
+        assert measured > paper_fraction / 3, (origin, code, measured)
+
+    # Bangladesh from Censys is the single worst (origin, country) cell
+    # among the highlighted ones.
+    cen = report.origins.index("CEN")
+    assert report.fraction[cen, index_of["BD"]] > 0.2
+
+    # Concentration colouring: the big losses come from ≤3 ASes.
+    for origin, code, _ in PAPER_CELLS:
+        ci = index_of[code]
+        oi = report.origins.index(origin)
+        assert 1 <= report.concentration[oi, ci] <= 3
+
+    # Origins that nobody blocks regionally keep those countries intact:
+    # US64 retains Bangladesh.
+    us64 = report.origins.index("US64")
+    assert report.fraction[us64, index_of["BD"]] < 0.1
+
+
+def test_tab05_https_ssh_country_losses(benchmark, paper_ds,
+                                        paper_world):
+    """Table 5 — the HTTPS/SSH analogs of Table 2."""
+    world, _, _ = paper_world
+    reports = bench_once(
+        benchmark,
+        lambda: {p: country_inaccessibility(paper_ds, p)
+                 for p in ("https", "ssh")})
+
+    code_of = world.topology.countries.codes()
+    index_of = {code: i for i, code in enumerate(code_of)}
+    show = ["CN", "US", "KR", "IT", "ZA", "BD", "LY", "SD"]
+    for protocol, report in reports.items():
+        rows = []
+        for origin in report.origins:
+            fractions = report.for_origin(origin)
+            rows.append([origin] + [f"{fractions[index_of[c]] * 100:.1f}"
+                                    for c in show])
+        print()
+        print(render_table(["origin"] + show, rows,
+                           title=f"Table 5 ({protocol})"))
+
+    # HTTPS keeps the DXTL story: Censys loses big slices of BD and ZA.
+    https = reports["https"]
+    cen = https.origins.index("CEN")
+    assert https.fraction[cen, index_of["BD"]] > 0.1
+    assert https.fraction[cen, index_of["ZA"]] > 0.05
+
+    # SSH: China stands out for single-IP origins (Alibaba's temporal
+    # blocking accumulates into long-term losses), while US64 keeps it.
+    ssh = reports["ssh"]
+    us64 = ssh.origins.index("US64")
+    single_ip = [ssh.origins.index(o) for o in ("AU", "JP", "US1")]
+    cn = index_of["CN"]
+    for oi in single_ip:
+        assert ssh.fraction[oi, cn] > ssh.fraction[us64, cn]

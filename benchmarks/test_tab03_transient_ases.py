@@ -1,0 +1,58 @@
+"""Table 3 — ASes with the largest range of transient host-loss rates.
+
+Paper: the top rows are large Chinese and Italian networks — Alibaba,
+Akamai, Telecom Italia (+Sparkle), Tencent, China Telecom, plus ABCDE and
+Psychz on HTTP — all inside the top-100 ASes by host count.
+"""
+
+from benchmarks.conftest import bench_once
+from repro.core.by_as import as_host_count_ranks
+from repro.core.ground_truth import build_presence
+from repro.core.transient import largest_range_ases, transient_rates
+from repro.reporting.tables import render_table
+
+EXPECTED_NAMES = {
+    "HZ Alibaba Advanced", "Alibaba CN", "Akamai", "Telecom Italia",
+    "Telecom Italia Sparkle", "Tencent", "China Telecom", "ABCDE Group",
+    "Psychz Networks",
+}
+
+
+def test_tab03_largest_transient_ranges(benchmark, paper_ds, paper_world):
+    world, _, _ = paper_world
+
+    def compute():
+        out = {}
+        for protocol in ("http", "https", "ssh"):
+            rates = transient_rates(paper_ds, protocol)
+            out[protocol] = largest_range_ases(rates, top=6)
+        return out
+
+    tables = bench_once(benchmark, compute)
+
+    for protocol, rows in tables.items():
+        rendered = [[world.topology.ases.by_index(r.as_index).name,
+                     f"{r.delta:.1f}", r.diff_hosts,
+                     "inf" if r.ratio == float("inf")
+                     else f"{r.ratio:.1f}"]
+                    for r in rows]
+        print()
+        print(render_table(["AS", "Δ(%)", "Diff", "Ratio"], rendered,
+                           title=f"Table 3 ({protocol})"))
+
+    for protocol, rows in tables.items():
+        names = {world.topology.ases.by_index(r.as_index).name
+                 for r in rows}
+        overlap = names & EXPECTED_NAMES
+        # Most of the table is the paper's named networks.
+        assert len(overlap) >= 3, (protocol, names)
+        # Deltas are substantial (double digits for the leaders).
+        assert max(r.delta for r in rows) > 10.0
+
+    # The paper's footnote: every Table 3 AS is in the top-100 by host
+    # count — the big absolute differences require big networks.
+    for protocol, rows in tables.items():
+        presence = build_presence(paper_ds, protocol)
+        ranks = as_host_count_ranks(presence)
+        for row in rows:
+            assert ranks[row.as_index] <= 100, (protocol, row.as_index)

@@ -1,0 +1,59 @@
+"""Country-bias audit: how much of each country does my origin miss?
+
+§4.4's warning made actionable: before publishing per-country statistics
+from a single-origin scan, check how much of each country that origin
+cannot see at all — a single ISP's blocking decision can hide 40 %+ of a
+country (Bangladesh from Censys in the paper).
+
+Run:  python examples/country_bias_audit.py [origin]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import paper_scenario, run_campaign
+from repro.core.countries import country_inaccessibility
+from repro.reporting.tables import render_table
+
+
+def main(origin_name: str = "CEN") -> None:
+    world, origins, config = paper_scenario(seed=5, scale=0.5)
+    dataset = run_campaign(world, origins, config, protocols=("http",),
+                           n_trials=3)
+    report = country_inaccessibility(dataset, "http")
+    if origin_name not in report.origins:
+        raise SystemExit(f"unknown origin {origin_name!r}; "
+                         f"pick one of {report.origins}")
+
+    codes = world.topology.countries.codes()
+    fractions = report.for_origin(origin_name)
+    oi = report.origins.index(origin_name)
+
+    rows = []
+    for ci in np.argsort(fractions)[::-1]:
+        if fractions[ci] < 0.02 or report.totals[ci] < 20:
+            continue
+        rows.append([codes[ci], int(report.totals[ci]),
+                     f"{fractions[ci]:.1%}",
+                     int(report.concentration[oi, ci])])
+    print(render_table(
+        ["country", "hosts", "long-term missed", "#ASes ≥ majority"],
+        rows,
+        title=f"Country-level blind spots of origin {origin_name} "
+              f"(http, ≥2%)"))
+
+    if rows:
+        print()
+        print("Interpretation: a small '#ASes' value means one or two "
+              "providers' blocking decisions cause the loss — per-country")
+        print("statistics from this origin will be biased for the "
+              "countries above; add a second, diverse origin to recover "
+              "them.")
+    else:
+        print(f"origin {origin_name} has no >2% country-level blind "
+              f"spots in this world")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "CEN")

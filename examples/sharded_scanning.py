@@ -1,0 +1,70 @@
+"""Sharded scanning: splitting one scan across cooperating machines.
+
+ZMap's ``--shards`` lets N machines cover the address space exactly once
+by walking every N-th element of the shared permutation.  This example
+shows the property end-to-end on the simulator: four shards of one origin
+jointly observe (almost) exactly what a single unsharded scanner does —
+"almost" because each shard finishes in a quarter of the time, so
+time-dependent behaviour (IDS detection, Alibaba blocking, burst windows)
+lands differently.
+
+Run:  python examples/sharded_scanning.py
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro import paper_scenario
+from repro.core.records import L7Status
+from repro.reporting.tables import render_table
+from repro.scanner.zmap import ZMapScanner
+
+
+def main() -> None:
+    world, origins, config = paper_scenario(seed=6, scale=0.15)
+    us1 = next(o for o in origins if o.name == "US1")
+    names = tuple(o.name for o in origins)
+
+    # One full scan...
+    full = world.observe("http", 0, us1, ZMapScanner(config), names)
+
+    # ...versus four cooperating shards.
+    shard_obs = []
+    for shard in range(4):
+        cfg = dataclasses.replace(config, shard=shard, n_shards=4)
+        shard_obs.append(world.observe("http", 0, us1,
+                                       ZMapScanner(cfg), names))
+
+    shard_ips = np.concatenate([o.ip for o in shard_obs])
+    shard_l7 = np.concatenate([o.l7 for o in shard_obs])
+    order = np.argsort(shard_ips)
+    shard_ips = shard_ips[order]
+    shard_l7 = shard_l7[order]
+
+    rows = [
+        ["services scanned", len(full), len(shard_ips)],
+        ["distinct IPs", len(np.unique(full.ip)),
+         len(np.unique(shard_ips))],
+        ["L7 successes",
+         int((full.l7 == int(L7Status.SUCCESS)).sum()),
+         int((shard_l7 == int(L7Status.SUCCESS)).sum())],
+    ]
+    print(render_table(["metric", "1 scanner", "4 shards"], rows,
+                       title="Sharded vs unsharded scan (US1, http)"))
+
+    assert np.array_equal(np.unique(shard_ips), full.ip), \
+        "shards must partition the target set exactly"
+    overlap = sum(
+        np.intersect1d(a.ip, b.ip).size
+        for i, a in enumerate(shard_obs) for b in shard_obs[i + 1:])
+    print(f"\ncross-shard target overlap: {overlap} (must be 0)")
+
+    agree = float((shard_l7 == full.l7).mean())
+    print(f"per-service outcome agreement: {agree:.1%} "
+          f"(differences come from shards probing hosts at different "
+          f"times)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""The §6 SSH retry experiment (Figure 13).
+
+OpenSSH's ``MaxStartups`` makes daemons refuse connections
+probabilistically under concurrent unauthenticated load, so synchronized
+scans miss hosts that are perfectly alive.  The paper shows that simply
+retrying the handshake — each attempt is an independent draw — recovers
+~90 % of refusing hosts within eight tries.
+
+This example re-runs that experiment against the simulated world: it
+finds the ASes with the most transiently missed SSH hosts, then rescans
+their hosts from US1 with an increasing retry budget.
+
+Run:  python examples/ssh_retry_experiment.py
+"""
+
+import numpy as np
+
+from repro import paper_scenario, run_campaign
+from repro.core.transient import transient_rates
+from repro.scanner.retry import RetryProber
+from repro.reporting.tables import render_table
+
+
+def main() -> None:
+    world, origins, config = paper_scenario(seed=7, scale=0.3)
+    dataset = run_campaign(world, origins, config, protocols=("ssh",),
+                           n_trials=3)
+
+    # Pick candidate networks the way the paper does: the ASes with the
+    # most transiently missed SSH hosts.
+    rates = transient_rates(dataset, "ssh")
+    missing_per_as = rates.missing.sum(axis=(0, 1))
+    candidates = np.argsort(missing_per_as)[::-1][:5]
+
+    us1 = next(o for o in origins if o.name == "US1")
+    prober = RetryProber(world, us1, trial=0)
+    view = world.hosts.for_protocol("ssh")
+
+    rows = []
+    curves = []
+    for as_index in candidates:
+        system = world.topology.ases.by_index(int(as_index))
+        ips = view.ip[view.as_index == as_index]
+        if len(ips) < 10:
+            continue
+        curve = prober.curve(ips, system.name)
+        curves.append(curve)
+        rows.append([system.name, len(ips)]
+                    + [f"{v:.2f}" for v in curve.success_fraction])
+
+    attempts = curves[0].max_attempts
+    print(render_table(
+        ["AS", "hosts"] + [f"≤{k}" for k in attempts], rows,
+        title="Figure 13 — SSH handshake success vs retry budget (US1)"))
+
+    print()
+    for curve in curves:
+        gain = curve.success_fraction[-1] - curve.success_fraction[0]
+        if gain > 0.15:
+            print(f"{curve.label}: retrying recovered "
+                  f"{gain:.0%} of responding hosts — MaxStartups-style "
+                  f"probabilistic blocking")
+
+
+if __name__ == "__main__":
+    main()

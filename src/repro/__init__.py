@@ -1,0 +1,80 @@
+"""repro — reproduction of "On the Origin of Scanning" (IMC 2020).
+
+The library has three layers:
+
+* :mod:`repro.core` — the paper's analysis pipeline, operating on
+  :class:`~repro.core.dataset.CampaignDataset` objects that can come from
+  real ZMap/ZGrab output (via :mod:`repro.io`) or from the simulator.
+* :mod:`repro.sim` + the substrate packages (:mod:`repro.topology`,
+  :mod:`repro.hosts`, :mod:`repro.conditions`, :mod:`repro.blocking`,
+  :mod:`repro.scanner`) — a deterministic synthetic Internet and
+  ZMap/ZGrab-analog scanners used to regenerate the paper's experiments.
+* :mod:`repro.reporting` — ASCII renderers for the paper's tables and
+  figures.
+
+Quickstart::
+
+    from repro import paper_scenario, run_campaign, coverage_table
+
+    world, origins, config = paper_scenario(seed=0, scale=0.1)
+    dataset = run_campaign(world, origins, config)
+    print(coverage_table(dataset, "http").rows())
+"""
+
+from repro.core import (
+    CampaignDataset,
+    Classification,
+    L7Status,
+    MissCategory,
+    TrialData,
+    breakdown_by_origin,
+    classify_misses,
+    coverage_by_origin,
+    coverage_table,
+    median_single_origin_coverage,
+    multi_origin_table,
+    union_ground_truth,
+)
+from repro.origins import Origin, followup_origins, paper_origins
+from repro.rng import CounterRNG
+from repro.scanner import ZMapConfig, ZMapScanner
+from repro.sim import (
+    Campaign,
+    World,
+    WorldDefaults,
+    followup_scenario,
+    paper_scenario,
+    run_campaign,
+    small_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignDataset",
+    "Classification",
+    "L7Status",
+    "MissCategory",
+    "TrialData",
+    "breakdown_by_origin",
+    "classify_misses",
+    "coverage_by_origin",
+    "coverage_table",
+    "median_single_origin_coverage",
+    "multi_origin_table",
+    "union_ground_truth",
+    "Origin",
+    "followup_origins",
+    "paper_origins",
+    "CounterRNG",
+    "ZMapConfig",
+    "ZMapScanner",
+    "Campaign",
+    "World",
+    "WorldDefaults",
+    "followup_scenario",
+    "paper_scenario",
+    "run_campaign",
+    "small_scenario",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Destination-side blocking systems observed by the paper."""
+
+from repro.blocking.firewall import ReputationFirewallSpec, StaticBlockSpec
+from repro.blocking.regional import RegionalPolicySpec
+from repro.blocking.ids import RateIDSSpec, RateIDS
+from repro.blocking.temporal import TemporalRSTSpec, TemporalRSTBlocker
+from repro.blocking.maxstartups import MaxStartupsSpec, MaxStartupsModel
+from repro.blocking.flaky import L7FlakySpec
+
+__all__ = [
+    "ReputationFirewallSpec",
+    "StaticBlockSpec",
+    "RegionalPolicySpec",
+    "RateIDSSpec",
+    "RateIDS",
+    "TemporalRSTSpec",
+    "TemporalRSTBlocker",
+    "MaxStartupsSpec",
+    "MaxStartupsModel",
+    "L7FlakySpec",
+]

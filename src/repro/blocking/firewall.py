@@ -1,0 +1,89 @@
+"""Static, reputation-driven firewalls (§4.1, §4.2).
+
+Two mechanisms produce the paper's long-term inaccessibility:
+
+* :class:`ReputationFirewallSpec` — networks that block source ranges with
+  heavy scanning history.  This is what hits Censys (DXTL, EGI, Enzu block
+  ~100 % of their hosts to it) and, to a lesser degree, origins whose /24s
+  have scanned before.
+* :class:`StaticBlockSpec` — networks that block specific origins outright,
+  regardless of reputation: the Eastern-European hosters that block both
+  Brazil and Japan, US health/finance networks that block Brazil, Tegna's
+  networks that block every non-US origin, and the ABCDE Group block of
+  the US and Censys ranges.
+
+Both specs carry a ``coverage`` fraction: the share of the network's hosts
+actually behind the filter (a policy may be enforced at the edge on a subset
+of hosts).  Host membership in the covered subset is a persistent draw, so
+the same hosts are blocked in every trial — by construction this is
+long-term inaccessibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.origins import Origin
+from repro.rng import CounterRNG
+
+
+@dataclass(frozen=True)
+class ReputationFirewallSpec:
+    """Block origins whose scanning reputation exceeds a threshold."""
+
+    #: Origins with reputation >= this value are dropped at L4.
+    min_reputation: float
+    #: Fraction of the AS's hosts behind the filter.
+    coverage: float = 1.0
+    #: Trial from which the filter is active (EGI-style: partially blocked
+    #: in trial 1, fully blocked by trial 3 → modelled as coverage ramping
+    #: to 1.0 from ``full_coverage_from_trial`` onward).
+    full_coverage_from_trial: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ValueError("coverage must be in [0, 1]")
+
+    def blocks(self, origin: Origin) -> bool:
+        return origin.reputation >= self.min_reputation
+
+    def coverage_in_trial(self, trial: int) -> float:
+        if trial >= self.full_coverage_from_trial:
+            return 1.0 if self.full_coverage_from_trial > 0 else self.coverage
+        return self.coverage
+
+
+@dataclass(frozen=True)
+class StaticBlockSpec:
+    """Block a fixed set of origins (by name) at L4."""
+
+    origins: FrozenSet[str]
+    coverage: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ValueError("coverage must be in [0, 1]")
+        object.__setattr__(self, "origins", frozenset(self.origins))
+
+    def blocks(self, origin: Origin) -> bool:
+        return origin.name in self.origins
+
+
+def covered_hosts_mask(rng: CounterRNG, host_ids: np.ndarray,
+                       as_index: int, coverage: float,
+                       label: str) -> np.ndarray:
+    """Persistent per-host membership in a firewall's covered subset.
+
+    Keyed only by (AS, host, label) — never by trial or origin — so the
+    covered subset is identical across trials and origins, making the
+    resulting inaccessibility long-term as the paper requires.
+    """
+    if coverage >= 1.0:
+        return np.ones(np.asarray(host_ids).shape, dtype=bool)
+    if coverage <= 0.0:
+        return np.zeros(np.asarray(host_ids).shape, dtype=bool)
+    sub = rng.derive("firewall-coverage", label, as_index)
+    return sub.uniform_array(np.asarray(host_ids, dtype=np.uint64)) < coverage

@@ -1,0 +1,101 @@
+"""Transient application-layer flakiness for HTTP(S) servers.
+
+Not all transient loss happens at L4: the paper observes that ~70 % of
+transiently missed HTTP(S) hosts complete the TCP handshake and then *drop*
+the connection (time out) rather than close it, and that 8 % of long-term
+inaccessible HTTP(S) hosts are responsive at L4 but never complete the L7
+handshake.  This module models both: a small population of flaky servers
+that probabilistically fail the application handshake, split between
+dropping and explicitly closing, plus a sliver of persistently L7-dead
+hosts (half-configured servers, middleboxes answering SYNs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import CounterRNG
+
+
+@dataclass(frozen=True)
+class L7FlakySpec:
+    """Application-layer flakiness within one network."""
+
+    #: Fraction of hosts that are transiently flaky at L7.
+    flaky_fraction: float = 0.0
+    #: Per-connection probability that a flaky host fails the handshake.
+    fail_prob: float = 0.3
+    #: Among failures, fraction that silently drop (vs. explicitly close).
+    drop_share: float = 0.7
+    #: Fraction of hosts that are persistently L7-dead (respond at L4 but
+    #: never complete the application handshake, from any origin).
+    dead_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("flaky_fraction", "fail_prob", "drop_share",
+                     "dead_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+class L7FlakyModel:
+    """Evaluates transient and persistent L7 failures."""
+
+    def __init__(self, rng: CounterRNG) -> None:
+        self._rng = rng.derive("l7-flaky")
+
+    def dead_mask_params(self, dead_fractions: np.ndarray,
+                         host_ids: np.ndarray, protocol: str) -> np.ndarray:
+        """Array-parameter form of :meth:`dead_mask` (per-host fractions)."""
+        u = self._rng.uniform_array(
+            np.asarray(host_ids, dtype=np.uint64), "dead", protocol)
+        return u < np.asarray(dead_fractions, dtype=np.float64)
+
+    def failure_masks_params(self, flaky_fractions: np.ndarray,
+                             fail_probs: np.ndarray,
+                             drop_shares: np.ndarray,
+                             host_ids: np.ndarray, protocol: str,
+                             origin_name: str, trial: int,
+                             attempt: int = 0) -> tuple:
+        """Array-parameter form of :meth:`failure_masks`.
+
+        ``attempt`` distinguishes L7 retries so re-connecting to a flaky
+        server is an independent draw.
+        """
+        host_ids = np.asarray(host_ids, dtype=np.uint64)
+        flaky = self._rng.uniform_array(host_ids, "flaky", protocol) \
+            < np.asarray(flaky_fractions, dtype=np.float64)
+        fails = flaky & (
+            self._rng.uniform_array(host_ids, "fail", protocol, origin_name,
+                                    trial, attempt)
+            < np.asarray(fail_probs, dtype=np.float64))
+        drops = fails & (
+            self._rng.uniform_array(host_ids, "style", protocol)
+            < np.asarray(drop_shares, dtype=np.float64))
+        return fails, drops
+
+    def dead_mask(self, spec: L7FlakySpec, host_ids: np.ndarray,
+                  protocol: str) -> np.ndarray:
+        """Persistently L7-dead hosts (identical for every origin/trial)."""
+        host_ids = np.asarray(host_ids, dtype=np.uint64)
+        fractions = np.full(host_ids.shape, spec.dead_fraction)
+        return self.dead_mask_params(fractions, host_ids, protocol)
+
+    def failure_masks(self, spec: L7FlakySpec, host_ids: np.ndarray,
+                      protocol: str, origin_name: str, trial: int,
+                      attempt: int = 0) -> tuple:
+        """(fails, drops) boolean masks for this origin/trial.
+
+        ``fails`` marks flaky hosts failing this connection; ``drops``
+        subdivides the failures into silent drops (True) vs explicit closes
+        (False).
+        """
+        host_ids = np.asarray(host_ids, dtype=np.uint64)
+        return self.failure_masks_params(
+            np.full(host_ids.shape, spec.flaky_fraction),
+            np.full(host_ids.shape, spec.fail_prob),
+            np.full(host_ids.shape, spec.drop_share),
+            host_ids, protocol, origin_name, trial, attempt)

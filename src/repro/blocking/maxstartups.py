@@ -1,0 +1,133 @@
+"""OpenSSH ``MaxStartups`` probabilistic connection refusal (§6).
+
+``MaxStartups start:rate:full`` makes sshd refuse each new unauthenticated
+connection with probability ``rate``% once ``start`` are pending, and refuse
+all once ``full`` are pending.  Synchronized scans make every origin's probe
+arrive at nearly the same moment (shared ZMap seed), so the pending count is
+roughly the number of scanning origins — the more simultaneous origins, the
+more refusals.  The paper attributes 32–63 % of missing SSH hosts to this
+mechanism and shows (Figure 13) that retrying the handshake up to eight
+times reaches ~90 % of the refusing IPs.
+
+We model each affected host with a per-host refusal probability drawn once
+(persistently), applied per (origin, trial, attempt).  A host with a high
+draw can look long-term inaccessible while actually being probabilistically
+blocked — the paper measures this at ~30 % of probabilistically blocked IPs.
+All draws are keyed purely by host identity, so a host behaves identically
+whether evaluated through the per-AS or the array-parameter path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import CounterRNG
+
+
+@dataclass(frozen=True)
+class MaxStartupsSpec:
+    """MaxStartups prevalence and strength within one network."""
+
+    #: Fraction of the network's SSH hosts running a MaxStartups-limited
+    #: daemon that a synchronized multi-origin scan can trip.
+    fraction: float = 0.0
+    #: Mean of the per-host refusal probability (per connection attempt
+    #: during a synchronized scan).
+    refuse_prob_mean: float = 0.55
+    #: Half-width of the uniform spread around the mean.
+    refuse_prob_spread: float = 0.35
+    #: MaxStartups only matters while several origins connect at once; a
+    #: lone scanner (the retry experiment) sees refusals at ``solo_factor``
+    #: times the synchronized-scan probability.
+    solo_factor: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if not 0.0 <= self.refuse_prob_mean <= 1.0:
+            raise ValueError("refuse_prob_mean must be in [0, 1]")
+
+
+class MaxStartupsModel:
+    """Per-host refusal behaviour for MaxStartups-protected SSH daemons."""
+
+    def __init__(self, rng: CounterRNG) -> None:
+        self._rng = rng.derive("maxstartups")
+
+    # ------------------------------------------------------------------
+    # Array-parameter primitives (per-host spec values)
+    # ------------------------------------------------------------------
+
+    def affected_mask_params(self, fractions: np.ndarray,
+                             host_ids: np.ndarray) -> np.ndarray:
+        """Persistent mask of hosts running a trippable MaxStartups sshd."""
+        u = self._rng.uniform_array(
+            np.asarray(host_ids, dtype=np.uint64), "affected")
+        return u < np.asarray(fractions, dtype=np.float64)
+
+    def refuse_probs_params(self, means: np.ndarray, spreads: np.ndarray,
+                            host_ids: np.ndarray) -> np.ndarray:
+        """Persistent per-host refusal probability (synchronized scan)."""
+        u = self._rng.uniform_array(
+            np.asarray(host_ids, dtype=np.uint64), "strength")
+        means = np.asarray(means, dtype=np.float64)
+        spreads = np.asarray(spreads, dtype=np.float64)
+        return np.clip(means - spreads + u * 2.0 * spreads, 0.0, 0.98)
+
+    def refused_mask_params(self, fractions: np.ndarray, means: np.ndarray,
+                            spreads: np.ndarray, solo_factors: np.ndarray,
+                            host_ids: np.ndarray, origin_name: str,
+                            trial: int, attempt: int = 0,
+                            solo: bool = False) -> np.ndarray:
+        """Whether each host refuses this connection attempt.
+
+        ``attempt`` distinguishes retries (each retry is an independent
+        draw, which is what makes retrying effective).  ``solo`` applies the
+        reduced single-scanner pressure of the retry experiment.
+        """
+        host_ids = np.asarray(host_ids, dtype=np.uint64)
+        affected = self.affected_mask_params(fractions, host_ids)
+        probs = self.refuse_probs_params(means, spreads, host_ids)
+        if solo:
+            probs = probs * np.asarray(solo_factors, dtype=np.float64)
+        u = self._rng.uniform_array(host_ids, "refuse", origin_name,
+                                    trial, attempt)
+        return affected & (u < probs)
+
+    # ------------------------------------------------------------------
+    # Spec-based convenience forms
+    # ------------------------------------------------------------------
+
+    def affected_mask(self, spec: MaxStartupsSpec,
+                      host_ids: np.ndarray) -> np.ndarray:
+        host_ids = np.asarray(host_ids, dtype=np.uint64)
+        return self.affected_mask_params(
+            np.full(host_ids.shape, spec.fraction), host_ids)
+
+    def refuse_probs(self, spec: MaxStartupsSpec,
+                     host_ids: np.ndarray) -> np.ndarray:
+        host_ids = np.asarray(host_ids, dtype=np.uint64)
+        return self.refuse_probs_params(
+            np.full(host_ids.shape, spec.refuse_prob_mean),
+            np.full(host_ids.shape, spec.refuse_prob_spread), host_ids)
+
+    def refused_mask(self, spec: MaxStartupsSpec, host_ids: np.ndarray,
+                     origin_name: str, trial: int, attempt: int = 0,
+                     solo: bool = False) -> np.ndarray:
+        host_ids = np.asarray(host_ids, dtype=np.uint64)
+        return self.refused_mask_params(
+            np.full(host_ids.shape, spec.fraction),
+            np.full(host_ids.shape, spec.refuse_prob_mean),
+            np.full(host_ids.shape, spec.refuse_prob_spread),
+            np.full(host_ids.shape, spec.solo_factor),
+            host_ids, origin_name, trial, attempt, solo=solo)
+
+    def refused_one(self, spec: MaxStartupsSpec, host_id: int,
+                    origin_name: str, trial: int, attempt: int = 0,
+                    solo: bool = False) -> bool:
+        """Scalar counterpart of :meth:`refused_mask`."""
+        mask = self.refused_mask(spec, np.array([host_id], dtype=np.uint64),
+                                 origin_name, trial, attempt, solo=solo)
+        return bool(mask[0])

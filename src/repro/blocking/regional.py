@@ -1,0 +1,55 @@
+"""Geographic access policies (§4.4).
+
+Some networks only answer probes from specific countries: Japanese hosting
+providers reachable only from within Japan, WebCentral's Australian-only
+sites, the WA K-20 educational network that serves Brazil a "Blocked Site"
+page while dropping everyone else.  Conversely, some networks blocklist
+specific origin countries.
+
+These policies are keyed on the *origin's* country, not the destination's,
+and are static across trials — hosts they hide are long-term inaccessible
+from the filtered origins and often "exclusively accessible" from one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.origins import Origin
+
+
+@dataclass(frozen=True)
+class RegionalPolicySpec:
+    """Country-based allow/block policy for a destination network.
+
+    Exactly one of ``allow_countries`` (allowlist: only these origin
+    countries may connect) or ``block_countries`` (blocklist) is normally
+    set; when both are set the allowlist is applied first.
+    """
+
+    allow_countries: Optional[FrozenSet[str]] = None
+    block_countries: FrozenSet[str] = frozenset()
+    #: Fraction of the network's hosts behind the policy.
+    coverage: float = 1.0
+    #: When True, blocked origins still complete the TCP handshake and
+    #: receive an explicit refusal page/close (the WA K-20 "Blocked Site"
+    #: case serves *allowed* clients content and drops others; some
+    #: networks instead close politely).  Affects the observed close type.
+    responds_with_block_page: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ValueError("coverage must be in [0, 1]")
+        if self.allow_countries is not None:
+            object.__setattr__(self, "allow_countries",
+                               frozenset(self.allow_countries))
+        object.__setattr__(self, "block_countries",
+                           frozenset(self.block_countries))
+
+    def blocks(self, origin: Origin) -> bool:
+        """Whether probes from ``origin`` are filtered."""
+        if (self.allow_countries is not None
+                and origin.country not in self.allow_countries):
+            return True
+        return origin.country in self.block_countries

@@ -1,0 +1,83 @@
+"""Network-wide temporal scan blocking — the Alibaba SSH behaviour (§6).
+
+Alibaba's networks (AS 37963/45102 in the paper) run scan detection that is
+non-deterministic in *when* it fires: single-IP origins are detected at
+different points within each trial — around two-thirds of the way through
+trial 1 — and from that moment on, **every** SSH host in the network
+completes the TCP handshake and immediately RSTs the connection.  Unlike the
+rate IDS, the block resets between trials (detection re-occurs each scan)
+and unlike a firewall it acts above L4, which is why the paper can observe
+it: hosts remain SYN-ACK-responsive but fail the application handshake.
+
+Multi-IP origins dilute the per-IP signature; the paper's Figure 14 shows
+Alibaba "only selectively blocks certain origins when scanning is
+detected", so each origin's detection in each trial is an independent
+probabilistic event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.origins import Origin
+from repro.rng import CounterRNG
+
+
+@dataclass(frozen=True)
+class TemporalRSTSpec:
+    """Configuration of an Alibaba-style temporal blocker."""
+
+    #: Protocols subject to the behaviour (Alibaba does this only for SSH).
+    protocols: tuple = ("ssh",)
+    #: Probability that a single-IP origin is detected during one trial.
+    detection_prob: float = 0.9
+    #: Detection probability for origins whose per-IP rate is diluted by
+    #: multiple source addresses.
+    multi_ip_detection_prob: float = 0.15
+    #: Mean fraction of the scan at which detection fires (paper: ~2/3 into
+    #: trial 1, varying across trials).
+    detect_fraction_mean: float = 0.55
+    #: Half-width of the uniform jitter around the mean fraction.
+    detect_fraction_jitter: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.detection_prob <= 1.0:
+            raise ValueError("detection_prob must be in [0, 1]")
+        if not 0.0 <= self.multi_ip_detection_prob <= 1.0:
+            raise ValueError("multi_ip_detection_prob must be in [0, 1]")
+
+
+class TemporalRSTBlocker:
+    """Draws per-(origin, trial) detection moments for one network."""
+
+    def __init__(self, rng: CounterRNG) -> None:
+        self._rng = rng.derive("temporal-rst")
+
+    def detection_time(self, spec: TemporalRSTSpec, origin: Origin,
+                       as_index: int, trial: int, protocol: str,
+                       scan_duration_s: float) -> Optional[float]:
+        """Seconds into the trial when network-wide RSTs begin.
+
+        None when this (origin, trial) goes undetected or the protocol is
+        not watched.  Detection does not persist across trials.
+        """
+        if protocol not in spec.protocols:
+            return None
+        prob = (spec.detection_prob if origin.n_source_ips == 1
+                else spec.multi_ip_detection_prob)
+        sub = self._rng.derive("detect", as_index, origin.name,
+                               trial, protocol)
+        if not sub.bernoulli(prob, 0):
+            return None
+        jitter = (sub.uniform(1) * 2.0 - 1.0) * spec.detect_fraction_jitter
+        fraction = min(max(spec.detect_fraction_mean + jitter, 0.02), 0.98)
+        return fraction * scan_duration_s
+
+    def rst_at(self, spec: TemporalRSTSpec, origin: Origin, as_index: int,
+               trial: int, protocol: str, time: float,
+               scan_duration_s: float) -> bool:
+        """Whether a connection at ``time`` is RST after the handshake."""
+        detect = self.detection_time(spec, origin, as_index, trial,
+                                     protocol, scan_duration_s)
+        return detect is not None and time >= detect

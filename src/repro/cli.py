@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands mirror the library's workflow:
+
+* ``simulate`` — build a scenario world, run a synchronized campaign, and
+  write the dataset as ndjson;
+* ``report`` — load a dataset directory and print the full §3–§7 analysis
+  report;
+* ``coverage`` — load a dataset directory and print/export the coverage
+  tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.coverage import coverage_table
+from repro.core.planning import diminishing_returns_k, recommend_origins
+from repro.core.report import full_report
+from repro.io.csv import write_coverage_csv
+from repro.io.ndjson import load_campaign, save_campaign
+from repro.reporting.tables import render_table
+from repro.sim.campaign import run_campaign
+from repro.sim.scenario import followup_scenario, paper_scenario
+from repro.sim.validation import validate_scan_rates
+from repro.topology.asn import PROTOCOLS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'On the Origin of "
+                    "Scanning' (IMC 2020)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="run a synchronized campaign and save it")
+    simulate.add_argument("output", help="directory for the ndjson dataset")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--scale", type=float, default=0.2,
+                          help="world size multiplier (1.0 ≈ 58k HTTP "
+                               "hosts)")
+    simulate.add_argument("--trials", type=int, default=3)
+    simulate.add_argument("--protocols", nargs="+", default=list(PROTOCOLS),
+                          choices=list(PROTOCOLS))
+    simulate.add_argument("--scenario", default="paper",
+                          choices=("paper", "followup"))
+
+    report = commands.add_parser(
+        "report", help="print the full analysis report for a dataset")
+    report.add_argument("dataset", help="directory written by 'simulate'")
+
+    coverage = commands.add_parser(
+        "coverage", help="print per-origin coverage tables")
+    coverage.add_argument("dataset", help="directory written by 'simulate'")
+    coverage.add_argument("--csv", help="also export rows to this CSV file")
+
+    plan = commands.add_parser(
+        "plan", help="recommend origins by marginal coverage (§7)")
+    plan.add_argument("dataset", help="directory written by 'simulate'")
+    plan.add_argument("--protocol", default="http")
+    plan.add_argument("--single-probe", action="store_true")
+
+    validate = commands.add_parser(
+        "validate", help="§2 pre-campaign scan-rate validation")
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--scale", type=float, default=0.1)
+    validate.add_argument("--sample", type=float, default=0.25,
+                          help="fraction of the world to probe")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = paper_scenario if args.scenario == "paper" \
+        else followup_scenario
+    world, origins, config = scenario(seed=args.seed, scale=args.scale)
+    print(f"world: {world.hosts.counts_by_protocol()} services in "
+          f"{len(world.topology.ases)} ASes", file=sys.stderr)
+    dataset = run_campaign(world, origins, config,
+                           protocols=tuple(args.protocols),
+                           n_trials=args.trials)
+    save_campaign(dataset, args.output)
+    print(f"wrote {len(dataset)} trial files to {args.output}/",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    dataset = load_campaign(args.dataset)
+    print(full_report(dataset))
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    dataset = load_campaign(args.dataset)
+    for protocol in dataset.protocols:
+        table = coverage_table(dataset, protocol)
+        print(render_table(["trial"] + table.origins + ["∩", "∪"],
+                           table.rows(), title=f"coverage — {protocol}"))
+        print()
+    if args.csv:
+        write_coverage_csv(dataset, args.csv)
+        print(f"exported {args.csv}", file=sys.stderr)
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    dataset = load_campaign(args.dataset)
+    plan = recommend_origins(dataset, args.protocol,
+                             single_probe=args.single_probe)
+    rows = [[i + 1, step.origin, f"{step.coverage_after:.2%}",
+             f"+{step.marginal_gain:.2%}"]
+            for i, step in enumerate(plan.steps)]
+    print(render_table(["k", "add origin", "coverage", "gain"], rows,
+                       title=f"greedy origin plan — {args.protocol}"))
+    print(f"diminishing returns after k = "
+          f"{diminishing_returns_k(plan)} origins")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    world, origins, config = paper_scenario(seed=args.seed,
+                                            scale=args.scale)
+    validation = validate_scan_rates(world, origins, config,
+                                     sample_fraction=args.sample)
+    rows = []
+    for origin, series in validation.drop.items():
+        rows.append([origin]
+                    + [f"{series[r]:.3%}" for r in validation.rates_pps]
+                    + ["yes" if validation.is_rate_safe(origin)
+                       else "NO"])
+    headers = ["origin"] + [f"{int(r):,} pps"
+                            for r in validation.rates_pps] + ["safe?"]
+    print(render_table(headers, rows,
+                       title="§2 rate validation — estimated drop"))
+    return 0 if validation.all_safe() else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "report": _cmd_report,
+        "coverage": _cmd_coverage,
+        "plan": _cmd_plan,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Network path conditions between scan origins and destination ASes."""
+
+from repro.conditions.loss import PathLossSpec, PathLossModel, LossDraw
+from repro.conditions.outages import BurstOutageSpec, BurstOutageModel, Outage
+
+__all__ = [
+    "PathLossSpec",
+    "PathLossModel",
+    "LossDraw",
+    "BurstOutageSpec",
+    "BurstOutageModel",
+    "Outage",
+]

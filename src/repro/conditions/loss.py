@@ -1,0 +1,270 @@
+"""Correlated packet-loss model for origin → destination-AS paths.
+
+The paper's central observation about loss (§5.2, §7) is that it is *not*
+uniform random: in more than 93 % of cases where one of two back-to-back
+probes is dropped, both are dropped.  We model each path with three
+components:
+
+* **Epoch loss** — the path alternates between good and bad windows
+  ("epochs").  Within a bad epoch a host's probes share fate, so
+  back-to-back probes are lost together while probes separated by more than
+  an epoch are nearly independent.  This is a discretized Gilbert–Elliott
+  channel.
+* **Random loss** — a small independent per-probe drop probability.  This is
+  the only component visible to the paper's 1-vs-2-probe loss estimator,
+  which is why estimated packet drop correlates weakly with transient host
+  loss.
+* **Persistent host loss** — a fraction of the AS's hosts are behind
+  quasi-dead sub-paths from a given origin in every trial (the
+  Germany → Telecom Italia case: >40 % loss, "persistent lack of
+  connectivity rather than explicit blocking").
+
+All draws are counter-addressed on (origin, AS, trial, host, epoch, probe),
+so outcomes are order-independent and identical between the vectorized and
+scalar evaluation paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.rng import CounterRNG
+
+#: Loss probability inside a bad epoch.  High enough that shared-fate loss
+#: dominates the independent residual.
+BAD_EPOCH_LOSS = 0.97
+
+#: Fraction of the epoch-loss rate attributed to *destination-side*
+#: congestion, visible to every origin simultaneously.  The remainder is
+#: path-specific.  This is what makes a minority of missing hosts overlap
+#: across origins (the paper's all-origin intersection is well above
+#: 1 - 7 × per-origin loss).
+SHARED_EPOCH_WEIGHT = 0.3
+
+#: Within the path-specific remainder, the fraction shared by origins in
+#: the same physical location (same ``path_group``).  Colocated Tier-1
+#: origins share most — not all — of their path fate: their first hops
+#: differ until the routes converge, which is why the paper's colocated
+#: triad is the worst triad yet only ~0.4 % behind the median.
+GROUP_EPOCH_WEIGHT = 0.65
+
+
+@dataclass(frozen=True)
+class LossDraw:
+    """Per-origin loss parameters for one destination AS."""
+
+    #: Long-run fraction of time/hosts affected by bad epochs (≈ the
+    #: correlated loss rate of the path).
+    epoch_rate: float = 0.002
+    #: Independent per-probe drop probability.
+    random_rate: float = 0.001
+    #: Fraction of the AS's hosts persistently unreachable from this origin.
+    persistent_fraction: float = 0.0
+    #: Multiplier applied to the trial-to-trial variability of epoch_rate.
+    variability: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("epoch_rate", "random_rate", "persistent_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class PathLossSpec:
+    """Loss configuration for one destination AS.
+
+    ``default`` applies to every origin without an explicit entry in
+    ``per_origin`` (keyed by origin name, e.g. ``"DE"``).
+    """
+
+    default: LossDraw = field(default_factory=LossDraw)
+    per_origin: Dict[str, LossDraw] = field(default_factory=dict)
+
+    def for_origin(self, origin_name: str,
+                   state_group: str = "") -> LossDraw:
+        """Parameters for one origin.
+
+        Falls back to the origin's ``state_group`` entry (colocated origins
+        share path characteristics) before the default.
+        """
+        draw = self.per_origin.get(origin_name)
+        if draw is not None:
+            return draw
+        if state_group:
+            draw = self.per_origin.get(state_group)
+            if draw is not None:
+                return draw
+        return self.default
+
+
+class PathLossModel:
+    """Evaluates probe delivery for one (origin, AS) path.
+
+    One instance serves a single origin; the per-AS parameters are passed as
+    arrays aligned with the hosts being evaluated.
+    """
+
+    def __init__(self, rng: CounterRNG, origin_name: str,
+                 state_group: str = "",
+                 epoch_seconds: float = 60.0) -> None:
+        if epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        self.origin_name = origin_name
+        self.state_group = state_group or origin_name
+        self.epoch_seconds = epoch_seconds
+        # Path *state* (congestion epochs, dead sub-paths) is a property of
+        # the physical location, shared by colocated origins; the residual
+        # random component differs per origin (distinct first hops).
+        self._state_rng = rng.derive("path-loss-state", self.state_group)
+        # Destination-side congestion: identical draws for every origin.
+        self._shared_rng = rng.derive("path-loss-destination")
+        self._rng = rng.derive("path-loss", origin_name)
+
+    # ------------------------------------------------------------------
+    # Vectorized evaluation
+    # ------------------------------------------------------------------
+
+    def trial_epoch_rates(self, epoch_rates: np.ndarray,
+                          variability: np.ndarray, as_idx: np.ndarray,
+                          trial: int) -> np.ndarray:
+        """Per-host effective epoch-loss rate for one trial.
+
+        Trial-to-trial variability is modelled as a lognormal multiplier
+        drawn per (AS, trial); this produces the large swings the paper
+        observes (e.g. Australia's +275 % HTTPS transient loss between
+        trials 1 and 2).
+        """
+        u = self._state_rng.uniform_array(as_idx, "trial-mult", trial)
+        # Inverse-transform a lognormal with sigma scaled by variability.
+        z = _norm_ppf(u)
+        mult = np.exp(z * 0.5 * np.asarray(variability, dtype=np.float64))
+        return np.clip(epoch_rates * mult, 0.0, 0.9)
+
+    def probe_delivered(self, host_ids: np.ndarray, as_idx: np.ndarray,
+                        times: np.ndarray, trial: int, probe_no: int,
+                        epoch_rates: np.ndarray, random_rates: np.ndarray,
+                        persistent_fractions: np.ndarray,
+                        persist_u: Optional[np.ndarray] = None) -> np.ndarray:
+        """Boolean delivery mask for one probe to each host.
+
+        ``times`` are the probe transmission times (seconds into the scan);
+        probes in the same epoch share the bad/good path state *and* the
+        per-host fate draw, so consecutive probes live or die together.
+        ``epoch_rates`` should already include trial modulation when desired
+        (see :meth:`trial_epoch_rates`); ``persist_u`` may carry precomputed
+        per-host persistent-path draws to avoid recomputation across probes.
+        """
+        host_ids = np.asarray(host_ids, dtype=np.uint64)
+        effective = np.asarray(epoch_rates, dtype=np.float64)
+        epochs = (np.asarray(times, dtype=np.float64)
+                  // self.epoch_seconds).astype(np.int64)
+
+        # Component 1: bad epoch on the (AS, epoch) path segment.  Split
+        # between a path-specific part and a destination-side part shared
+        # by all origins probing the AS in the same window.
+        epoch_key = (np.asarray(as_idx, dtype=np.uint64)
+                     * np.uint64(0x9E3779B1) + epochs.astype(np.uint64))
+        own = effective * (1.0 - SHARED_EPOCH_WEIGHT)
+        group_rate = own * GROUP_EPOCH_WEIGHT
+        origin_rate = own * (1.0 - GROUP_EPOCH_WEIGHT)
+        shared_rate = effective * SHARED_EPOCH_WEIGHT
+        bad_epoch = (self._state_rng.uniform_array(
+            epoch_key, "epoch-state", trial) < group_rate) \
+            | (self._rng.uniform_array(
+                epoch_key, "epoch-state-origin", trial) < origin_rate) \
+            | (self._shared_rng.uniform_array(
+                epoch_key, "epoch-state", trial) < shared_rate)
+        # Within a bad epoch each host draws one shared fate for all probes.
+        fate_key = host_ids * np.uint64(1000003) + epochs.astype(np.uint64)
+        host_fate_lost = self._state_rng.uniform_array(
+            fate_key, "epoch-fate", trial) < BAD_EPOCH_LOSS
+        epoch_lost = bad_epoch & host_fate_lost
+
+        # Component 2: independent residual loss per probe.
+        random_lost = self._rng.uniform_array(
+            host_ids, "random", trial, probe_no) < random_rates
+
+        # Component 3: persistently dead sub-paths (stable across trials).
+        if persist_u is None:
+            persist_u = self.persistent_draws(host_ids)
+        persistent_lost = persist_u < persistent_fractions
+
+        return ~(epoch_lost | random_lost | persistent_lost)
+
+    def persistent_draws(self, host_ids: np.ndarray) -> np.ndarray:
+        """Per-host uniforms for the persistent-path component.
+
+        Deliberately *not* keyed by trial: a host behind a dead sub-path
+        stays dead in every trial, which is what makes this component
+        long-term rather than transient.
+        """
+        return self._state_rng.uniform_array(
+            np.asarray(host_ids, dtype=np.uint64), "persistent")
+
+    # ------------------------------------------------------------------
+    # Scalar evaluation (must agree with the vectorized path)
+    # ------------------------------------------------------------------
+
+    def probe_delivered_one(self, host_id: int, as_index: int, time: float,
+                            trial: int, probe_no: int,
+                            draw: LossDraw) -> bool:
+        """Scalar version of :meth:`probe_delivered` for one host."""
+        result = self.probe_delivered(
+            np.array([host_id], dtype=np.uint64),
+            np.array([as_index], dtype=np.int64),
+            np.array([time], dtype=np.float64),
+            trial, probe_no,
+            np.array([draw.epoch_rate]),
+            np.array([draw.random_rate]),
+            np.array([draw.persistent_fraction]))
+        return bool(result[0])
+
+
+def _norm_ppf(u: np.ndarray) -> np.ndarray:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Implemented directly so the loss model does not drag scipy into the hot
+    path; accuracy (~1e-9) is far beyond what the simulation needs.
+    """
+    u = np.clip(np.asarray(u, dtype=np.float64), 1e-12, 1.0 - 1e-12)
+    a = [-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00]
+    b = [-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00]
+    p_low, p_high = 0.02425, 1 - 0.02425
+    out = np.empty_like(u)
+
+    lo = u < p_low
+    if np.any(lo):
+        q = np.sqrt(-2 * np.log(u[lo]))
+        out[lo] = ((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q
+                     + c[4]) * q + c[5])
+                   / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1))
+
+    hi = u > p_high
+    if np.any(hi):
+        q = np.sqrt(-2 * np.log(1 - u[hi]))
+        out[hi] = -((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q
+                      + c[4]) * q + c[5])
+                    / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1))
+
+    mid = ~(lo | hi)
+    if np.any(mid):
+        q = u[mid] - 0.5
+        r = q * q
+        out[mid] = ((((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r
+                      + a[4]) * r + a[5]) * q
+                    / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+                        + b[4]) * r + 1))
+    return out

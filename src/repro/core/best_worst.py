@@ -1,0 +1,103 @@
+"""Best/worst-origin stability per destination AS (§5.1, Figure 11).
+
+For each destination AS and trial, rank origins by transient loss rate.
+The paper's findings: fewer than 5 % of ASes keep the same best origin
+across trials, ~10 % keep a consistent worst (and it's Australia 72 % of
+the time), and for ~23 % of ASes the best origin of one trial is the worst
+of another — even for Amazon, Google, and Digital Ocean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.transient import TransientRates
+
+
+@dataclass
+class StabilityReport:
+    """Figure 11 contents for one protocol."""
+
+    protocol: str
+    origins: List[str]
+    n_eligible: int
+    #: AS indices with the same unique best origin in all trials.
+    consistent_best: Dict[int, str]
+    #: AS indices with the same unique worst origin in all trials.
+    consistent_worst: Dict[int, str]
+    #: AS indices where a trial's best origin is another trial's worst.
+    flip_ases: List[int]
+
+    def consistent_best_fraction(self) -> float:
+        return len(self.consistent_best) / self.n_eligible \
+            if self.n_eligible else 0.0
+
+    def consistent_worst_fraction(self) -> float:
+        return len(self.consistent_worst) / self.n_eligible \
+            if self.n_eligible else 0.0
+
+    def flip_fraction(self) -> float:
+        return len(self.flip_ases) / self.n_eligible \
+            if self.n_eligible else 0.0
+
+    def worst_origin_histogram(self) -> Dict[str, int]:
+        """How often each origin is the consistent worst."""
+        out = {origin: 0 for origin in self.origins}
+        for origin in self.consistent_worst.values():
+            out[origin] += 1
+        return out
+
+    def dominant_worst_origin(self) -> Optional[str]:
+        histogram = self.worst_origin_histogram()
+        if not any(histogram.values()):
+            return None
+        return max(histogram, key=histogram.get)
+
+
+def stability_report(rates: TransientRates,
+                     min_hosts: int = 20) -> StabilityReport:
+    """Evaluate best/worst stability on a transient-rate cube.
+
+    Only ASes with ≥ ``min_hosts`` mean present hosts are eligible — tiny
+    networks make "best origin" meaningless.  Ties for best/worst make a
+    trial's extreme non-unique and disqualify consistency for that AS.
+    """
+    n_as = rates.n_as()
+    present_mean = rates.present.mean(axis=0)
+    eligible = np.flatnonzero(present_mean >= min_hosts)
+
+    consistent_best: Dict[int, str] = {}
+    consistent_worst: Dict[int, str] = {}
+    flip_ases: List[int] = []
+
+    for a in eligible:
+        per_trial = rates.rates[:, :, a]    # (o, t)
+        best: List[Optional[int]] = []
+        worst: List[Optional[int]] = []
+        for t in range(rates.n_trials):
+            column = per_trial[:, t]
+            lo, hi = column.min(), column.max()
+            if hi == lo:
+                best.append(None)
+                worst.append(None)
+                continue
+            best_idx = np.flatnonzero(column == lo)
+            worst_idx = np.flatnonzero(column == hi)
+            best.append(int(best_idx[0]) if len(best_idx) == 1 else None)
+            worst.append(int(worst_idx[0]) if len(worst_idx) == 1 else None)
+        if all(b is not None for b in best) and len(set(best)) == 1:
+            consistent_best[int(a)] = rates.origins[best[0]]
+        if all(w is not None for w in worst) and len(set(worst)) == 1:
+            consistent_worst[int(a)] = rates.origins[worst[0]]
+        defined_best = {b for b in best if b is not None}
+        defined_worst = {w for w in worst if w is not None}
+        if defined_best & defined_worst:
+            flip_ases.append(int(a))
+
+    return StabilityReport(
+        protocol=rates.protocol, origins=list(rates.origins),
+        n_eligible=len(eligible), consistent_best=consistent_best,
+        consistent_worst=consistent_worst, flip_ases=flip_ases)

@@ -1,0 +1,125 @@
+"""Bootstrap confidence intervals for coverage statistics.
+
+The paper reports point estimates over a full-Internet sample, where
+binomial noise is negligible.  Users running this pipeline on smaller
+datasets (a sampled scan, a single /8, our 1/1000-scale world) need error
+bars: this module provides host-resampling bootstrap CIs for per-origin
+coverage and for coverage *differences* between origins — the quantity
+that decides "is origin A actually better than origin B here?".
+
+Resampling is driven by the deterministic counter RNG, so intervals are
+reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dataset import TrialData
+from repro.rng import CounterRNG
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A bootstrap percentile interval around a point estimate."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def width(self) -> float:
+        return self.high - self.low
+
+
+def _resample_indices(rng: CounterRNG, n: int, replicate: int
+                      ) -> np.ndarray:
+    """Indices for one bootstrap replicate (sample n with replacement)."""
+    draws = rng.bits_array(np.arange(n, dtype=np.uint64), replicate)
+    return (draws % np.uint64(n)).astype(np.int64)
+
+
+def coverage_interval(trial_data: TrialData, origin: str,
+                      replicates: int = 500,
+                      confidence: float = 0.95,
+                      seed: int = 0,
+                      single_probe: bool = False) -> Interval:
+    """Bootstrap CI for one origin's coverage of one trial's ground truth.
+
+    Hosts (the ground-truth universe) are resampled with replacement;
+    each replicate recomputes coverage over the resampled universe.
+    """
+    if replicates < 10:
+        raise ValueError("need at least 10 replicates")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    truth = trial_data.ground_truth(single_probe=single_probe)
+    seen = trial_data.accessible(origin, single_probe=single_probe)[truth]
+    n = int(truth.sum())
+    if n == 0:
+        return Interval(float("nan"), float("nan"), float("nan"),
+                        confidence)
+    point = float(seen.mean())
+
+    rng = CounterRNG(seed, "bootstrap-coverage", origin,
+                     trial_data.protocol, trial_data.trial)
+    stats = np.empty(replicates)
+    for r in range(replicates):
+        idx = _resample_indices(rng, n, r)
+        stats[r] = seen[idx].mean()
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.percentile(stats, [100 * alpha, 100 * (1 - alpha)])
+    return Interval(point=point, low=float(low), high=float(high),
+                    confidence=confidence)
+
+
+def coverage_difference_interval(trial_data: TrialData, origin_a: str,
+                                 origin_b: str, replicates: int = 500,
+                                 confidence: float = 0.95,
+                                 seed: int = 0) -> Interval:
+    """Bootstrap CI for coverage(A) − coverage(B) on paired hosts.
+
+    Pairing by host preserves the correlation between the origins'
+    outcomes, giving much tighter intervals than differencing two
+    independent CIs — the right tool for "did origin A really beat B?".
+    An interval excluding 0 is a significant difference.
+    """
+    truth = trial_data.ground_truth()
+    a = trial_data.accessible(origin_a)[truth].astype(np.float64)
+    b = trial_data.accessible(origin_b)[truth].astype(np.float64)
+    n = int(truth.sum())
+    if n == 0:
+        return Interval(float("nan"), float("nan"), float("nan"),
+                        confidence)
+    delta = a - b
+    point = float(delta.mean())
+
+    rng = CounterRNG(seed, "bootstrap-diff", origin_a, origin_b,
+                     trial_data.protocol, trial_data.trial)
+    stats = np.empty(replicates)
+    for r in range(replicates):
+        idx = _resample_indices(rng, n, r)
+        stats[r] = delta[idx].mean()
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.percentile(stats, [100 * alpha, 100 * (1 - alpha)])
+    return Interval(point=point, low=float(low), high=float(high),
+                    confidence=confidence)
+
+
+def coverage_intervals(trial_data: TrialData,
+                       origins: Optional[Sequence[str]] = None,
+                       replicates: int = 500, confidence: float = 0.95,
+                       seed: int = 0) -> Dict[str, Interval]:
+    """Per-origin coverage CIs for one trial."""
+    chosen = [o for o in (origins or trial_data.origins)
+              if trial_data.has_origin(o)]
+    return {origin: coverage_interval(trial_data, origin,
+                                      replicates=replicates,
+                                      confidence=confidence, seed=seed)
+            for origin in chosen}

@@ -1,0 +1,134 @@
+"""Per-AS aggregations (Figures 4, 5, and 7).
+
+These analyses attribute hosts to autonomous systems and measure how
+concentrated each origin's inaccessibility is: Figure 4 shows that three
+ASes hold 67 % of Censys' long-term-missing HTTP hosts; Figure 5 counts
+whole ASes that are ≥50 / ≥75 / 100 % inaccessible per origin (Brazil loses
+the most); Figure 7 attributes exclusively accessible hosts to the ASes
+providing them (Bekkoame, NTT, WebCentral, WA K-20...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.classification import breakdown_by_origin
+from repro.core.dataset import CampaignDataset
+from repro.core.exclusivity import ExclusivityReport
+from repro.core.ground_truth import build_presence
+
+
+def counts_by_as(as_index: np.ndarray, mask: np.ndarray,
+                 n_as: Optional[int] = None) -> np.ndarray:
+    """Host counts per AS index for the rows selected by ``mask``."""
+    as_index = np.asarray(as_index, dtype=np.int64)
+    if n_as is None:
+        n_as = int(as_index.max()) + 1 if len(as_index) else 0
+    picked = as_index[np.asarray(mask, dtype=bool)]
+    picked = picked[picked >= 0]
+    return np.bincount(picked, minlength=n_as)
+
+
+@dataclass
+class ASConcentration:
+    """Concentration of one origin's long-term missing hosts over ASes."""
+
+    origin: str
+    #: AS index → missing host count, descending.
+    ranked: List[Tuple[int, int]]
+    total_missing: int
+
+    def top_share(self, k: int) -> float:
+        """Fraction of missing hosts in the top-k ASes (Figure 4)."""
+        if self.total_missing == 0:
+            return 0.0
+        return sum(count for _, count in self.ranked[:k]) \
+            / self.total_missing
+
+    def cumulative_shares(self, k_max: int = 50) -> List[float]:
+        return [self.top_share(k) for k in range(1, k_max + 1)]
+
+
+def longterm_as_concentration(dataset: CampaignDataset, protocol: str,
+                              origins: Optional[Sequence[str]] = None
+                              ) -> Dict[str, ASConcentration]:
+    """Per-origin Figure 4 data: long-term missing hosts ranked by AS."""
+    classifications = breakdown_by_origin(dataset, protocol,
+                                          origins=origins)
+    out: Dict[str, ASConcentration] = {}
+    for origin, cls in classifications.items():
+        long_term = cls.long_term_mask()
+        counts = counts_by_as(cls.as_index, long_term)
+        order = np.argsort(counts)[::-1]
+        ranked = [(int(i), int(counts[i])) for i in order if counts[i] > 0]
+        out[origin] = ASConcentration(origin=origin, ranked=ranked,
+                                      total_missing=int(long_term.sum()))
+    return out
+
+
+@dataclass
+class LostASCounts:
+    """Figure 5: #ASes at least X% long-term inaccessible, per origin."""
+
+    origin: str
+    fully: int          # 100 % of ground-truth hosts long-term missing
+    at_least_75: int
+    at_least_50: int
+
+
+def lost_as_counts(dataset: CampaignDataset, protocol: str,
+                   origins: Optional[Sequence[str]] = None,
+                   min_hosts: int = 2) -> Dict[str, LostASCounts]:
+    """Count (nearly) fully lost ASes per origin (Figure 5).
+
+    Only ASes with at least ``min_hosts`` classifiable ground-truth hosts
+    (present in ≥2 trials) are considered, mirroring the paper's refusal to
+    call a one-host network "fully inaccessible".
+    """
+    presence = build_presence(dataset, protocol, origins=origins)
+    classifications = breakdown_by_origin(dataset, protocol,
+                                          origins=presence.origins)
+    classifiable = presence.present_trial_counts() >= 2
+    denominators = counts_by_as(presence.as_index, classifiable)
+    eligible = denominators >= min_hosts
+
+    out: Dict[str, LostASCounts] = {}
+    for origin, cls in classifications.items():
+        lost = counts_by_as(cls.as_index, cls.long_term_mask() & classifiable,
+                            n_as=len(denominators))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fraction = np.where(denominators > 0,
+                                lost / np.maximum(denominators, 1), 0.0)
+        out[origin] = LostASCounts(
+            origin=origin,
+            fully=int(np.sum(eligible & (fraction >= 1.0))),
+            at_least_75=int(np.sum(eligible & (fraction >= 0.75))),
+            at_least_50=int(np.sum(eligible & (fraction >= 0.5))))
+    return out
+
+
+def as_host_count_ranks(presence) -> np.ndarray:
+    """Rank of each AS by classifiable ground-truth host count (1 = biggest).
+
+    Table 3's footnote — every AS with a large transient range is within
+    the top-100 ASes by host count — needs this ranking.  ``presence`` is
+    a :class:`~repro.core.ground_truth.PresenceMatrix`.
+    """
+    classifiable = presence.present_trial_counts() >= 2
+    counts = counts_by_as(presence.as_index, classifiable)
+    order = np.argsort(counts)[::-1]
+    ranks = np.empty(len(counts), dtype=np.int64)
+    ranks[order] = np.arange(1, len(counts) + 1)
+    return ranks
+
+
+def exclusive_accessible_by_as(report: ExclusivityReport, origin: str,
+                               top: int = 10) -> List[Tuple[int, int]]:
+    """Figure 7: ASes providing an origin's exclusively accessible hosts."""
+    mask = report.exclusively_accessible_mask(origin)
+    counts = counts_by_as(report.as_index, mask)
+    order = np.argsort(counts)[::-1]
+    return [(int(i), int(counts[i])) for i in order[:top] if counts[i] > 0]

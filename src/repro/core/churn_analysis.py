@@ -1,0 +1,86 @@
+"""Temporal-churn diagnostics across trials (§2 Limitations).
+
+The paper's three trials span eight weeks, and each trial's ground truth
+is "a snapshot of the protocol ecosystem on the day the scan was
+conducted" (Table 4a).  These diagnostics quantify that churn — how much
+of the universe is stable, how much appears/disappears between trials —
+which bounds how much of the "unknown" classification bucket is
+ecosystem turnover rather than measurement noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dataset import CampaignDataset
+from repro.core.ground_truth import build_presence
+
+
+@dataclass
+class ChurnReport:
+    """Cross-trial ground-truth turnover for one protocol."""
+
+    protocol: str
+    trials: List[int]
+    #: Ground-truth size per trial.
+    sizes: List[int]
+    #: jaccard[(i, j)] — |GT_i ∩ GT_j| / |GT_i ∪ GT_j| by trial position.
+    jaccard: Dict[Tuple[int, int], float]
+    #: Hosts present in every trial / in exactly one trial.
+    stable_hosts: int
+    single_trial_hosts: int
+    universe: int
+
+    def stable_fraction(self) -> float:
+        return self.stable_hosts / self.universe if self.universe else 0.0
+
+    def single_trial_fraction(self) -> float:
+        return self.single_trial_hosts / self.universe \
+            if self.universe else 0.0
+
+    def min_jaccard(self) -> float:
+        return min(self.jaccard.values()) if self.jaccard else 1.0
+
+
+def churn_report(dataset: CampaignDataset, protocol: str,
+                 origins: Optional[Sequence[str]] = None) -> ChurnReport:
+    """Measure ground-truth turnover between trials."""
+    presence = build_presence(dataset, protocol, origins=origins)
+    present = presence.present             # (t, n)
+    t = present.shape[0]
+
+    jaccard: Dict[Tuple[int, int], float] = {}
+    for i in range(t):
+        for j in range(i + 1, t):
+            union = (present[i] | present[j]).sum()
+            inter = (present[i] & present[j]).sum()
+            jaccard[(i, j)] = float(inter / union) if union else 1.0
+
+    counts = present.sum(axis=0)
+    return ChurnReport(
+        protocol=protocol, trials=list(presence.trials),
+        sizes=[int(row.sum()) for row in present],
+        jaccard=jaccard,
+        stable_hosts=int((counts == t).sum()),
+        single_trial_hosts=int((counts == 1).sum()),
+        universe=presence.n_hosts())
+
+
+def unknown_budget(dataset: CampaignDataset, protocol: str,
+                   origins: Optional[Sequence[str]] = None) -> float:
+    """Upper bound on the unknown-classification rate from churn alone.
+
+    A (host, trial) can only land in the unknown bucket when the host is
+    present in exactly one trial; this returns the fraction of
+    (host, present-trial) pairs that are single-trial appearances — the
+    ceiling on unknown's share of *observations* regardless of how lossy
+    any origin is.
+    """
+    presence = build_presence(dataset, protocol, origins=origins)
+    counts = presence.present.sum(axis=0)
+    total_pairs = int(presence.present.sum())
+    if total_pairs == 0:
+        return float("nan")
+    single = int((counts == 1).sum())
+    return single / total_pairs

@@ -1,0 +1,127 @@
+"""Campaign-to-campaign comparison.
+
+The paper itself does this twice: the September-2020 follow-up compares
+against the 2019 main experiment (Censys' fresh IP range recovered >5 %
+HTTP coverage; Table 4b), and §7 compares multi-probe against
+multi-origin configurations.  This module provides the general tool:
+given two campaigns (different dates, different source ranges, different
+scanner configs), line up their per-origin coverage and per-AS visibility
+and report what changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.by_as import counts_by_as
+from repro.core.coverage import coverage_table
+from repro.core.dataset import CampaignDataset
+from repro.core.ground_truth import build_presence
+
+
+@dataclass
+class CoverageDelta:
+    """Per-origin mean-coverage change between two campaigns."""
+
+    protocol: str
+    #: origin → (before, after, delta); only origins present in both.
+    by_origin: Dict[str, Tuple[float, float, float]]
+
+    def biggest_gain(self) -> Optional[str]:
+        if not self.by_origin:
+            return None
+        return max(self.by_origin,
+                   key=lambda o: self.by_origin[o][2])
+
+    def biggest_loss(self) -> Optional[str]:
+        if not self.by_origin:
+            return None
+        return min(self.by_origin,
+                   key=lambda o: self.by_origin[o][2])
+
+
+def compare_coverage(before: CampaignDataset, after: CampaignDataset,
+                     protocol: str) -> CoverageDelta:
+    """Mean-coverage deltas for the origins both campaigns share."""
+    table_before = coverage_table(before, protocol)
+    table_after = coverage_table(after, protocol)
+    shared = [o for o in table_before.origins
+              if o in table_after.origins]
+    by_origin = {}
+    for origin in shared:
+        b = table_before.mean_coverage(origin)
+        a = table_after.mean_coverage(origin)
+        by_origin[origin] = (b, a, a - b)
+    return CoverageDelta(protocol=protocol, by_origin=by_origin)
+
+
+@dataclass
+class VisibilityDelta:
+    """Per-AS visibility change for one origin between two campaigns.
+
+    Visibility = fraction of the AS's classifiable ground-truth hosts the
+    origin was ever able to reach.  ASes are matched by *ASN*, which is
+    stable across datasets, unlike dense indices.
+    """
+
+    protocol: str
+    origin: str
+    #: asn → (before, after) visibility fractions.
+    by_asn: Dict[int, Tuple[float, float]]
+
+    def recovered(self, threshold: float = 0.5) -> List[int]:
+        """ASNs that went from mostly-blocked to mostly-visible."""
+        return [asn for asn, (b, a) in self.by_asn.items()
+                if b < 1.0 - threshold and a >= threshold]
+
+    def lost(self, threshold: float = 0.5) -> List[int]:
+        """ASNs that went from mostly-visible to mostly-blocked."""
+        return [asn for asn, (b, a) in self.by_asn.items()
+                if b >= threshold and a < 1.0 - threshold]
+
+
+def _per_asn_visibility(dataset: CampaignDataset, protocol: str,
+                        origin: str,
+                        asn_of_index: Dict[int, int],
+                        min_hosts: int = 2) -> Dict[int, float]:
+    presence = build_presence(dataset, protocol)
+    if origin not in presence.origins:
+        return {}
+    oi = presence.origin_row(origin)
+    classifiable = presence.present_trial_counts() >= 1
+    ever_seen = np.any(presence.accessible[oi], axis=0)
+    totals = counts_by_as(presence.as_index, classifiable)
+    seen = counts_by_as(presence.as_index, ever_seen & classifiable,
+                        n_as=len(totals))
+    out: Dict[int, float] = {}
+    for index in np.flatnonzero(totals >= min_hosts):
+        asn = asn_of_index.get(int(index))
+        if asn is None:
+            continue
+        out[asn] = float(seen[index] / totals[index])
+    return out
+
+
+def compare_visibility(before: CampaignDataset, after: CampaignDataset,
+                       protocol: str, origin: str,
+                       asn_of_index_before: Dict[int, int],
+                       asn_of_index_after: Dict[int, int],
+                       min_hosts: int = 2) -> VisibilityDelta:
+    """Per-AS visibility changes for one origin.
+
+    The ``asn_of_index`` maps translate each dataset's dense AS indices
+    to stable AS numbers (for simulated data:
+    ``{s.index: s.asn for s in world.topology.ases}``).
+    """
+    vis_before = _per_asn_visibility(before, protocol, origin,
+                                     asn_of_index_before, min_hosts)
+    vis_after = _per_asn_visibility(after, protocol, origin,
+                                    asn_of_index_after, min_hosts)
+    shared = set(vis_before) & set(vis_after)
+    return VisibilityDelta(
+        protocol=protocol, origin=origin,
+        by_asn={asn: (vis_before[asn], vis_after[asn])
+                for asn in sorted(shared)})

@@ -1,0 +1,177 @@
+"""Per-country analyses (§4.4, Tables 2 and 5, Figures 6 and 16).
+
+Geolocation uses the *observed* (GeoIP) country, exactly as the paper
+relies on MaxMind — including its anycast misattributions, which is how the
+Cloudflare misconfiguration shows up as "hosts exclusively accessible from
+Australia that geolocate elsewhere".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.by_as import counts_by_as
+from repro.core.classification import breakdown_by_origin
+from repro.core.dataset import CampaignDataset
+from repro.core.exclusivity import ExclusivityReport
+from repro.core.stats import spearman
+
+
+def counts_by_country(geo_index: np.ndarray, mask: np.ndarray,
+                      n_countries: Optional[int] = None) -> np.ndarray:
+    """Host counts per observed country for the rows in ``mask``."""
+    geo_index = np.asarray(geo_index, dtype=np.int64)
+    if n_countries is None:
+        n_countries = int(geo_index.max()) + 1 if len(geo_index) else 0
+    picked = geo_index[np.asarray(mask, dtype=bool)]
+    picked = picked[picked >= 0]
+    return np.bincount(picked, minlength=n_countries)
+
+
+@dataclass
+class CountryInaccessibility:
+    """Table 2 / Table 5 contents for one protocol."""
+
+    protocol: str
+    origins: List[str]
+    #: country index → total classifiable hosts.
+    totals: np.ndarray
+    #: fraction[o, c] — share of country c long-term missing from origin o.
+    fraction: np.ndarray
+    #: concentration[o, c] — number of ASes needed to cover the majority of
+    #: (o, c)'s missing hosts (the paper's red/orange/yellow colouring).
+    concentration: np.ndarray
+
+    def for_origin(self, origin: str) -> np.ndarray:
+        return self.fraction[self.origins.index(origin)]
+
+    def worst_cases(self, top: int = 10) -> List[Tuple[str, int, float]]:
+        """(origin, country index, fraction) of the largest losses."""
+        flat = []
+        for oi, origin in enumerate(self.origins):
+            for ci in np.argsort(self.fraction[oi])[::-1][:top]:
+                if self.fraction[oi, ci] > 0:
+                    flat.append((origin, int(ci),
+                                 float(self.fraction[oi, ci])))
+        flat.sort(key=lambda item: -item[2])
+        return flat[:top]
+
+
+def country_inaccessibility(dataset: CampaignDataset, protocol: str,
+                            origins: Optional[Sequence[str]] = None,
+                            ) -> CountryInaccessibility:
+    """Per-(origin, country) long-term inaccessibility (Tables 2 / 5)."""
+    classifications = breakdown_by_origin(dataset, protocol,
+                                          origins=origins)
+    chosen = list(classifications.keys())
+    first = classifications[chosen[0]]
+    classifiable = first.present.sum(axis=0) >= 2
+    n_countries = int(first.geo_index.max()) + 1 if len(first.geo_index) \
+        else 0
+    totals = counts_by_country(first.geo_index, classifiable, n_countries)
+
+    fraction = np.zeros((len(chosen), n_countries))
+    concentration = np.zeros((len(chosen), n_countries), dtype=np.int64)
+    for oi, origin in enumerate(chosen):
+        cls = classifications[origin]
+        missing = cls.long_term_mask() & classifiable
+        counts = counts_by_country(cls.geo_index, missing, n_countries)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fraction[oi] = np.where(totals > 0,
+                                    counts / np.maximum(totals, 1), 0.0)
+        # AS concentration of each country's missing hosts.
+        for ci in np.flatnonzero(counts):
+            in_country = missing & (cls.geo_index == ci)
+            by_as = counts_by_as(cls.as_index, in_country)
+            ranked = np.sort(by_as[by_as > 0])[::-1]
+            target = counts[ci] / 2.0
+            cum = 0
+            needed = 0
+            for value in ranked:
+                cum += value
+                needed += 1
+                if cum > target:
+                    break
+            concentration[oi, ci] = needed
+    return CountryInaccessibility(
+        protocol=protocol, origins=chosen, totals=totals,
+        fraction=fraction, concentration=concentration)
+
+
+def country_size_correlation(report: CountryInaccessibility
+                             ) -> Tuple[float, float]:
+    """Spearman ρ between country size and inaccessible-host count (§4.4).
+
+    The paper reports ρ = 0.92 (p < 0.001): big countries lose the most
+    hosts simply because they have the most hosts.
+    """
+    totals = report.totals.astype(np.float64)
+    missing = (report.fraction * totals[np.newaxis, :]).sum(axis=0)
+    keep = totals > 0
+    return spearman(totals[keep], missing[keep])
+
+
+@dataclass
+class ExclusiveByCountry:
+    """Figure 6 / 16: exclusively accessible hosts bucketed by country."""
+
+    protocol: str
+    origin_labels: List[str]
+    #: counts[label][country index] — exclusive hosts per observed country.
+    counts: Dict[str, np.ndarray]
+    #: Per origin label: fraction of the matching country's hosts that are
+    #: exclusively accessible from within it (the paper's dark-green bars).
+    within_country_fraction: Dict[str, float]
+
+
+def exclusive_accessible_by_country(
+        report: ExclusivityReport, totals: np.ndarray,
+        origin_country: Dict[str, int],
+        merge: Sequence[Sequence[str]] = (("US1", "CEN"),),
+        exclude: Sequence[str] = ("US64", "CARINET"),
+) -> ExclusiveByCountry:
+    """Figure 6's analysis on top of an exclusivity report.
+
+    ``origin_country`` maps origin name → its country index; ``merge``
+    groups origins sharing a country (the paper combines US1 and Censys and
+    drops US64 so "exclusively accessible from the US" is meaningful).
+    """
+    merged_away = {name for group in merge for name in group[1:]}
+    labels: List[str] = []
+    members: Dict[str, List[str]] = {}
+    for origin in report.origins:
+        if origin in exclude or origin in merged_away:
+            continue
+        group = next((g for g in merge if g[0] == origin), (origin,))
+        label = "+".join(group)
+        labels.append(label)
+        members[label] = [o for o in group if o in report.origins]
+
+    n_countries = len(totals)
+    counts: Dict[str, np.ndarray] = {}
+    within: Dict[str, float] = {}
+    ever = report.ever_accessible
+    rows = {o: i for i, o in enumerate(report.origins)}
+    considered = [o for o in report.origins if o not in exclude]
+    considered_rows = [rows[o] for o in considered]
+    ever_considered = ever[considered_rows]
+
+    for label in labels:
+        group_rows = [considered.index(o) for o in members[label]]
+        in_group = np.any(ever_considered[group_rows], axis=0)
+        outside = np.delete(ever_considered, group_rows, axis=0)
+        exclusive = in_group & ~np.any(outside, axis=0)
+        counts[label] = counts_by_country(report.geo_index, exclusive,
+                                          n_countries)
+        home = origin_country.get(members[label][0], -1)
+        if 0 <= home < n_countries and totals[home] > 0:
+            home_mask = exclusive & (report.geo_index == home)
+            within[label] = float(home_mask.sum() / totals[home])
+        else:
+            within[label] = 0.0
+    return ExclusiveByCountry(
+        protocol=report.protocol, origin_labels=labels, counts=counts,
+        within_country_fraction=within)

@@ -1,0 +1,128 @@
+"""Exclusive (in)accessibility analyses (Figure 3, Table 1, §4.4).
+
+Two symmetric questions about the cross-trial ground-truth universe:
+
+* **Exclusively inaccessible** — hosts long-term inaccessible from exactly
+  one origin (Figure 3 histograms how many origins each long-term host is
+  inaccessible from; Table 1's "Inacc." rows attribute the exactly-one
+  bucket to origins).
+* **Exclusively accessible** — hosts that only one origin ever completed a
+  handshake with, in any trial (Table 1's "Acc." rows, and the per-country
+  view of Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.classification import breakdown_by_origin
+from repro.core.dataset import CampaignDataset
+from repro.core.ground_truth import PresenceMatrix, build_presence
+
+
+@dataclass
+class ExclusivityReport:
+    """Everything Table 1 / Figure 3 need, for one protocol."""
+
+    protocol: str
+    origins: List[str]
+    ips: np.ndarray
+    as_index: np.ndarray
+    country_index: np.ndarray
+    geo_index: np.ndarray
+    #: long_term[o, i] — host i is long-term inaccessible from origin o.
+    long_term: np.ndarray
+    #: ever_accessible[o, i] — origin o saw host i in some trial.
+    ever_accessible: np.ndarray
+
+    # ------------------------------------------------------------------
+    # Figure 3
+    # ------------------------------------------------------------------
+
+    def longterm_overlap_histogram(
+            self, exclude: Sequence[str] = ()) -> Dict[int, int]:
+        """#long-term hosts by how many origins miss them long-term.
+
+        ``exclude`` removes origins from the count (the paper excludes
+        Censys from this figure since its blocking dwarfs the rest).
+        """
+        rows = [i for i, o in enumerate(self.origins) if o not in exclude]
+        counts = self.long_term[rows].sum(axis=0)
+        histogram: Dict[int, int] = {}
+        for k in range(1, len(rows) + 1):
+            histogram[k] = int((counts == k).sum())
+        return histogram
+
+    # ------------------------------------------------------------------
+    # Table 1
+    # ------------------------------------------------------------------
+
+    def exclusively_inaccessible_mask(self, origin: str) -> np.ndarray:
+        """Hosts long-term inaccessible from ``origin`` and nobody else."""
+        oi = self.origins.index(origin)
+        totals = self.long_term.sum(axis=0)
+        return self.long_term[oi] & (totals == 1)
+
+    def exclusively_accessible_mask(self, origin: str) -> np.ndarray:
+        """Hosts only ``origin`` ever completed a handshake with."""
+        oi = self.origins.index(origin)
+        totals = self.ever_accessible.sum(axis=0)
+        return self.ever_accessible[oi] & (totals == 1)
+
+    def table1(self) -> Dict[str, Dict[str, float]]:
+        """Origin → {"accessible": %, "inaccessible": %} of the exclusive
+        pools, exactly as Table 1 reports them."""
+        acc_masks = {o: self.exclusively_accessible_mask(o)
+                     for o in self.origins}
+        inacc_masks = {o: self.exclusively_inaccessible_mask(o)
+                       for o in self.origins}
+        acc_total = sum(int(m.sum()) for m in acc_masks.values())
+        inacc_total = sum(int(m.sum()) for m in inacc_masks.values())
+        out: Dict[str, Dict[str, float]] = {}
+        for origin in self.origins:
+            out[origin] = {
+                "accessible": (acc_masks[origin].sum() / acc_total
+                               if acc_total else 0.0),
+                "inaccessible": (inacc_masks[origin].sum() / inacc_total
+                                 if inacc_total else 0.0),
+            }
+        return out
+
+
+def exclusivity_report(dataset: CampaignDataset, protocol: str,
+                       origins: Optional[Sequence[str]] = None,
+                       presence: Optional[PresenceMatrix] = None
+                       ) -> ExclusivityReport:
+    """Build the exclusivity report for one protocol."""
+    if presence is None:
+        presence = build_presence(dataset, protocol, origins=origins)
+    classifications = breakdown_by_origin(dataset, protocol,
+                                          origins=presence.origins)
+    chosen = presence.origins
+    n = presence.n_hosts()
+    long_term = np.zeros((len(chosen), n), dtype=bool)
+    ever_accessible = np.zeros((len(chosen), n), dtype=bool)
+    for oi, origin in enumerate(chosen):
+        cls = classifications[origin]
+        long_term[oi] = cls.long_term_mask()
+        ever_accessible[oi] = np.any(presence.accessible[oi], axis=0)
+    return ExclusivityReport(
+        protocol=protocol, origins=list(chosen), ips=presence.ips,
+        as_index=presence.as_index, country_index=presence.country_index,
+        geo_index=presence.geo_index,
+        long_term=long_term, ever_accessible=ever_accessible)
+
+
+def single_origin_longterm_share(report: ExclusivityReport,
+                                 exclude: Sequence[str] = ("CEN",)
+                                 ) -> float:
+    """Fraction of long-term hosts inaccessible from only one origin.
+
+    The paper reports ≈47 % when Censys is excluded (§4, Figure 3).
+    """
+    histogram = report.longterm_overlap_histogram(exclude=exclude)
+    total = sum(histogram.values())
+    return histogram.get(1, 0) / total if total else 0.0

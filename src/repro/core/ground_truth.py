@@ -1,0 +1,126 @@
+"""Ground-truth estimation (§2, Limitations).
+
+There is no known ground truth for live Internet hosts; the paper defines
+it per trial as the set of hosts completing an application-layer handshake
+with *any* scan origin.  Cross-trial analyses work over the union of all
+trials' ground truths, with per-trial presence tracked separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dataset import CampaignDataset, TrialData, align_ips
+
+
+def ground_truth_ips(trial_data: TrialData,
+                     origins: Optional[Sequence[str]] = None,
+                     single_probe: bool = False) -> np.ndarray:
+    """Sorted IPs accessible from at least one origin in one trial."""
+    mask = trial_data.ground_truth(origins=origins,
+                                   single_probe=single_probe)
+    return trial_data.ip[mask]
+
+
+def union_ground_truth(dataset: CampaignDataset, protocol: str,
+                       origins: Optional[Sequence[str]] = None,
+                       single_probe: bool = False) -> np.ndarray:
+    """Sorted union of per-trial ground truths across all trials."""
+    parts = [ground_truth_ips(dataset.trial_data(protocol, trial),
+                              origins=origins, single_probe=single_probe)
+             for trial in dataset.trials_for(protocol)]
+    if not parts:
+        return np.array([], dtype=np.uint32)
+    return np.unique(np.concatenate(parts))
+
+
+@dataclass
+class PresenceMatrix:
+    """Per-trial ground-truth presence and per-origin accessibility.
+
+    Everything is aligned to ``ips`` (the cross-trial ground-truth
+    universe):
+
+    * ``present[t, i]`` — host *i* is in trial *t*'s ground truth;
+    * ``accessible[o, t, i]`` — origin *o* completed the handshake with
+      host *i* in trial *t*;
+    * ``participated[o, t]`` — origin *o* scanned in trial *t* at all.
+    """
+
+    protocol: str
+    origins: List[str]
+    trials: List[int]
+    ips: np.ndarray               # uint32 (n,)
+    present: np.ndarray           # bool (t, n)
+    accessible: np.ndarray        # bool (o, t, n)
+    participated: np.ndarray      # bool (o, t)
+    as_index: np.ndarray          # int64 (n,) attribution from any trial
+    country_index: np.ndarray     # int64 (n,) true location
+    geo_index: np.ndarray         # int64 (n,) observed GeoIP location
+
+    def n_hosts(self) -> int:
+        return len(self.ips)
+
+    def origin_row(self, origin: str) -> int:
+        return self.origins.index(origin)
+
+    def present_trial_counts(self) -> np.ndarray:
+        """Number of trials each host appears in ground truth."""
+        return self.present.sum(axis=0)
+
+
+def build_presence(dataset: CampaignDataset, protocol: str,
+                   origins: Optional[Sequence[str]] = None,
+                   single_probe: bool = False) -> PresenceMatrix:
+    """Assemble the aligned presence/accessibility cube for one protocol.
+
+    ``origins`` defaults to the origins present in every trial (the
+    paper's aggregate-statistics rule, which drops Carinet).  Ground truth
+    is always computed over *all* participating origins, even excluded
+    ones — an excluded origin still contributes evidence that a host is
+    alive.
+    """
+    trials = dataset.trials_for(protocol)
+    tables = [dataset.trial_data(protocol, t) for t in trials]
+    chosen = list(origins) if origins is not None \
+        else dataset.origins_for(protocol)
+
+    # Universe: union of per-trial ground truths (not all responders).
+    universe = union_ground_truth(dataset, protocol,
+                                  single_probe=single_probe)
+    n = len(universe)
+    present = np.zeros((len(trials), n), dtype=bool)
+    accessible = np.zeros((len(chosen), len(trials), n), dtype=bool)
+    participated = np.zeros((len(chosen), len(trials)), dtype=bool)
+    as_index = np.full(n, -1, dtype=np.int64)
+    country_index = np.full(n, -1, dtype=np.int64)
+    geo_index = np.full(n, -1, dtype=np.int64)
+
+    for ti, table in enumerate(tables):
+        pos = align_ips(universe, table.ip)
+        found = pos >= 0
+        pos_found = pos[found]
+        truth = table.ground_truth(single_probe=single_probe)
+        present[ti, found] = truth[pos_found]
+        # Attribution: take it from any trial that has the host.
+        need = found & (as_index < 0)
+        as_index[need] = table.as_index[pos[need]]
+        country_index[need] = table.country_index[pos[need]]
+        geo_index[need] = table.geo_index[pos[need]]
+        for oi, origin in enumerate(chosen):
+            if not table.has_origin(origin):
+                continue
+            participated[oi, ti] = True
+            acc = table.accessible(origin, single_probe=single_probe)
+            accessible[oi, ti, found] = acc[pos_found]
+
+    # Presence means "in ground truth", so accessibility implies presence.
+    accessible &= present[np.newaxis, :, :]
+    return PresenceMatrix(
+        protocol=protocol, origins=chosen, trials=list(trials),
+        ips=universe, present=present, accessible=accessible,
+        participated=participated, as_index=as_index,
+        country_index=country_index, geo_index=geo_index)

@@ -1,0 +1,159 @@
+"""Multi-origin and multi-probe coverage (§7, Figures 15, 17, 18).
+
+For every k-subset of origins, the union coverage of each trial's ground
+truth — the paper's headline remedy: two diverse origins lift median
+single-probe HTTP coverage from 95.5 % to 98.3 %, three to 99.1 % with
+σ = 0.08 %.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import CampaignDataset, TrialData
+
+
+@dataclass
+class ComboCoverage:
+    """Coverage of one origin subset in one trial."""
+
+    combo: Tuple[str, ...]
+    trial: int
+    coverage: float
+
+
+@dataclass
+class KOriginSummary:
+    """Distribution of coverage over all k-subsets and trials."""
+
+    k: int
+    median: float
+    q1: float
+    q3: float
+    minimum: float
+    maximum: float
+    std: float
+    samples: List[ComboCoverage]
+
+
+def combo_coverages(trial_data: TrialData, k: int,
+                    origins: Optional[Sequence[str]] = None,
+                    single_probe: bool = False) -> List[ComboCoverage]:
+    """Union coverage of every k-subset of origins for one trial."""
+    chosen = [o for o in (origins or trial_data.origins)
+              if trial_data.has_origin(o)]
+    if k < 1 or k > len(chosen):
+        raise ValueError(f"k must be in [1, {len(chosen)}]")
+    truth = trial_data.ground_truth(single_probe=single_probe)
+    total = int(truth.sum())
+    masks = {o: trial_data.accessible(o, single_probe=single_probe) & truth
+             for o in chosen}
+    out: List[ComboCoverage] = []
+    for combo in itertools.combinations(chosen, k):
+        union = np.zeros(len(truth), dtype=bool)
+        for origin in combo:
+            union |= masks[origin]
+        coverage = float(union.sum() / total) if total else 0.0
+        out.append(ComboCoverage(combo=combo, trial=trial_data.trial,
+                                 coverage=coverage))
+    return out
+
+
+def k_origin_summary(dataset: CampaignDataset, protocol: str, k: int,
+                     origins: Optional[Sequence[str]] = None,
+                     single_probe: bool = False) -> KOriginSummary:
+    """Coverage distribution over all k-subsets, pooled across trials."""
+    chosen = list(origins) if origins is not None \
+        else dataset.origins_for(protocol)
+    samples: List[ComboCoverage] = []
+    for trial in dataset.trials_for(protocol):
+        table = dataset.trial_data(protocol, trial)
+        samples.extend(combo_coverages(table, k, origins=chosen,
+                                       single_probe=single_probe))
+    values = np.array([s.coverage for s in samples])
+    return KOriginSummary(
+        k=k,
+        median=float(np.median(values)),
+        q1=float(np.percentile(values, 25)),
+        q3=float(np.percentile(values, 75)),
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        std=float(values.std()),
+        samples=samples)
+
+
+def multi_origin_table(dataset: CampaignDataset, protocol: str,
+                       origins: Optional[Sequence[str]] = None,
+                       single_probe: bool = False,
+                       max_k: Optional[int] = None
+                       ) -> Dict[int, KOriginSummary]:
+    """Figure 15/17's data: one summary per subset size."""
+    chosen = list(origins) if origins is not None \
+        else dataset.origins_for(protocol)
+    limit = max_k if max_k is not None else len(chosen)
+    return {k: k_origin_summary(dataset, protocol, k, origins=chosen,
+                                single_probe=single_probe)
+            for k in range(1, limit + 1)}
+
+
+def best_combination(dataset: CampaignDataset, protocol: str, k: int,
+                     origins: Optional[Sequence[str]] = None,
+                     single_probe: bool = False
+                     ) -> Tuple[Tuple[str, ...], float]:
+    """The k-subset with the highest mean coverage across trials."""
+    summary = k_origin_summary(dataset, protocol, k, origins=origins,
+                               single_probe=single_probe)
+    by_combo: Dict[Tuple[str, ...], List[float]] = {}
+    for sample in summary.samples:
+        by_combo.setdefault(sample.combo, []).append(sample.coverage)
+    means = {combo: float(np.mean(vals))
+             for combo, vals in by_combo.items()}
+    best = max(means, key=means.get)
+    return best, means[best]
+
+
+def combo_mean_coverage(dataset: CampaignDataset, protocol: str,
+                        combo: Sequence[str],
+                        single_probe: bool = False) -> float:
+    """Mean coverage across trials for one specific origin subset."""
+    values = []
+    for trial in dataset.trials_for(protocol):
+        table = dataset.trial_data(protocol, trial)
+        truth = table.ground_truth(single_probe=single_probe)
+        total = int(truth.sum())
+        union = np.zeros(len(truth), dtype=bool)
+        for origin in combo:
+            if table.has_origin(origin):
+                union |= table.accessible(origin,
+                                          single_probe=single_probe)
+        values.append(float((union & truth).sum() / total) if total else 0.0)
+    return float(np.mean(values)) if values else float("nan")
+
+
+def probe_origin_tradeoff(dataset: CampaignDataset, protocol: str,
+                          origins: Optional[Sequence[str]] = None
+                          ) -> Dict[str, float]:
+    """§7's bandwidth trade-off: probes vs origins.
+
+    Returns the median coverages of: 1 probe × 1 origin, 2 probes × 1
+    origin, 1 probe × 2 origins, 2 probes × 2 origins, 1 probe × 3
+    origins.  The paper finds one probe from two origins beats two probes
+    from one, and one probe from three origins beats two probes from two
+    while costing less bandwidth.
+    """
+    return {
+        "1probe_1origin": k_origin_summary(
+            dataset, protocol, 1, origins, single_probe=True).median,
+        "2probe_1origin": k_origin_summary(
+            dataset, protocol, 1, origins, single_probe=False).median,
+        "1probe_2origin": k_origin_summary(
+            dataset, protocol, 2, origins, single_probe=True).median,
+        "2probe_2origin": k_origin_summary(
+            dataset, protocol, 2, origins, single_probe=False).median,
+        "1probe_3origin": k_origin_summary(
+            dataset, protocol, 3, origins, single_probe=True).median,
+    }

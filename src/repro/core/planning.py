@@ -1,0 +1,115 @@
+"""Vantage-point planning: turn §7's advice into an operator API.
+
+Given a measured (or simulated) campaign, recommend which origins to keep
+when only k can be afforded — greedy marginal-coverage selection, which
+is what "each additional origin should maximize the number of new hosts
+that become visible" (§7) operationalizes.  Greedy is within (1 − 1/e) of
+optimal for coverage (a submodular objective) and exact answers for small
+k are available via :func:`repro.core.multi_origin.best_combination`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import CampaignDataset
+
+
+@dataclass
+class PlanStep:
+    """One greedy selection step."""
+
+    origin: str
+    coverage_after: float
+    marginal_gain: float
+
+
+@dataclass
+class Plan:
+    """A recommended origin ordering with cumulative coverage."""
+
+    protocol: str
+    steps: List[PlanStep]
+
+    def origins(self, k: Optional[int] = None) -> List[str]:
+        chosen = [step.origin for step in self.steps]
+        return chosen if k is None else chosen[:k]
+
+    def coverage_at(self, k: int) -> float:
+        if not 1 <= k <= len(self.steps):
+            raise ValueError(f"k must be in [1, {len(self.steps)}]")
+        return self.steps[k - 1].coverage_after
+
+
+def recommend_origins(dataset: CampaignDataset, protocol: str,
+                      origins: Optional[Sequence[str]] = None,
+                      single_probe: bool = False) -> Plan:
+    """Greedy max-marginal-coverage origin ordering, pooled over trials.
+
+    The first step picks the best single origin; each later step adds the
+    origin revealing the most hosts the current set misses (averaged
+    across trials).
+    """
+    trials = dataset.trials_for(protocol)
+    chosen_universe = list(origins) if origins is not None \
+        else dataset.origins_for(protocol)
+    if not chosen_universe:
+        raise ValueError("no origins available to plan over")
+
+    # Per trial: (origin → seen mask over GT hosts) and GT size.
+    per_trial: List[Tuple[Dict[str, np.ndarray], int]] = []
+    for trial in trials:
+        table = dataset.trial_data(protocol, trial)
+        truth = table.ground_truth(single_probe=single_probe)
+        masks = {o: (table.accessible(o, single_probe=single_probe)
+                     & truth)
+                 for o in chosen_universe if table.has_origin(o)}
+        per_trial.append((masks, int(truth.sum())))
+
+    selected: List[str] = []
+    covered = [np.zeros_like(next(iter(masks.values())))
+               for masks, _ in per_trial]
+    steps: List[PlanStep] = []
+    previous_coverage = 0.0
+
+    remaining = list(chosen_universe)
+    while remaining:
+        best_origin = None
+        best_coverage = -1.0
+        for candidate in remaining:
+            total = 0.0
+            for ti, (masks, gt_size) in enumerate(per_trial):
+                if candidate not in masks or gt_size == 0:
+                    continue
+                union = covered[ti] | masks[candidate]
+                total += union.sum() / gt_size
+            mean_coverage = total / len(per_trial)
+            if mean_coverage > best_coverage:
+                best_coverage = mean_coverage
+                best_origin = candidate
+        assert best_origin is not None
+        remaining.remove(best_origin)
+        selected.append(best_origin)
+        for ti, (masks, _) in enumerate(per_trial):
+            if best_origin in masks:
+                covered[ti] |= masks[best_origin]
+        steps.append(PlanStep(
+            origin=best_origin, coverage_after=best_coverage,
+            marginal_gain=best_coverage - previous_coverage))
+        previous_coverage = best_coverage
+
+    return Plan(protocol=protocol, steps=steps)
+
+
+def diminishing_returns_k(plan: Plan, threshold: float = 0.005) -> int:
+    """Smallest k after which adding an origin gains < ``threshold``.
+
+    §7's practical answer: for the paper's origins this lands at 2–3.
+    """
+    for i, step in enumerate(plan.steps[1:], start=1):
+        if step.marginal_gain < threshold:
+            return i
+    return len(plan.steps)

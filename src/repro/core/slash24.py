@@ -1,0 +1,95 @@
+"""Per-/24 response-rate agreement between origins (§8).
+
+Heidemann et al. (2008) compared two U.S. ICMP census origins and found
+their response rates within 5 % of each other for 96 % of /24 blocks; the
+paper repeats the comparison across its seven diverse origins and finds
+only 87 % agreement — geographic/topological diversity makes origins
+disagree more.
+
+This module computes that statistic: for each /24 with ground-truth
+hosts, each origin's response rate, and per-origin-pair the fraction of
+blocks whose rates agree within a tolerance.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import CampaignDataset, TrialData
+from repro.net.ipv4 import slash24_array
+
+
+@dataclass
+class Slash24Rates:
+    """Per-/24 response rates for every origin in one trial."""
+
+    protocol: str
+    trial: int
+    origins: List[str]
+    blocks: np.ndarray        # uint32 /24 network addresses (sorted)
+    totals: np.ndarray        # ground-truth hosts per block
+    #: rates[o, b] — fraction of the block's ground-truth hosts origin o
+    #: completed a handshake with.
+    rates: np.ndarray
+
+
+def slash24_rates(trial_data: TrialData,
+                  origins: Optional[Sequence[str]] = None,
+                  min_hosts: int = 2) -> Slash24Rates:
+    """Response rates per /24 block with ≥ ``min_hosts`` GT hosts."""
+    chosen = [o for o in (origins or trial_data.origins)
+              if trial_data.has_origin(o)]
+    truth = trial_data.ground_truth()
+    blocks_of = slash24_array(trial_data.ip)
+
+    gt_blocks = blocks_of[truth]
+    unique_blocks, inverse = np.unique(gt_blocks, return_inverse=True)
+    totals = np.bincount(inverse)
+    keep = totals >= min_hosts
+
+    rates = np.zeros((len(chosen), len(unique_blocks)))
+    for oi, origin in enumerate(chosen):
+        seen = trial_data.accessible(origin) & truth
+        seen_blocks = blocks_of[seen]
+        pos = np.searchsorted(unique_blocks, seen_blocks)
+        counts = np.bincount(pos, minlength=len(unique_blocks))
+        rates[oi] = counts / np.maximum(totals, 1)
+
+    return Slash24Rates(
+        protocol=trial_data.protocol, trial=trial_data.trial,
+        origins=chosen, blocks=unique_blocks[keep],
+        totals=totals[keep], rates=rates[:, keep])
+
+
+def pairwise_agreement(rates: Slash24Rates,
+                       tolerance: float = 0.05
+                       ) -> Dict[Tuple[str, str], float]:
+    """Per origin pair: fraction of /24s with rates within ``tolerance``.
+
+    The paper's Heidemann comparison: averaged over its origin pairs,
+    87 % of blocks agree within 5 % (vs 96 % for the 2008 same-country
+    pair).
+    """
+    out: Dict[Tuple[str, str], float] = {}
+    for a, b in itertools.combinations(range(len(rates.origins)), 2):
+        delta = np.abs(rates.rates[a] - rates.rates[b])
+        agree = float((delta <= tolerance).mean()) if len(delta) else 0.0
+        out[(rates.origins[a], rates.origins[b])] = agree
+    return out
+
+
+def mean_agreement(dataset: CampaignDataset, protocol: str,
+                   tolerance: float = 0.05,
+                   origins: Optional[Sequence[str]] = None,
+                   min_hosts: int = 2) -> float:
+    """Mean pairwise /24 agreement across all trials and origin pairs."""
+    values: List[float] = []
+    for trial in dataset.trials_for(protocol):
+        table = dataset.trial_data(protocol, trial)
+        rates = slash24_rates(table, origins=origins, min_hosts=min_hosts)
+        values.extend(pairwise_agreement(rates, tolerance).values())
+    return float(np.mean(values)) if values else float("nan")

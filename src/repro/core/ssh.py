@@ -1,0 +1,289 @@
+"""SSH-specific analyses (§6, Figures 12–14).
+
+SSH misses hosts for reasons HTTP(S) does not: Alibaba-style network-wide
+temporal RST blocking and OpenSSH ``MaxStartups`` probabilistic refusal.
+Both leave wire-visible signatures this module keys on:
+
+* temporal blocking — the TCP handshake completes and the server
+  immediately RSTs, network-wide, after some point in the scan;
+* probabilistic blocking — a host explicitly closes after TCP for at least
+  one origin while completing the SSH handshake for another in the same
+  trial (the paper's operational definition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.classification import (
+    MissCategory,
+    breakdown_by_origin,
+)
+from repro.core.dataset import CampaignDataset, TrialData, align_ips
+from repro.core.records import L7Status
+
+#: An AS is called "temporally blocking" for an (origin, trial) when at
+#: least this fraction of its L4-responsive SSH hosts RST after the TCP
+#: handshake — the network-wide signature, far above per-host noise.
+TEMPORAL_AS_RST_THRESHOLD = 0.25
+#: ... and it has at least this many observed hosts.
+TEMPORAL_AS_MIN_HOSTS = 30
+
+
+def rst_after_handshake(trial_data: TrialData, origin: str) -> np.ndarray:
+    """Hosts answering this origin with RST right after the handshake."""
+    row = trial_data.origin_row(origin)
+    return trial_data.l7[row] == int(L7Status.L4_CLOSE_RST)
+
+
+def explicit_close(trial_data: TrialData, origin: str) -> np.ndarray:
+    """Hosts explicitly closing (RST or FIN-ACK) after TCP completes."""
+    row = trial_data.origin_row(origin)
+    l7 = trial_data.l7[row]
+    return ((l7 == int(L7Status.L4_CLOSE_RST))
+            | (l7 == int(L7Status.L4_CLOSE_FIN)))
+
+
+def temporal_blocking_ases(trial_data: TrialData, origin: str,
+                           min_hosts: int = TEMPORAL_AS_MIN_HOSTS,
+                           threshold: float = TEMPORAL_AS_RST_THRESHOLD
+                           ) -> List[int]:
+    """ASes showing the network-wide *temporal* RST signature.
+
+    Two conditions distinguish an Alibaba-style block from per-host
+    MaxStartups refusals (which also produce RSTs, but uniformly over the
+    scan):
+
+    * at least ``threshold`` of the AS's L4-responsive hosts RST, and
+    * the RSTs have a temporal onset — hosts probed late in the scan RST
+      far more often than hosts probed early (Figure 12's step shape).
+    """
+    rst = rst_after_handshake(trial_data, origin)
+    responsive = trial_data.l4_responsive(origin)
+    row = trial_data.origin_row(origin)
+    times = trial_data.time[row]
+    n_as = int(trial_data.as_index.max()) + 1 \
+        if len(trial_data.as_index) else 0
+    rst_counts = np.bincount(trial_data.as_index[rst], minlength=n_as)
+    resp_counts = np.bincount(trial_data.as_index[responsive],
+                              minlength=n_as)
+    out = []
+    for a in np.flatnonzero(rst_counts):
+        if resp_counts[a] < min_hosts:
+            continue
+        if rst_counts[a] / resp_counts[a] < threshold:
+            continue
+        members = responsive & (trial_data.as_index == a)
+        member_times = times[members]
+        member_rst = rst[members]
+        cutoff = np.median(member_times)
+        early = member_rst[member_times <= cutoff]
+        late = member_rst[member_times > cutoff]
+        if len(early) == 0 or len(late) == 0:
+            continue
+        early_rate = float(early.mean())
+        late_rate = float(late.mean())
+        if late_rate >= 2.0 * max(early_rate, 0.05):
+            out.append(int(a))
+    return out
+
+
+def temporal_blocking_timeseries(trial_data: TrialData,
+                                 as_indices: Sequence[int],
+                                 bin_s: float = 3600.0
+                                 ) -> Dict[str, np.ndarray]:
+    """Figure 12: per-origin hourly RST fraction within the given ASes."""
+    member = np.isin(trial_data.as_index, np.asarray(list(as_indices)))
+    out: Dict[str, np.ndarray] = {}
+    for origin in trial_data.origins:
+        row = trial_data.origin_row(origin)
+        times = trial_data.time[row][member]
+        l7 = trial_data.l7[row][member]
+        responsive = l7 != int(L7Status.NO_L4)
+        rst = l7 == int(L7Status.L4_CLOSE_RST)
+        if not np.any(responsive):
+            out[origin] = np.array([])
+            continue
+        bins = (times / bin_s).astype(np.int64)
+        n_bins = int(bins.max()) + 1
+        rst_counts = np.bincount(bins[rst], minlength=n_bins)
+        resp_counts = np.bincount(bins[responsive], minlength=n_bins)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out[origin] = np.where(resp_counts > 0,
+                                   rst_counts / np.maximum(resp_counts, 1),
+                                   np.nan)
+    return out
+
+
+def probabilistic_blocking_ips(trial_data: TrialData,
+                               origins: Optional[Sequence[str]] = None
+                               ) -> np.ndarray:
+    """IPs showing the §6 probabilistic-blocking signature in one trial.
+
+    Operational definition: the host explicitly closed after the TCP
+    handshake for ≥1 origin *and* completed the SSH handshake for ≥1
+    other origin — ruling out both dead hosts and network-wide blocks.
+    Returns a boolean mask over ``trial_data.ip``.
+    """
+    chosen = [o for o in (origins or trial_data.origins)
+              if trial_data.has_origin(o)]
+    closed = np.zeros(len(trial_data.ip), dtype=bool)
+    succeeded = np.zeros(len(trial_data.ip), dtype=bool)
+    for origin in chosen:
+        closed |= explicit_close(trial_data, origin)
+        succeeded |= trial_data.accessible(origin)
+    return closed & succeeded
+
+
+@dataclass
+class SSHBreakdown:
+    """Figure 14: why each origin misses SSH hosts, per trial."""
+
+    origins: List[str]
+    trials: List[int]
+    #: counts[origin][trial] → {"temporal", "probabilistic", "transient",
+    #: "long_term", "unknown"} host counts.
+    counts: Dict[str, Dict[int, Dict[str, int]]]
+
+    def totals(self, origin: str) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for per_trial in self.counts[origin].values():
+            for key, value in per_trial.items():
+                out[key] = out.get(key, 0) + value
+        return out
+
+
+def ssh_breakdown(dataset: CampaignDataset,
+                  origins: Optional[Sequence[str]] = None,
+                  protocol: str = "ssh",
+                  temporal_min_hosts: int = TEMPORAL_AS_MIN_HOSTS
+                  ) -> SSHBreakdown:
+    """Attribute every missing SSH (host, trial) to its §6 mechanism.
+
+    Precedence: temporal (network-wide RST signature) > probabilistic
+    (explicit close + success elsewhere) > the §3 classification.
+    """
+    classifications = breakdown_by_origin(dataset, protocol,
+                                          origins=origins)
+    chosen = list(classifications.keys())
+    first = classifications[chosen[0]]
+    trials = first.trials
+
+    counts: Dict[str, Dict[int, Dict[str, int]]] = {o: {} for o in chosen}
+    for ti, trial in enumerate(trials):
+        table = dataset.trial_data(protocol, trial)
+        pos = align_ips(first.ips, table.ip)
+        in_table = pos >= 0
+        prob_mask_table = probabilistic_blocking_ips(table)
+        for origin in chosen:
+            cls = classifications[origin]
+            missing = cls.missing_mask(ti) & in_table
+            idx = np.flatnonzero(missing)
+            table_pos = pos[idx]
+
+            temporal_as = set(temporal_blocking_ases(
+                table, origin, min_hosts=temporal_min_hosts))
+            rst = rst_after_handshake(table, origin)
+            is_temporal = np.array(
+                [int(cls.as_index[i]) in temporal_as and rst[p]
+                 for i, p in zip(idx, table_pos)], dtype=bool) \
+                if len(idx) else np.zeros(0, dtype=bool)
+
+            closed_here = explicit_close(table, origin)
+            is_prob = np.array(
+                [prob_mask_table[p] and closed_here[p]
+                 for p in table_pos], dtype=bool) \
+                if len(idx) else np.zeros(0, dtype=bool)
+            is_prob &= ~is_temporal
+
+            rest = ~(is_temporal | is_prob)
+            row = cls.category[ti][idx]
+            bucket = {
+                "temporal": int(is_temporal.sum()),
+                "probabilistic": int(is_prob.sum()),
+                "transient": int(
+                    (rest & (row == int(MissCategory.TRANSIENT))).sum()),
+                "long_term": int(
+                    (rest & (row == int(MissCategory.LONG_TERM))).sum()),
+                "unknown": int(
+                    (rest & (row == int(MissCategory.UNKNOWN))).sum()),
+            }
+            counts[origin][trial] = bucket
+    return SSHBreakdown(origins=chosen, trials=list(trials), counts=counts)
+
+
+def close_style_shares(dataset: CampaignDataset, protocol: str,
+                       origins: Optional[Sequence[str]] = None,
+                       exclude_as: Sequence[int] = ()
+                       ) -> Dict[str, float]:
+    """Among transient misses, shares by observed wire behaviour (§6).
+
+    Returns fractions of transiently missed (host, trial, origin)
+    observations that were silent drops after TCP, explicit closes, or
+    fully unresponsive at L4.  The paper: 57 % of transiently missed SSH
+    hosts close explicitly (excluding Alibaba) vs. 70 % of HTTP(S) misses
+    dropping silently.
+    """
+    classifications = breakdown_by_origin(dataset, protocol,
+                                          origins=origins)
+    chosen = list(classifications.keys())
+    first = classifications[chosen[0]]
+    excluded = set(int(a) for a in exclude_as)
+
+    drop = close = no_l4 = 0
+    for ti, trial in enumerate(first.trials):
+        table = dataset.trial_data(protocol, trial)
+        pos = align_ips(first.ips, table.ip)
+        for origin in chosen:
+            cls = classifications[origin]
+            mask = cls.mask(ti, MissCategory.TRANSIENT) & (pos >= 0)
+            if excluded:
+                keep = np.array([int(a) not in excluded
+                                 for a in cls.as_index])
+                mask &= keep
+            idx = pos[np.flatnonzero(mask)]
+            row = table.origin_row(origin)
+            l7 = table.l7[row][idx]
+            drop += int((l7 == int(L7Status.L4_DROP)).sum())
+            close += int(((l7 == int(L7Status.L4_CLOSE_FIN))
+                          | (l7 == int(L7Status.L4_CLOSE_RST))).sum())
+            no_l4 += int((l7 == int(L7Status.NO_L4)).sum())
+    total = drop + close + no_l4
+    if total == 0:
+        return {"drop": float("nan"), "close": float("nan"),
+                "no_l4": float("nan")}
+    return {"drop": drop / total, "close": close / total,
+            "no_l4": no_l4 / total}
+
+
+def probabilistic_longterm_fraction(dataset: CampaignDataset,
+                                    origins: Optional[Sequence[str]] = None,
+                                    protocol: str = "ssh") -> float:
+    """Fraction of probabilistic-blocking IPs that *look* long-term (§6).
+
+    The paper estimates ~30 %: their refusal probability is high enough to
+    miss an origin in every trial, masquerading as long-term blocking.
+    """
+    classifications = breakdown_by_origin(dataset, protocol,
+                                          origins=origins)
+    chosen = list(classifications.keys())
+    first = classifications[chosen[0]]
+
+    prob_universe = np.zeros(len(first.ips), dtype=bool)
+    for trial in first.trials:
+        table = dataset.trial_data(protocol, trial)
+        mask = probabilistic_blocking_ips(table)
+        pos = align_ips(first.ips, table.ip)
+        found = pos >= 0
+        prob_universe[found] |= mask[pos[found]]
+
+    if not np.any(prob_universe):
+        return float("nan")
+    long_term_any = np.zeros(len(first.ips), dtype=bool)
+    for origin in chosen:
+        long_term_any |= classifications[origin].long_term_mask()
+    return float((prob_universe & long_term_any).sum()
+                 / prob_universe.sum())

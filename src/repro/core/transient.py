@@ -1,0 +1,166 @@
+"""Transient-inaccessibility analyses (§5, Figures 8–9, Table 3).
+
+All rates here are per (origin, destination AS): the fraction of an AS's
+present ground-truth hosts an origin transiently missed, averaged or
+compared across trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.classification import MissCategory, breakdown_by_origin
+from repro.core.dataset import CampaignDataset
+
+
+@dataclass
+class TransientRates:
+    """Per-(origin, AS, trial) transient loss rates for one protocol."""
+
+    protocol: str
+    origins: List[str]
+    n_trials: int
+    #: rates[o, t, a] — transient misses / present hosts for AS a.
+    rates: np.ndarray
+    #: present[t, a] — classifiable present hosts of AS a in trial t.
+    present: np.ndarray
+    #: missing[o, t, a] — transient miss counts.
+    missing: np.ndarray
+
+    def n_as(self) -> int:
+        return self.rates.shape[2]
+
+    def mean_rates(self) -> np.ndarray:
+        """(o, a) trial-averaged transient rates."""
+        return self.rates.mean(axis=1)
+
+    def as_spread(self, min_hosts: int = 2) -> np.ndarray:
+        """Per-AS spread (max − min over origins) of mean transient rates.
+
+        ASes with fewer than ``min_hosts`` mean present hosts get NaN.
+        """
+        mean = self.mean_rates()
+        spread = mean.max(axis=0) - mean.min(axis=0)
+        small = self.present.mean(axis=0) < min_hosts
+        spread = spread.astype(np.float64)
+        spread[small] = np.nan
+        return spread
+
+
+def transient_rates(dataset: CampaignDataset, protocol: str,
+                    origins: Optional[Sequence[str]] = None
+                    ) -> TransientRates:
+    """Compute the (origin × trial × AS) transient-rate cube."""
+    classifications = breakdown_by_origin(dataset, protocol,
+                                          origins=origins)
+    chosen = list(classifications.keys())
+    first = classifications[chosen[0]]
+    n_trials = len(first.trials)
+    n_as = int(first.as_index.max()) + 1 if len(first.as_index) else 0
+
+    present = np.zeros((n_trials, n_as))
+    for ti in range(n_trials):
+        idx = first.as_index[first.present[ti] & (first.as_index >= 0)]
+        present[ti] = np.bincount(idx, minlength=n_as)
+
+    rates = np.zeros((len(chosen), n_trials, n_as))
+    missing = np.zeros((len(chosen), n_trials, n_as))
+    for oi, origin in enumerate(chosen):
+        cls = classifications[origin]
+        for ti in range(n_trials):
+            mask = cls.mask(ti, MissCategory.TRANSIENT) \
+                & (cls.as_index >= 0)
+            idx = cls.as_index[mask]
+            missing[oi, ti] = np.bincount(idx, minlength=n_as)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                rates[oi, ti] = np.where(
+                    present[ti] > 0,
+                    missing[oi, ti] / np.maximum(present[ti], 1), 0.0)
+    return TransientRates(protocol=protocol, origins=chosen,
+                          n_trials=n_trials, rates=rates,
+                          present=present, missing=missing)
+
+
+def transient_overlap_histogram(dataset: CampaignDataset, protocol: str,
+                                origins: Optional[Sequence[str]] = None
+                                ) -> Dict[int, int]:
+    """Figure 8: how many origins each transient (host, trial) miss hits.
+
+    For each host and trial, count the origins that transiently missed it;
+    histogram over hosts-with-at-least-one-transient-miss, aggregated
+    across trials.
+    """
+    classifications = breakdown_by_origin(dataset, protocol,
+                                          origins=origins)
+    chosen = list(classifications.keys())
+    first = classifications[chosen[0]]
+    n_trials = len(first.trials)
+    histogram: Dict[int, int] = {k: 0 for k in range(1, len(chosen) + 1)}
+    for ti in range(n_trials):
+        stack = np.stack([classifications[o].mask(ti, MissCategory.TRANSIENT)
+                          for o in chosen])
+        counts = stack.sum(axis=0)
+        for k in range(1, len(chosen) + 1):
+            histogram[k] += int((counts == k).sum())
+    return histogram
+
+
+def loss_spread_cdf(rates: TransientRates, min_hosts: int = 2
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Figure 9: CDF of the per-AS origin spread in transient loss.
+
+    Returns (sorted spreads, plain CDF, host-weighted CDF).
+    """
+    spread = rates.as_spread(min_hosts=min_hosts)
+    weights = rates.present.mean(axis=0)
+    keep = ~np.isnan(spread)
+    spread = spread[keep]
+    weights = weights[keep]
+    order = np.argsort(spread)
+    spread = spread[order]
+    weights = weights[order]
+    n = len(spread)
+    cdf = np.arange(1, n + 1) / n if n else np.array([])
+    weighted = np.cumsum(weights) / weights.sum() if n else np.array([])
+    return spread, cdf, weighted
+
+
+@dataclass
+class TransientRangeRow:
+    """One row of Table 3."""
+
+    as_index: int
+    delta: float      # max − min mean transient rate across origins (%)
+    diff_hosts: int   # host-count gap between worst and best origin
+    ratio: float      # max/min rate ratio
+
+
+def largest_range_ases(rates: TransientRates, top: int = 6,
+                       min_hosts: int = 20) -> List[TransientRangeRow]:
+    """Table 3: ASes whose transient loss differs most across origins.
+
+    Ranked by the absolute host-count difference, as the paper's Diff
+    column is (all its rows are top-100 ASes by host count).
+    """
+    mean = rates.mean_rates()                      # (o, a)
+    mean_missing = rates.missing.mean(axis=1)      # (o, a)
+    present_mean = rates.present.mean(axis=0)      # (a,)
+
+    rows: List[TransientRangeRow] = []
+    for a in range(rates.n_as()):
+        if present_mean[a] < min_hosts:
+            continue
+        column = mean[:, a]
+        high, low = column.max(), column.min()
+        if high <= 0:
+            continue
+        diff = mean_missing[:, a].max() - mean_missing[:, a].min()
+        ratio = high / low if low > 0 else float("inf")
+        rows.append(TransientRangeRow(
+            as_index=a, delta=float((high - low) * 100.0),
+            diff_hosts=int(round(diff)), ratio=float(ratio)))
+    rows.sort(key=lambda r: -r.diff_hosts)
+    return rows[:top]

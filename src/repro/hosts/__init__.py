@@ -1,0 +1,13 @@
+"""Edge-host population: columnar host table, placement, temporal churn."""
+
+from repro.hosts.table import HostTable, ProtocolView
+from repro.hosts.churn import ChurnSpec, ChurnModel
+from repro.hosts.population import populate
+
+__all__ = [
+    "HostTable",
+    "ProtocolView",
+    "ChurnSpec",
+    "ChurnModel",
+    "populate",
+]

@@ -1,0 +1,74 @@
+"""Temporal churn across trials.
+
+The paper's three trials are spread over eight weeks; each trial's ground
+truth differs because hosts appear and disappear (dynamic addressing,
+deployments, outages unrelated to scanning).  The methodology accounts for
+this with its "unknown" category: a host present in only one trial cannot
+be classified as transiently or long-term inaccessible.
+
+We model churn with a stable core plus a churning minority whose presence
+is an independent per-trial draw.  Presence is a property of the *service*
+(host × protocol), keyed only by (ip, protocol, trial) so every origin
+agrees on who exists — origins differ in what they can *reach*, never in
+what exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import CounterRNG
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """World-level churn parameters."""
+
+    #: Fraction of services present in every trial.
+    stable_fraction: float = 0.92
+    #: Per-trial presence probability for churning services.
+    churner_presence_prob: float = 0.62
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.stable_fraction <= 1.0:
+            raise ValueError("stable_fraction must be in [0, 1]")
+        if not 0.0 < self.churner_presence_prob <= 1.0:
+            raise ValueError("churner_presence_prob must be in (0, 1]")
+
+
+class ChurnModel:
+    """Evaluates per-trial presence of services."""
+
+    def __init__(self, rng: CounterRNG, spec: ChurnSpec) -> None:
+        self.spec = spec
+        self._rng = rng.derive("churn")
+
+    def present_mask(self, ips: np.ndarray, protocol: str,
+                     trial: int) -> np.ndarray:
+        """Boolean presence of each service in ``trial``."""
+        ips = np.asarray(ips, dtype=np.uint64)
+        stable = self._rng.uniform_array(
+            ips, "class", protocol) < self.spec.stable_fraction
+        churner_present = self._rng.uniform_array(
+            ips, "present", protocol, trial) \
+            < self.spec.churner_presence_prob
+        return stable | churner_present
+
+    def churner_mask(self, ips: np.ndarray, protocol: str) -> np.ndarray:
+        """Services in the churning (unstable) minority.
+
+        Uses the same draw as :meth:`present_mask`'s stability class, so a
+        service is a churner iff it is not in the stable core.
+        """
+        ips = np.asarray(ips, dtype=np.uint64)
+        stable = self._rng.uniform_array(
+            ips, "class", protocol) < self.spec.stable_fraction
+        return ~stable
+
+    def present_one(self, ip: int, protocol: str, trial: int) -> bool:
+        """Scalar counterpart of :meth:`present_mask`."""
+        mask = self.present_mask(np.array([ip], dtype=np.uint64),
+                                 protocol, trial)
+        return bool(mask[0])

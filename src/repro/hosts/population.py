@@ -1,0 +1,103 @@
+"""Host placement: turning a topology into a concrete service population.
+
+For each AS we build a pool of distinct host IPs spread over its populated
+/24s, then assign each protocol's listeners to a protocol-specific
+deterministic shuffle of the pool.  Pools are slightly smaller than the sum
+of per-protocol counts, so a realistic fraction of IPs serve more than one
+protocol (a web server that also runs SSH).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from repro.hosts.table import PROTOCOL_CODES, HostTable
+from repro.rng import CounterRNG
+from repro.topology.asn import PROTOCOLS
+from repro.topology.generator import Topology
+
+#: Usable host offsets inside a /24 (.0 and .255 excluded).
+_HOSTS_PER_SLASH24 = 254
+
+#: Pool shrink factor: pool = max-protocol count or total/OVERLAP, whichever
+#: is larger, producing natural multi-protocol IPs.
+_OVERLAP = 1.3
+
+
+def populate(topology: Topology, rng: CounterRNG) -> HostTable:
+    """Place every spec'd service onto concrete addresses."""
+    ips: List[np.ndarray] = []
+    protocols: List[np.ndarray] = []
+    as_indices: List[np.ndarray] = []
+    country_indices: List[np.ndarray] = []
+
+    for system in topology.ases:
+        spec = system.spec
+        counts = {p: spec.hosts_for(p) for p in PROTOCOLS}
+        total = sum(counts.values())
+        if total == 0:
+            continue
+        pool = _build_pool(topology, system.index, counts, rng)
+        country_idx = topology.country_index(spec.country)
+        sub = rng.derive("assign", system.index)
+        for protocol, count in counts.items():
+            if count == 0:
+                continue
+            chosen = _choose(pool, count, sub, protocol)
+            ips.append(chosen)
+            protocols.append(np.full(count, PROTOCOL_CODES[protocol],
+                                     dtype=np.uint8))
+            as_indices.append(np.full(count, system.index, dtype=np.int64))
+            country_indices.append(np.full(count, country_idx,
+                                           dtype=np.int64))
+
+    if not ips:
+        raise ValueError("the topology contains no hosts")
+    return HostTable(ip=np.concatenate(ips),
+                     protocol=np.concatenate(protocols),
+                     as_index=np.concatenate(as_indices),
+                     country_index=np.concatenate(country_indices))
+
+
+def _build_pool(topology: Topology, as_index: int, counts: Dict[str, int],
+                rng: CounterRNG) -> np.ndarray:
+    """The distinct candidate IPs of one AS, in deterministic mixed order."""
+    total = sum(counts.values())
+    largest = max(counts.values())
+    pool_size = max(largest, math.ceil(total / _OVERLAP))
+
+    bases = topology.populated_slash24s[as_index].astype(np.uint64)
+    capacity = len(bases) * _HOSTS_PER_SLASH24
+    if pool_size > capacity:
+        raise ValueError(
+            f"AS index {as_index} needs {pool_size} addresses but its "
+            f"{len(bases)} populated /24s hold only {capacity}")
+
+    # Spread pool members round-robin over /24s, with a per-/24 offset
+    # permutation so addresses are not bunched at .1.
+    idx = np.arange(pool_size, dtype=np.uint64)
+    block = idx % len(bases)
+    slot = idx // len(bases)
+    offset_rng = rng.derive("offsets", as_index)
+    # A per-(AS, block) starting rotation over the 254 usable offsets.
+    rotations = offset_rng.bits_array(block) % _HOSTS_PER_SLASH24
+    offsets = (slot + rotations) % _HOSTS_PER_SLASH24 + 1
+    return (bases[block.astype(np.int64)] + offsets).astype(np.uint32)
+
+
+def _choose(pool: np.ndarray, count: int, rng: CounterRNG,
+            protocol: str) -> np.ndarray:
+    """``count`` distinct pool members for one protocol.
+
+    Each protocol gets its own deterministic rotation of the pool rather
+    than a full shuffle: rotations are cheap, deterministic, and give
+    different-but-overlapping IP sets across protocols.
+    """
+    if count > len(pool):
+        raise ValueError("protocol demands more hosts than the pool holds")
+    start = rng.bits("rotate", protocol) % len(pool)
+    indices = (start + np.arange(count, dtype=np.int64)) % len(pool)
+    return pool[indices]

@@ -1,0 +1,119 @@
+"""Columnar storage for the simulated host population.
+
+One row per *service* (an IP listening on one protocol); an IP serving
+HTTP and SSH occupies two rows sharing the same address.  Columns are numpy
+arrays so a whole protocol's population can be evaluated in one vectorized
+pass, which is what makes full campaigns run in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.net.ipv4 import format_ipv4, slash24_array
+from repro.topology.asn import PROTOCOLS
+
+#: Dense protocol codes used in the ``protocol`` column.
+PROTOCOL_CODES: Dict[str, int] = {name: i for i, name in enumerate(PROTOCOLS)}
+
+
+@dataclass(frozen=True)
+class ProtocolView:
+    """All services of one protocol, as aligned columns.
+
+    ``row_index`` maps back into the parent :class:`HostTable`.
+    """
+
+    protocol: str
+    row_index: np.ndarray   # int64 indices into the parent table
+    ip: np.ndarray          # uint32
+    as_index: np.ndarray    # int64, dense AS indices
+    country_index: np.ndarray  # int64, true country indices
+
+    def __len__(self) -> int:
+        return len(self.ip)
+
+    @property
+    def slash24(self) -> np.ndarray:
+        """The containing /24 network address of each service."""
+        return slash24_array(self.ip)
+
+
+class HostTable:
+    """The full service population of a synthetic world."""
+
+    def __init__(self, ip: np.ndarray, protocol: np.ndarray,
+                 as_index: np.ndarray, country_index: np.ndarray) -> None:
+        n = len(ip)
+        if not (len(protocol) == len(as_index) == len(country_index) == n):
+            raise ValueError("all columns must have equal length")
+        order = np.lexsort((protocol, ip))
+        self.ip = np.asarray(ip, dtype=np.uint32)[order]
+        self.protocol = np.asarray(protocol, dtype=np.uint8)[order]
+        self.as_index = np.asarray(as_index, dtype=np.int64)[order]
+        self.country_index = \
+            np.asarray(country_index, dtype=np.int64)[order]
+        self._views: Dict[str, ProtocolView] = {}
+        self._check_unique()
+
+    def _check_unique(self) -> None:
+        """Reject duplicate (ip, protocol) rows — one service per port."""
+        if len(self.ip) < 2:
+            return
+        same_ip = self.ip[1:] == self.ip[:-1]
+        same_proto = self.protocol[1:] == self.protocol[:-1]
+        if np.any(same_ip & same_proto):
+            raise ValueError("duplicate (ip, protocol) service rows")
+
+    def __len__(self) -> int:
+        return len(self.ip)
+
+    def for_protocol(self, protocol: str) -> ProtocolView:
+        """The aligned columns of one protocol's services."""
+        view = self._views.get(protocol)
+        if view is None:
+            code = PROTOCOL_CODES[protocol]
+            rows = np.flatnonzero(self.protocol == code)
+            view = ProtocolView(
+                protocol=protocol,
+                row_index=rows,
+                ip=self.ip[rows],
+                as_index=self.as_index[rows],
+                country_index=self.country_index[rows])
+            self._views[protocol] = view
+        return view
+
+    def protocols_present(self) -> List[str]:
+        codes = np.unique(self.protocol)
+        return [PROTOCOLS[int(c)] for c in codes]
+
+    def counts_by_protocol(self) -> Dict[str, int]:
+        return {p: int(len(self.for_protocol(p)))
+                for p in self.protocols_present()}
+
+    def describe(self, limit: int = 10) -> str:
+        """A small human-readable sample, for debugging and examples."""
+        lines = [f"HostTable: {len(self)} services, "
+                 f"{len(np.unique(self.ip))} distinct IPs"]
+        for i in range(min(limit, len(self))):
+            lines.append(
+                f"  {format_ipv4(int(self.ip[i]))} "
+                f"{PROTOCOLS[int(self.protocol[i])]} "
+                f"as={int(self.as_index[i])} "
+                f"country={int(self.country_index[i])}")
+        return "\n".join(lines)
+
+    @classmethod
+    def concatenate(cls, tables: Sequence["HostTable"]) -> "HostTable":
+        """Merge several tables (used by generators building per-AS)."""
+        if not tables:
+            raise ValueError("nothing to concatenate")
+        return cls(
+            ip=np.concatenate([t.ip for t in tables]),
+            protocol=np.concatenate([t.protocol for t in tables]),
+            as_index=np.concatenate([t.as_index for t in tables]),
+            country_index=np.concatenate(
+                [t.country_index for t in tables]))

@@ -1,0 +1,35 @@
+"""CSV summary export.
+
+Analyses are numpy-native; this module writes the small, human-shareable
+summaries (per-origin coverage per trial) as plain CSV without pulling in
+pandas.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Optional, Sequence
+
+from repro.core.coverage import coverage_table
+from repro.core.dataset import CampaignDataset
+
+
+def write_coverage_csv(dataset: CampaignDataset, path: str,
+                       protocols: Optional[Sequence[str]] = None) -> None:
+    """Write per-(protocol, trial, origin) coverage rows to ``path``."""
+    chosen = list(protocols) if protocols is not None \
+        else dataset.protocols
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["protocol", "trial", "origin", "coverage",
+                         "ground_truth_hosts"])
+        for protocol in chosen:
+            table = coverage_table(dataset, protocol)
+            for trial in table.trials:
+                for origin in table.origins:
+                    value = table.coverage[trial].get(origin)
+                    if value is None:
+                        continue
+                    writer.writerow([
+                        protocol, trial, origin, f"{value:.6f}",
+                        table.union_size[trial]])

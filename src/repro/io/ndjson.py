@@ -1,0 +1,152 @@
+"""ndjson round-trip for campaign datasets.
+
+The on-disk format mirrors what a real ZMap + ZGrab pipeline emits: one
+JSON object per (origin, ip) observation, one file per (protocol, trial),
+plus a campaign manifest.  This is the interoperability seam: real scan
+data converted into these records can be pushed through every analysis in
+:mod:`repro.core`.
+
+Record schema (one line each)::
+
+    {"ip": "203.0.113.7", "origin": "AU", "probe_mask": 3,
+     "l7": "success", "time": 512.25,
+     "asn": 64512, "country": "JP", "geo": "JP"}
+
+Only responsive-or-classified hosts need records; hosts absent from a
+file simply never responded to anyone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.core.dataset import CampaignDataset, TrialData
+from repro.core.records import L7Status
+from repro.net.ipv4 import format_ipv4, parse_ipv4
+
+#: Wire names for L7 status codes.
+_L7_NAMES = {
+    L7Status.NO_L4: "no-l4",
+    L7Status.L4_DROP: "drop",
+    L7Status.L4_CLOSE_FIN: "close-fin",
+    L7Status.L4_CLOSE_RST: "close-rst",
+    L7Status.SUCCESS: "success",
+}
+_L7_CODES = {name: int(code) for code, name in _L7_NAMES.items()}
+
+_MANIFEST = "campaign.json"
+
+
+def _trial_filename(protocol: str, trial: int) -> str:
+    return f"{protocol}_trial{trial}.ndjson"
+
+
+def save_campaign(dataset: CampaignDataset, directory: str) -> None:
+    """Write a dataset as a directory of ndjson files plus a manifest."""
+    os.makedirs(directory, exist_ok=True)
+    manifest: Dict[str, object] = {
+        "metadata": dataset.metadata,
+        "trials": [],
+    }
+    for table in dataset:
+        filename = _trial_filename(table.protocol, table.trial)
+        manifest["trials"].append({
+            "protocol": table.protocol,
+            "trial": table.trial,
+            "origins": table.origins,
+            "n_probes": table.n_probes,
+            "file": filename,
+        })
+        with open(os.path.join(directory, filename), "w") as handle:
+            for oi, origin in enumerate(table.origins):
+                for i in range(len(table.ip)):
+                    record = {
+                        "ip": format_ipv4(int(table.ip[i])),
+                        "origin": origin,
+                        "probe_mask": int(table.probe_mask[oi, i]),
+                        "l7": _L7_NAMES[L7Status(int(table.l7[oi, i]))],
+                        "time": round(float(table.time[oi, i]), 3),
+                        "asn": int(table.as_index[i]),
+                        "country": int(table.country_index[i]),
+                        "geo": int(table.geo_index[i]),
+                    }
+                    handle.write(json.dumps(record) + "\n")
+    with open(os.path.join(directory, _MANIFEST), "w") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def load_campaign(directory: str) -> CampaignDataset:
+    """Load a dataset previously written by :func:`save_campaign`."""
+    with open(os.path.join(directory, _MANIFEST)) as handle:
+        manifest = json.load(handle)
+
+    tables: List[TrialData] = []
+    for entry in manifest["trials"]:
+        path = os.path.join(directory, entry["file"])
+        tables.append(_load_trial(path, entry))
+    return CampaignDataset(tables, metadata=manifest.get("metadata"))
+
+
+def _load_trial(path: str, entry: Mapping) -> TrialData:
+    origins: List[str] = list(entry["origins"])
+    origin_row = {origin: i for i, origin in enumerate(origins)}
+
+    by_ip: Dict[int, int] = {}
+    ips: List[int] = []
+    asn: List[int] = []
+    country: List[int] = []
+    geo: List[int] = []
+    rows: List[Tuple[int, int, int, int, float]] = []
+
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            ip = parse_ipv4(record["ip"])
+            if ip not in by_ip:
+                by_ip[ip] = len(ips)
+                ips.append(ip)
+                asn.append(int(record.get("asn", -1)))
+                country.append(int(record.get("country", -1)))
+                geo.append(int(record.get("geo", -1)))
+            rows.append((
+                origin_row[record["origin"]],
+                by_ip[ip],
+                int(record.get("probe_mask", 0)),
+                _L7_CODES[record.get("l7", "no-l4")],
+                float(record.get("time", 0.0)),
+            ))
+
+    order = np.argsort(np.array(ips, dtype=np.uint32))
+    remap = np.empty(len(order), dtype=np.int64)
+    remap[order] = np.arange(len(order))
+
+    n = len(ips)
+    o = len(origins)
+    probe_mask = np.zeros((o, n), dtype=np.uint8)
+    l7 = np.zeros((o, n), dtype=np.uint8)
+    time = np.zeros((o, n), dtype=np.float32)
+    for origin_idx, host_idx, mask, status, t in rows:
+        col = remap[host_idx]
+        probe_mask[origin_idx, col] = mask
+        l7[origin_idx, col] = status
+        time[origin_idx, col] = t
+
+    return TrialData(
+        protocol=entry["protocol"],
+        trial=int(entry["trial"]),
+        origins=origins,
+        ip=np.array(ips, dtype=np.uint32)[order],
+        as_index=np.array(asn, dtype=np.int64)[order],
+        country_index=np.array(country, dtype=np.int64)[order],
+        geo_index=np.array(geo, dtype=np.int64)[order],
+        probe_mask=probe_mask,
+        l7=l7,
+        time=time,
+        n_probes=int(entry.get("n_probes", 2)))

@@ -1,0 +1,159 @@
+"""Loaders for raw ZMap / ZGrab output.
+
+Real campaigns produce, per (origin, protocol, trial):
+
+* a **ZMap CSV** of SYN-ACK responders — we accept the classic
+  ``saddr,timestamp_ts[,probe]`` header (extra columns ignored; a missing
+  ``probe`` column counts every row against probe 0, with duplicate rows
+  for retransmission responses mapped to successive probes);
+* a **ZGrab ndjson** stream of application-handshake results — objects
+  with ``ip`` and either ``success: true`` or an ``error`` string.
+
+:func:`assemble_trial` fuses one trial's per-origin files into a
+:class:`~repro.core.dataset.TrialData`, optionally attributing IPs via a
+routing table and GeoIP database, after which every analysis in
+:mod:`repro.core` applies unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.core.dataset import TrialData
+from repro.core.records import L7Status
+from repro.net.ipv4 import parse_ipv4
+
+#: ZGrab error substrings → observed L7 status.
+_ERROR_STATUS = (
+    ("reset", L7Status.L4_CLOSE_RST),
+    ("connection refused", L7Status.L4_CLOSE_FIN),
+    ("closed", L7Status.L4_CLOSE_FIN),
+    ("eof", L7Status.L4_CLOSE_FIN),
+    ("timeout", L7Status.L4_DROP),
+    ("unreachable", L7Status.NO_L4),
+)
+
+
+def read_zmap_csv(text: str) -> Dict[int, Tuple[int, float]]:
+    """Parse ZMap responder output → ip → (probe_mask, first_time).
+
+    Accepts a header line naming at least ``saddr``; ``timestamp_ts`` and
+    ``probe`` are used when present.  Without a ``probe`` column,
+    repeated rows for the same address are interpreted as responses to
+    successive probes.
+    """
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if not lines:
+        return {}
+    header = [col.strip() for col in lines[0].split(",")]
+    if "saddr" not in header:
+        raise ValueError("ZMap CSV must have a 'saddr' column")
+    ip_col = header.index("saddr")
+    ts_col = header.index("timestamp_ts") if "timestamp_ts" in header \
+        else None
+    probe_col = header.index("probe") if "probe" in header else None
+
+    out: Dict[int, Tuple[int, float]] = {}
+    seen_count: Dict[int, int] = {}
+    for line in lines[1:]:
+        cols = [c.strip() for c in line.split(",")]
+        ip = parse_ipv4(cols[ip_col])
+        time = float(cols[ts_col]) if ts_col is not None \
+            and ts_col < len(cols) else 0.0
+        if probe_col is not None and probe_col < len(cols):
+            probe = int(cols[probe_col])
+        else:
+            probe = seen_count.get(ip, 0)
+        seen_count[ip] = seen_count.get(ip, 0) + 1
+        mask, first = out.get(ip, (0, time))
+        out[ip] = (mask | (1 << min(probe, 7)), min(first, time))
+    return out
+
+
+def read_zgrab_ndjson(text: str) -> Dict[int, L7Status]:
+    """Parse ZGrab results → ip → observed L7 status."""
+    out: Dict[int, L7Status] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        ip = parse_ipv4(record["ip"])
+        if record.get("success"):
+            out[ip] = L7Status.SUCCESS
+            continue
+        error = str(record.get("error", "")).lower()
+        status = L7Status.L4_DROP
+        for needle, candidate in _ERROR_STATUS:
+            if needle in error:
+                status = candidate
+                break
+        out[ip] = status
+    return out
+
+
+def assemble_trial(protocol: str, trial: int,
+                   zmap_by_origin: Mapping[str, str],
+                   zgrab_by_origin: Mapping[str, str],
+                   routing=None, geoip=None,
+                   n_probes: int = 2) -> TrialData:
+    """Fuse per-origin ZMap + ZGrab output into a TrialData.
+
+    ``routing`` (a :class:`~repro.topology.routing.RoutingTable`) and
+    ``geoip`` (a :class:`~repro.topology.geo.GeoIPDatabase`) are optional;
+    without them attribution columns are -1 and the per-AS/per-country
+    analyses will see a single "unknown" bucket.
+    """
+    if set(zmap_by_origin) != set(zgrab_by_origin):
+        raise ValueError("zmap and zgrab inputs must cover the same "
+                         "origins")
+    origins = sorted(zmap_by_origin)
+    zmap = {o: read_zmap_csv(zmap_by_origin[o]) for o in origins}
+    zgrab = {o: read_zgrab_ndjson(zgrab_by_origin[o]) for o in origins}
+
+    universe = sorted({ip for table in zmap.values() for ip in table}
+                      | {ip for table in zgrab.values() for ip in table})
+    ips = np.array(universe, dtype=np.uint32)
+    index_of = {ip: i for i, ip in enumerate(universe)}
+    n = len(ips)
+    o = len(origins)
+
+    probe_mask = np.zeros((o, n), dtype=np.uint8)
+    l7 = np.zeros((o, n), dtype=np.uint8)
+    time = np.zeros((o, n), dtype=np.float32)
+    for oi, origin in enumerate(origins):
+        for ip, (mask, first) in zmap[origin].items():
+            col = index_of[ip]
+            probe_mask[oi, col] = mask
+            time[oi, col] = first
+        for ip, status in zgrab[origin].items():
+            col = index_of[ip]
+            if probe_mask[oi, col] == 0 and status != L7Status.NO_L4:
+                # ZGrab reached it, so L4 worked even if ZMap's CSV was
+                # incomplete; count one probe response.
+                probe_mask[oi, col] = 1
+            l7[oi, col] = int(status)
+        # L4 responders with no ZGrab record: the follow-up never
+        # completed → silent drop.
+        responded = probe_mask[oi] > 0
+        no_l7 = np.array([universe[i] not in zgrab[origin]
+                          for i in range(n)])
+        l7[oi, responded & no_l7] = int(L7Status.L4_DROP)
+
+    as_index = np.full(n, -1, dtype=np.int64)
+    country_index = np.full(n, -1, dtype=np.int64)
+    geo_index = np.full(n, -1, dtype=np.int64)
+    if routing is not None:
+        as_index = routing.as_index_array(ips)
+    if geoip is not None:
+        country_index = geoip.true_index_array(ips)
+        geo_index = geoip.geolocate_index_array(ips)
+
+    return TrialData(protocol=protocol, trial=trial, origins=origins,
+                     ip=ips, as_index=as_index,
+                     country_index=country_index, geo_index=geo_index,
+                     probe_mask=probe_mask, l7=l7, time=time,
+                     n_probes=n_probes)

@@ -1,0 +1,21 @@
+"""IPv4 addressing substrate: addresses, networks, tries, blocklists."""
+
+from repro.net.ipv4 import (
+    IPv4Network,
+    format_ipv4,
+    parse_ipv4,
+    slash24,
+    slash24_array,
+)
+from repro.net.trie import PrefixTrie
+from repro.net.blocklist import Blocklist
+
+__all__ = [
+    "IPv4Network",
+    "format_ipv4",
+    "parse_ipv4",
+    "slash24",
+    "slash24_array",
+    "PrefixTrie",
+    "Blocklist",
+]

@@ -1,0 +1,191 @@
+"""Minimal, fast IPv4 primitives.
+
+Addresses are plain Python ints (or numpy uint32 arrays) throughout the
+library; this module provides parsing, formatting, and an immutable
+``IPv4Network`` value type.  We implement these from scratch rather than
+wrapping :mod:`ipaddress` because the simulator manipulates hundreds of
+thousands of addresses in numpy arrays and needs int-native semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+import numpy as np
+
+#: Number of addresses in the full IPv4 space.
+ADDRESS_SPACE_SIZE = 1 << 32
+
+_MASK32 = ADDRESS_SPACE_SIZE - 1
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad ``text`` into a 32-bit integer.
+
+    >>> parse_ipv4("10.0.0.1")
+    167772161
+    """
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"invalid IPv4 address: {text!r}")
+        octet = int(part)
+        if octet > 255 or (len(part) > 1 and part[0] == "0"):
+            raise ValueError(f"invalid IPv4 address: {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Format a 32-bit integer as a dotted quad.
+
+    >>> format_ipv4(167772161)
+    '10.0.0.1'
+    """
+    value = int(value)
+    if not 0 <= value <= _MASK32:
+        raise ValueError(f"address out of range: {value}")
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+def prefix_mask(prefix_len: int) -> int:
+    """The 32-bit netmask for a prefix of the given length."""
+    if not 0 <= prefix_len <= 32:
+        raise ValueError(f"invalid prefix length: {prefix_len}")
+    if prefix_len == 0:
+        return 0
+    return (_MASK32 << (32 - prefix_len)) & _MASK32
+
+
+def slash24(ip: int) -> int:
+    """The network address of the /24 containing ``ip``."""
+    return int(ip) & 0xFFFFFF00
+
+
+def slash24_array(ips: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`slash24` over a uint32 array."""
+    return np.asarray(ips, dtype=np.uint32) & np.uint32(0xFFFFFF00)
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Network:
+    """An immutable CIDR network, e.g. ``IPv4Network.from_cidr("10.0.0.0/8")``.
+
+    The ``address`` is always stored masked to the prefix, so two networks
+    constructed from any address inside the same CIDR block compare equal.
+    """
+
+    address: int
+    prefix_len: int
+
+    def __post_init__(self) -> None:
+        mask = prefix_mask(self.prefix_len)
+        object.__setattr__(self, "address", int(self.address) & mask)
+
+    @classmethod
+    def from_cidr(cls, text: str) -> "IPv4Network":
+        """Parse ``"a.b.c.d/len"`` notation."""
+        addr_text, _, len_text = text.partition("/")
+        if not len_text:
+            raise ValueError(f"missing prefix length in {text!r}")
+        return cls(parse_ipv4(addr_text), int(len_text))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    @property
+    def netmask(self) -> int:
+        return prefix_mask(self.prefix_len)
+
+    @property
+    def broadcast(self) -> int:
+        """The highest address in the network."""
+        return self.address | (~self.netmask & _MASK32)
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (32 - self.prefix_len)
+
+    # ------------------------------------------------------------------
+    # Membership and relations
+    # ------------------------------------------------------------------
+
+    def contains(self, ip: int) -> bool:
+        """True when ``ip`` falls inside this network."""
+        return (int(ip) & self.netmask) == self.address
+
+    def contains_array(self, ips: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`contains` over a uint32 array."""
+        masked = np.asarray(ips, dtype=np.uint32) & np.uint32(self.netmask)
+        return masked == np.uint32(self.address)
+
+    def contains_network(self, other: "IPv4Network") -> bool:
+        """True when ``other`` is fully inside this network."""
+        return (other.prefix_len >= self.prefix_len
+                and self.contains(other.address))
+
+    def overlaps(self, other: "IPv4Network") -> bool:
+        """True when the two networks share any address."""
+        return self.contains(other.address) or other.contains(self.address)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    def subnets(self, new_prefix_len: int) -> Iterator["IPv4Network"]:
+        """Yield the subnets of this network at ``new_prefix_len``."""
+        if new_prefix_len < self.prefix_len:
+            raise ValueError("new prefix must not be shorter than current")
+        step = 1 << (32 - new_prefix_len)
+        for base in range(self.address, self.broadcast + 1, step):
+            yield IPv4Network(base, new_prefix_len)
+
+    def supernet(self) -> "IPv4Network":
+        """The network one prefix length shorter."""
+        if self.prefix_len == 0:
+            raise ValueError("cannot take the supernet of 0.0.0.0/0")
+        return IPv4Network(self.address, self.prefix_len - 1)
+
+    def hosts_array(self) -> np.ndarray:
+        """All addresses in the network as a uint32 array."""
+        return np.arange(self.address, self.broadcast + 1, dtype=np.uint64) \
+            .astype(np.uint32)
+
+    def __contains__(self, ip: Union[int, np.integer]) -> bool:
+        return self.contains(int(ip))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.address, self.broadcast + 1))
+
+    def __str__(self) -> str:
+        return f"{format_ipv4(self.address)}/{self.prefix_len}"
+
+    def key(self) -> Tuple[int, int]:
+        """A hashable (address, prefix_len) tuple."""
+        return (self.address, self.prefix_len)
+
+
+def summarize_range(first: int, last: int) -> Iterator[IPv4Network]:
+    """Yield the minimal list of CIDR blocks covering [first, last].
+
+    Equivalent to :func:`ipaddress.summarize_address_range`, implemented
+    directly over ints.
+    """
+    if last < first:
+        raise ValueError("last must be >= first")
+    first, last = int(first), int(last)
+    while first <= last:
+        # The largest block starting at `first`, limited by both alignment
+        # and the remaining span.
+        align = (first & -first).bit_length() - 1 if first else 32
+        span = (last - first + 1).bit_length() - 1
+        bits = min(align, span)
+        yield IPv4Network(first, 32 - bits)
+        first += 1 << bits

@@ -1,0 +1,112 @@
+"""Scan origin (vantage point) definitions.
+
+A scan origin bundles everything destination networks can react to: where
+the scanner sits, how many source IPs it uses, how fast it sends, and its
+scanning *reputation* (how much the address range has scanned before).  The
+paper shows all of these matter: Censys' reputation triggers blocking, the
+64-IP US origin evades rate-based IDSes, Australia's paths are lossy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Origin:
+    """One scanning vantage point.
+
+    ``reputation`` is an abstract "scans per month from this address range"
+    score; destination reputation firewalls compare it against their own
+    thresholds.  ``drift`` models the scanner falling behind the shared
+    schedule (the paper's AU/BR scanners lagged up to 2 h by scan end).
+    """
+
+    name: str                  # short label used everywhere: "AU", "US64"…
+    country: str               # ISO code of the hosting network
+    continent: str
+    kind: str = "academic"     # academic | commercial | cloud
+    n_source_ips: int = 1
+    pps: float = 100_000.0     # aggregate packets/sec across all source IPs
+    reputation: float = 0.0    # prior scanning volume of the address range
+    drift: float = 0.0         # fractional schedule lag (0.02 → 2 % slower)
+    trials: Optional[Tuple[int, ...]] = None  # None → participates in all
+    #: Distinguishes otherwise-identical origins (e.g. the three colocated
+    #: Tier-1 providers in the follow-up experiment).
+    upstream: str = ""
+    #: Origins sharing a ``path_group`` sit in the same physical location
+    #: and share path *state* (loss epochs, congestion windows) even though
+    #: they are distinct origins — the US1/US64 pair and the colocated
+    #: Chicago Tier-1 triad.  Empty means the origin is its own group.
+    path_group: str = ""
+
+    @property
+    def state_group(self) -> str:
+        """The key under which this origin's path state is drawn."""
+        return self.path_group or self.name
+
+    def __post_init__(self) -> None:
+        if self.n_source_ips < 1:
+            raise ValueError("an origin needs at least one source IP")
+        if self.pps <= 0:
+            raise ValueError("pps must be positive")
+        if self.drift < 0:
+            raise ValueError("drift must be non-negative")
+
+    @property
+    def per_ip_pps(self) -> float:
+        """Send rate per source IP — what per-IP rate IDSes observe."""
+        return self.pps / self.n_source_ips
+
+    def participates(self, trial: int) -> bool:
+        """Whether this origin scans in the given trial."""
+        return self.trials is None or trial in self.trials
+
+
+def paper_origins() -> Tuple[Origin, ...]:
+    """The seven origin configurations of the main experiment (§2).
+
+    Reputation scores follow the paper's description: the Censys range
+    scans continuously (≥106× the academic origins); AU/DE have run
+    individual scans; the US /24 commonly scans even though the specific
+    IPs are fresh; JP/BR (and their /24s) have never scanned; Carinet is a
+    cloud provider used by Project Sonar, present only in trial 1.
+    """
+    return (
+        Origin("AU", "AU", "OC", reputation=2.0, drift=0.04),
+        Origin("BR", "BR", "SA", reputation=0.0, drift=0.03),
+        Origin("DE", "DE", "EU", reputation=2.0),
+        Origin("JP", "JP", "AS", reputation=0.0),
+        Origin("US1", "US", "NA", reputation=5.0,
+               path_group="us-stanford"),
+        Origin("US64", "US", "NA", reputation=5.0, n_source_ips=64,
+               path_group="us-stanford"),
+        Origin("CEN", "US", "NA", kind="commercial", reputation=500.0),
+        Origin("CARINET", "US", "NA", kind="cloud", reputation=20.0,
+               trials=(0,)),
+    )
+
+
+def followup_origins() -> Tuple[Origin, ...]:
+    """Origins of the follow-up colocated Tier-1 experiment (§7).
+
+    Three fresh /24s in the same Chicago data center, each behind a
+    different Tier-1 transit provider, alongside five of the original
+    origins.  Censys appears with a *fresh* IP range (reputation reset),
+    matching the paper's observation that re-IP'ing recovered >5 % HTTP
+    coverage.
+    """
+    return (
+        Origin("AU", "AU", "OC", reputation=2.0, drift=0.04),
+        Origin("DE", "DE", "EU", reputation=2.0),
+        Origin("JP", "JP", "AS", reputation=0.0),
+        Origin("US1", "US", "NA", reputation=5.0),
+        Origin("CEN", "US", "NA", kind="commercial", reputation=5.0),
+        Origin("HE", "US", "NA", kind="commercial", upstream="hurricane",
+               path_group="chicago-equinix"),
+        Origin("NTT", "US", "NA", kind="commercial", upstream="ntt",
+               path_group="chicago-equinix"),
+        Origin("TELIA", "US", "NA", kind="commercial", upstream="telia",
+               path_group="chicago-equinix"),
+    )

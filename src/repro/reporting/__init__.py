@@ -1,0 +1,17 @@
+"""ASCII renderers for the paper's tables and figures."""
+
+from repro.reporting.tables import render_table
+from repro.reporting.figures import (
+    render_bars,
+    render_grouped_bars,
+    render_cdf,
+    render_series,
+)
+
+__all__ = [
+    "render_table",
+    "render_bars",
+    "render_grouped_bars",
+    "render_cdf",
+    "render_series",
+]

@@ -1,0 +1,84 @@
+"""Plain-text figure rendering: bar charts, CDFs, time series.
+
+These produce the textual analogs of the paper's figures so benches and
+examples can show the regenerated result inline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+import numpy as np
+
+_BAR_WIDTH = 40
+
+
+def render_bars(values: Mapping[str, float], title: Optional[str] = None,
+                fmt: str = "{:.1%}", width: int = _BAR_WIDTH) -> str:
+    """A horizontal bar chart of label → value."""
+    if not values:
+        return title or ""
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(0, round(abs(value) / peak * width))
+        lines.append(f"{str(label).ljust(label_width)} "
+                     f"{fmt.format(value).rjust(8)} {bar}")
+    return "\n".join(lines)
+
+
+def render_grouped_bars(groups: Mapping[str, Mapping[str, float]],
+                        title: Optional[str] = None,
+                        fmt: str = "{:,.0f}") -> str:
+    """Stacked-category bars: group → {category: value}."""
+    lines = [title] if title else []
+    label_width = max((len(str(g)) for g in groups), default=0)
+    categories: List[str] = []
+    for parts in groups.values():
+        for category in parts:
+            if category not in categories:
+                categories.append(category)
+    for group, parts in groups.items():
+        cells = "  ".join(f"{c}={fmt.format(parts.get(c, 0))}"
+                          for c in categories)
+        lines.append(f"{str(group).ljust(label_width)}  {cells}")
+    return "\n".join(lines)
+
+
+def render_cdf(values: np.ndarray, cdf: np.ndarray,
+               title: Optional[str] = None,
+               points: Sequence[float] = (0.25, 0.5, 0.75, 0.9, 0.95, 0.99)
+               ) -> str:
+    """Summarize a CDF at the given quantiles."""
+    lines = [title] if title else []
+    values = np.asarray(values)
+    cdf = np.asarray(cdf)
+    if len(values) == 0:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    for point in points:
+        idx = int(np.searchsorted(cdf, point))
+        idx = min(idx, len(values) - 1)
+        lines.append(f"  p{int(point * 100):02d}: {values[idx]:.4f}")
+    return "\n".join(lines)
+
+
+def render_series(series: Mapping[str, np.ndarray],
+                  title: Optional[str] = None,
+                  height_chars: str = " .:-=+*#%@") -> str:
+    """Render time series as character sparklines (one row per label)."""
+    lines = [title] if title else []
+    label_width = max((len(str(k)) for k in series), default=0)
+    for label, values in series.items():
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) == 0:
+            lines.append(f"{str(label).ljust(label_width)}  (no data)")
+            continue
+        finite = np.nan_to_num(values, nan=0.0)
+        peak = finite.max() or 1.0
+        levels = np.clip((finite / peak * (len(height_chars) - 1)),
+                         0, len(height_chars) - 1).astype(int)
+        spark = "".join(height_chars[level] for level in levels)
+        lines.append(f"{str(label).ljust(label_width)}  |{spark}|")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Markdown rendering of tables and bar data.
+
+Mirrors :mod:`repro.reporting.tables` / ``figures`` for report files and
+READMEs: GitHub-flavoured pipe tables and percentage columns instead of
+ASCII bars.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence],
+                   title: Optional[str] = None) -> str:
+    """A GitHub-flavoured pipe table."""
+    str_headers = [str(h) for h in headers]
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(str_headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(str_headers)}")
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(str_headers) + " |")
+    lines.append("|" + "|".join("---" for _ in str_headers) + "|")
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def markdown_bars(values: Mapping[str, float],
+                  title: Optional[str] = None,
+                  fmt: str = "{:.1%}") -> str:
+    """Label/value pairs as a two-column markdown table."""
+    rows = [[label, fmt.format(value)] for label, value in values.items()]
+    return markdown_table(["", "value"], rows, title=title)

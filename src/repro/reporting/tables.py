@@ -1,0 +1,43 @@
+"""Plain-text table rendering for benches and examples."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified; columns are right-aligned except the first.
+    """
+    str_rows: List[List[str]] = [[str(cell) for cell in row]
+                                 for row in rows]
+    str_headers = [str(h) for h in headers]
+    n_cols = len(str_headers)
+    for row in str_rows:
+        if len(row) != n_cols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {n_cols}")
+
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(str_headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(format_row(row) for row in str_rows)
+    return "\n".join(lines)

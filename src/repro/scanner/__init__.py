@@ -1,0 +1,21 @@
+"""Scanner analogs: ZMap-style SYN scanning, ZGrab handshakes, baselines."""
+
+from repro.scanner.permutation import (
+    AffinePermutation,
+    CyclicGroupPermutation,
+)
+from repro.scanner.zmap import ZMapConfig, ZMapScanner
+from repro.scanner.zgrab import HandshakeSpec, HANDSHAKES
+from repro.scanner.masscan import masscan_config
+from repro.scanner.retry import RetryProber
+
+__all__ = [
+    "AffinePermutation",
+    "CyclicGroupPermutation",
+    "ZMapConfig",
+    "ZMapScanner",
+    "HandshakeSpec",
+    "HANDSHAKES",
+    "masscan_config",
+    "RetryProber",
+]

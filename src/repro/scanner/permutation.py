@@ -1,0 +1,180 @@
+"""Full-cycle pseudorandom permutations of the scan address space.
+
+ZMap iterates a multiplicative cyclic group modulo a prime just above 2³²,
+which visits every address exactly once in pseudorandom order while keeping
+only O(1) state.  We provide that construction faithfully
+(:class:`CyclicGroupPermutation`) plus an affine (full-period LCG)
+permutation (:class:`AffinePermutation`) whose *inverse* is closed-form —
+the property the vectorized simulator needs to compute when a given live
+address gets probed without iterating billions of steps.
+
+Both are full-cycle pseudorandom permutations; the ablation bench
+``test_abl_permutation`` shows campaign results are invariant to the
+choice, as expected since all origins share the same permutation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.rng import CounterRNG
+
+
+class AffinePermutation:
+    """``perm(i) = (a*i + b) mod 2**m`` with a full period.
+
+    ``a ≡ 1 (mod 4)`` and odd ``b`` guarantee the map is a bijection with a
+    single cycle over the power-of-two domain (Hull–Dobell).  Positions are
+    recovered with the modular inverse of ``a``.
+    """
+
+    def __init__(self, domain_bits: int, seed: int) -> None:
+        if not 1 <= domain_bits <= 64:
+            raise ValueError("domain_bits must be in [1, 64]")
+        self.domain_bits = domain_bits
+        self.size = 1 << domain_bits
+        self._mask = self.size - 1
+        rng = CounterRNG(seed, "affine-perm", domain_bits)
+        # a ≡ 1 mod 4 keeps the full period; mixing in high bits keeps the
+        # multiplier large so consecutive positions land far apart.
+        self._a = ((rng.bits(0) & self._mask) | 1) & ~2 & self._mask
+        if self._a == 1 and domain_bits > 2:
+            self._a = 5
+        self._b = (rng.bits(1) & self._mask) | 1
+        self._a_inv = pow(self._a, -1, self.size)
+
+    def address_at(self, position: int) -> int:
+        """The address visited at ``position`` in scan order."""
+        return (self._a * (position % self.size) + self._b) & self._mask
+
+    def position_of(self, address: int) -> int:
+        """The scan-order position at which ``address`` is visited."""
+        return (self._a_inv * ((address - self._b) % self.size)) & self._mask
+
+    def position_of_array(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`position_of` over a uint32/uint64 array."""
+        addr = np.asarray(addresses, dtype=np.uint64)
+        diff = (addr - np.uint64(self._b)) & np.uint64(self._mask)
+        return (np.uint64(self._a_inv) * diff) & np.uint64(self._mask)
+
+    def __iter__(self) -> Iterator[int]:
+        for position in range(self.size):
+            yield self.address_at(position)
+
+
+class CyclicGroupPermutation:
+    """ZMap's construction: iterate ``x ← g·x mod p`` over (Z/pZ)*.
+
+    ``p`` must be prime; the walk visits 1..p-1 exactly once when ``g``
+    is a primitive root.  Addresses ≥ ``domain_size`` are skipped during
+    iteration, exactly as ZMap skips the handful of values above 2³².
+
+    ``position_of`` solves a discrete log with baby-step giant-step —
+    O(√p) time and memory — fine for the small domains used in tests and
+    far too slow for 2³², which is why the simulator defaults to
+    :class:`AffinePermutation`.
+    """
+
+    def __init__(self, p: int, seed: int,
+                 domain_size: Optional[int] = None) -> None:
+        if p < 3 or not _is_prime(p):
+            raise ValueError(f"p must be a prime >= 3, got {p}")
+        self.p = p
+        self.domain_size = domain_size if domain_size is not None else p - 1
+        rng = CounterRNG(seed, "cyclic-perm", p)
+        self.generator = _find_primitive_root(p, rng)
+        # A seed-dependent starting point spreads different scans' orders.
+        self.start = 1 + rng.bits("start") % (p - 1)
+        self._bsgs_table: Optional[dict] = None
+
+    def __iter__(self) -> Iterator[int]:
+        """Yield addresses < domain_size in scan order."""
+        x = self.start
+        for _ in range(self.p - 1):
+            value = x - 1  # map group element 1..p-1 onto addresses 0..p-2
+            if value < self.domain_size:
+                yield value
+            x = (x * self.generator) % self.p
+
+    def address_at(self, position: int) -> int:
+        """Group element (minus one) at ``position`` ignoring skips."""
+        x = (self.start * pow(self.generator, position, self.p)) % self.p
+        return x - 1
+
+    def position_of(self, address: int) -> int:
+        """Scan-order position of ``address`` (ignoring skips); O(√p)."""
+        target = (address + 1) % self.p
+        if target == 0:
+            raise ValueError("address outside the group")
+        # Solve g^k = target / start (mod p) with baby-step giant-step.
+        ratio = (target * pow(self.start, -1, self.p)) % self.p
+        m = int(np.ceil(np.sqrt(self.p)))
+        if self._bsgs_table is None:
+            table = {}
+            e = 1
+            for j in range(m):
+                table.setdefault(e, j)
+                e = (e * self.generator) % self.p
+            self._bsgs_table = table
+        factor = pow(self.generator, (self.p - 1 - m) % (self.p - 1), self.p)
+        gamma = ratio
+        for i in range(m + 1):
+            j = self._bsgs_table.get(gamma)
+            if j is not None:
+                return (i * m + j) % (self.p - 1)
+            gamma = (gamma * factor) % self.p
+        raise ArithmeticError("discrete log not found (p not prime?)")
+
+
+def _is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit integers."""
+    if n < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % small == 0:
+            return n == small
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _factorize(n: int) -> list:
+    """Prime factors of ``n`` (trial division; n is at most p-1 here)."""
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def _find_primitive_root(p: int, rng: CounterRNG) -> int:
+    """A primitive root mod prime ``p``, chosen seed-dependently."""
+    if p == 3:
+        return 2
+    order_factors = _factorize(p - 1)
+    for attempt in range(10_000):
+        candidate = 2 + rng.bits("root", attempt) % (p - 3)
+        if all(pow(candidate, (p - 1) // q, p) != 1 for q in order_factors):
+            return candidate
+    raise ArithmeticError(f"no primitive root found for p={p}")

@@ -1,0 +1,64 @@
+"""ZGrab-analog application-layer handshakes.
+
+The paper's follow-up handshakes are deliberately minimal: an HTTP
+``GET /``, a TLS 1.2 handshake with modern-Chrome cipher suites, and a
+partial SSH handshake terminating after the protocol version exchange.
+This module carries those definitions — ports, handshake phases, and the
+timeout that separates a "drop" from a "close" observation — so scanners,
+the simulator, and the loaders agree on what each protocol means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class HandshakeSpec:
+    """What the L7 follow-up does for one protocol."""
+
+    protocol: str
+    port: int
+    #: Human-readable description of the handshake performed.
+    handshake: str
+    #: Ordered phases; a connection can fail at any boundary.
+    phases: Tuple[str, ...]
+    #: Seconds the scanner waits before declaring a silent drop.
+    timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.port < 65536:
+            raise ValueError(f"invalid port {self.port}")
+        if not self.phases:
+            raise ValueError("a handshake needs at least one phase")
+
+
+#: The three protocols of the study, exactly as §2 configures them.
+HANDSHAKES: Dict[str, HandshakeSpec] = {
+    "http": HandshakeSpec(
+        protocol="http", port=80,
+        handshake="HTTP GET /",
+        phases=("tcp", "request", "response")),
+    "https": HandshakeSpec(
+        protocol="https", port=443,
+        handshake="TLS 1.2 handshake (modern Chrome cipher suites)",
+        phases=("tcp", "client_hello", "server_hello", "key_exchange")),
+    "ssh": HandshakeSpec(
+        protocol="ssh", port=22,
+        handshake="SSH protocol version exchange (partial handshake)",
+        phases=("tcp", "version_exchange")),
+}
+
+
+def port_for(protocol: str) -> int:
+    """The TCP port scanned for ``protocol``."""
+    return HANDSHAKES[protocol].port
+
+
+def protocol_for_port(port: int) -> str:
+    """Inverse of :func:`port_for` (used by the data loaders)."""
+    for spec in HANDSHAKES.values():
+        if spec.port == port:
+            return spec.protocol
+    raise KeyError(f"no studied protocol uses port {port}")

@@ -1,0 +1,151 @@
+"""The ZMap-analog stateless SYN scanner.
+
+A scanner instance owns the shared scan schedule: the address permutation
+(one per seed, shared by every synchronized origin, exactly as the paper
+starts all origins with the same ZMap seed), the probe plan (how many SYNs
+per address and their spacing), the send rate, and the exclusion blocklist.
+
+The scanner does not decide outcomes — the simulated world does — it
+answers *when* each address is probed and *whether* it is probed at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.net.blocklist import Blocklist
+from repro.net.ipv4 import ADDRESS_SPACE_SIZE
+from repro.origins import Origin
+from repro.scanner.permutation import AffinePermutation
+
+#: Spacing between back-to-back SYNs to the same address.  ZMap emits them
+#: consecutively at line rate; 200 µs is a generous upper bound and keeps
+#: both probes inside the same loss epoch, as on the real wire.
+BACK_TO_BACK_SPACING_S = 2e-4
+
+
+@dataclass(frozen=True)
+class ZMapConfig:
+    """Configuration of one scan wave (shared across origins)."""
+
+    seed: int = 0
+    #: Aggregate probes per second per origin.
+    pps: float = 100_000.0
+    #: SYN probes per destination address.
+    n_probes: int = 2
+    #: Seconds between probes to the same address.  The default models
+    #: ZMap's back-to-back retransmission; raising it to minutes models the
+    #: Bano et al. delayed-probe recommendation the paper endorses (§7).
+    probe_spacing_s: float = BACK_TO_BACK_SPACING_S
+    #: Size of the scanned address space.
+    domain_size: int = ADDRESS_SPACE_SIZE
+    blocklist: Blocklist = field(default_factory=Blocklist)
+    #: ZMap-style sharding: this scanner covers positions ≡ ``shard``
+    #: (mod ``n_shards``) of the shared permutation.  Shards partition
+    #: the address space exactly, so ``n_shards`` cooperating scanners
+    #: with the same seed cover it once with no overlap.
+    shard: int = 0
+    n_shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_probes < 1:
+            raise ValueError("n_probes must be >= 1")
+        if self.pps <= 0:
+            raise ValueError("pps must be positive")
+        if self.probe_spacing_s < 0:
+            raise ValueError("probe_spacing_s must be >= 0")
+        if not (self.domain_size & (self.domain_size - 1) == 0
+                and self.domain_size >= 2):
+            raise ValueError("domain_size must be a power of two >= 2")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if not 0 <= self.shard < self.n_shards:
+            raise ValueError("shard must be in [0, n_shards)")
+
+    @property
+    def scan_duration_s(self) -> float:
+        """Nominal wall-clock duration of one full pass of this shard."""
+        addresses = self.domain_size // self.n_shards
+        return addresses * self.n_probes / self.pps
+
+
+class ZMapScanner:
+    """Probe scheduling for one scan wave."""
+
+    def __init__(self, config: ZMapConfig) -> None:
+        self.config = config
+        bits = int(config.domain_size).bit_length() - 1
+        self.permutation = AffinePermutation(bits, config.seed)
+
+    # ------------------------------------------------------------------
+    # Eligibility
+    # ------------------------------------------------------------------
+
+    def eligible_mask(self, ips: np.ndarray) -> np.ndarray:
+        """False for blocklisted addresses and other shards' targets."""
+        mask = ~self.config.blocklist.contains_array(ips)
+        if self.config.n_shards > 1:
+            mask = mask & self.shard_mask(ips)
+        return mask
+
+    def shard_mask(self, ips: np.ndarray) -> np.ndarray:
+        """True for addresses this scanner's shard is responsible for.
+
+        ZMap shards split the *permutation sequence* round-robin, so the
+        addresses at positions ≡ shard (mod n_shards) belong to us.
+        """
+        positions = self.permutation.position_of_array(
+            np.asarray(ips, dtype=np.uint64))
+        return (positions % np.uint64(self.config.n_shards)) \
+            == np.uint64(self.config.shard)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def first_probe_times(self, ips: np.ndarray,
+                          origin: Optional[Origin] = None) -> np.ndarray:
+        """Seconds into the scan when each address's first SYN is sent.
+
+        All origins share the permutation, so positions are identical; an
+        origin's ``drift`` stretches its schedule (the AU/BR lag).
+        """
+        positions = self.permutation.position_of_array(
+            np.asarray(ips, dtype=np.uint64))
+        if self.config.n_shards > 1:
+            # Within a shard, the k-th owned position is sent k-th.
+            positions = positions // np.uint64(self.config.n_shards)
+        per_address_s = self.config.n_probes / self.config.pps
+        times = positions.astype(np.float64) * per_address_s
+        if origin is not None and origin.drift:
+            times = times * (1.0 + origin.drift)
+        return times
+
+    def probe_times(self, ips: np.ndarray, origin: Optional[Origin] = None
+                    ) -> np.ndarray:
+        """(n_probes, n) matrix of every probe's send time."""
+        first = self.first_probe_times(ips, origin)
+        offsets = (np.arange(self.config.n_probes, dtype=np.float64)
+                   * self.config.probe_spacing_s)
+        return first[np.newaxis, :] + offsets[:, np.newaxis]
+
+    def probes_into_as_per_second(self, as_total_addresses: int,
+                                  origin: Origin) -> float:
+        """Average probe rate one AS receives from one of the origin's IPs.
+
+        Rate IDSes watch per-source-IP rates into their own space; under a
+        uniform permutation an AS holding a fraction f of the scanned space
+        receives f of each source IP's probes.
+        """
+        share = as_total_addresses / self.config.domain_size
+        return origin.per_ip_pps * share
+
+    def scan_duration_for(self, origin: Optional[Origin] = None) -> float:
+        """Scan duration including the origin's drift."""
+        base = self.config.scan_duration_s
+        if origin is not None:
+            base *= (1.0 + origin.drift)
+        return base

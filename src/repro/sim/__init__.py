@@ -1,0 +1,20 @@
+"""World assembly and synchronized campaign execution."""
+
+from repro.sim.world import World, WorldDefaults, Observation
+from repro.sim.campaign import Campaign, run_campaign
+from repro.sim.scenario import (
+    paper_scenario,
+    followup_scenario,
+    small_scenario,
+)
+
+__all__ = [
+    "World",
+    "WorldDefaults",
+    "Observation",
+    "Campaign",
+    "run_campaign",
+    "paper_scenario",
+    "followup_scenario",
+    "small_scenario",
+]

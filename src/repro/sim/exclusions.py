@@ -1,0 +1,65 @@
+"""Honouring exclusion requests (§2, Ethical Considerations).
+
+The paper synchronized blocklists across origins before scanning, and
+during the study received exclusion requests from nine organizations,
+which were "immediately honored and removed from analysis".  Two tools
+model that workflow:
+
+* pre-scan: pass a merged :class:`~repro.net.blocklist.Blocklist` in the
+  :class:`~repro.scanner.zmap.ZMapConfig` — those addresses are never
+  probed (the synchronized-blocklist path).
+* post-hoc: :func:`apply_exclusions` filters an already collected
+  dataset, removing the requesting ranges from *every* trial — exactly
+  what "removed from analysis" requires for requests that arrive
+  mid-study.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.core.dataset import CampaignDataset, TrialData
+from repro.net.blocklist import Blocklist
+
+
+def exclude_from_trial(trial_data: TrialData,
+                       blocklist: Blocklist) -> TrialData:
+    """A copy of ``trial_data`` without the blocklisted addresses."""
+    keep = ~blocklist.contains_array(trial_data.ip)
+    return dataclasses.replace(
+        trial_data,
+        ip=trial_data.ip[keep],
+        as_index=trial_data.as_index[keep],
+        country_index=trial_data.country_index[keep],
+        geo_index=trial_data.geo_index[keep],
+        probe_mask=trial_data.probe_mask[:, keep],
+        l7=trial_data.l7[:, keep],
+        time=trial_data.time[:, keep])
+
+
+def apply_exclusions(dataset: CampaignDataset,
+                     blocklist: Blocklist) -> CampaignDataset:
+    """Remove requested ranges from every trial of a collected dataset.
+
+    Returns a new dataset; the input is untouched.  Metadata records the
+    exclusion so downstream reports can disclose it.
+    """
+    tables: List[TrialData] = [exclude_from_trial(t, blocklist)
+                               for t in dataset]
+    metadata = dict(dataset.metadata)
+    previously = int(metadata.get("excluded_addresses", 0))
+    metadata["excluded_addresses"] = previously \
+        + blocklist.total_excluded()
+    metadata["exclusion_ranges"] = int(
+        metadata.get("exclusion_ranges", 0)) + len(blocklist)
+    return CampaignDataset(tables, metadata=metadata)
+
+
+def excluded_host_count(dataset: CampaignDataset,
+                        blocklist: Blocklist) -> int:
+    """How many observed services an exclusion would remove (pre-check)."""
+    total = 0
+    for table in dataset:
+        total += int(blocklist.contains_array(table.ip).sum())
+    return total

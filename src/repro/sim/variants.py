@@ -1,0 +1,105 @@
+"""World variants for design-validation ablations.
+
+Each variant rebuilds the paper world with one mechanism class switched
+off, so benchmarks can attribute observed effects to their causes:
+
+* :func:`no_blocking_world` — every destination-side blocking system
+  removed.  What remains of the origins' differences is pure path
+  behaviour; Censys becomes an ordinary origin.
+* :func:`uniform_loss_world` — the correlated loss channel replaced by
+  an equal-rate independent one (and bursts/wobble disabled).  This is
+  the world the original ZMap coverage estimate implicitly assumed; in
+  it, two back-to-back probes really do fix most loss.
+
+Both variants keep the same topology, host population, seeds, and scan
+configuration as :func:`repro.sim.scenario.paper_scenario`, so results
+are directly comparable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.conditions.loss import LossDraw, PathLossSpec
+from repro.conditions.outages import BurstOutageSpec
+from repro.origins import Origin, paper_origins
+from repro.scanner.zmap import ZMapConfig
+from repro.sim.scenario import (
+    build_world_from_specs,
+    paper_defaults,
+    paper_specs,
+)
+from repro.sim.world import World
+from repro.topology.asn import ASSpec
+
+
+def _strip_blocking(spec: ASSpec) -> ASSpec:
+    return dataclasses.replace(
+        spec,
+        reputation_firewall=None,
+        static_block=None,
+        regional_policy=None,
+        rate_ids=None,
+        temporal_rst=None,
+        maxstartups=None)
+
+
+def no_blocking_world(seed: int = 0, scale: float = 1.0
+                      ) -> Tuple[World, Tuple[Origin, ...], ZMapConfig]:
+    """The paper world with every blocking system removed."""
+    specs = [_strip_blocking(s) for s in paper_specs(seed, scale)]
+    defaults = dataclasses.replace(
+        paper_defaults(),
+        maxstartups=dataclasses.replace(paper_defaults().maxstartups,
+                                        fraction=0.0))
+    world = build_world_from_specs(specs, seed, defaults)
+    return world, paper_origins(), ZMapConfig(seed=seed, pps=100_000.0,
+                                              n_probes=2)
+
+
+def _uniformize(spec_loss: PathLossSpec) -> PathLossSpec:
+    """Move each draw's correlated mass into the independent component.
+
+    Total per-probe loss is preserved (epoch + random becomes all
+    random); persistent dead paths are dropped — uniform-random loss has
+    no memory.
+    """
+
+    def flatten(draw: LossDraw) -> LossDraw:
+        return LossDraw(
+            epoch_rate=0.0,
+            random_rate=min(0.5, draw.epoch_rate + draw.random_rate),
+            persistent_fraction=0.0,
+            variability=draw.variability)
+
+    return PathLossSpec(
+        default=flatten(spec_loss.default),
+        per_origin={key: flatten(draw)
+                    for key, draw in spec_loss.per_origin.items()})
+
+
+def uniform_loss_world(seed: int = 0, scale: float = 1.0
+                       ) -> Tuple[World, Tuple[Origin, ...], ZMapConfig]:
+    """The paper world with uniform-random (memoryless) packet loss.
+
+    Blocking systems stay in place; only the loss process changes, plus
+    bursts and churner wobble (both correlated-loss phenomena) are
+    disabled.
+    """
+    specs: List[ASSpec] = []
+    for spec in paper_specs(seed, scale):
+        if spec.path_loss is not None:
+            spec = dataclasses.replace(
+                spec, path_loss=_uniformize(spec.path_loss))
+        specs.append(spec)
+    base = paper_defaults()
+    defaults = dataclasses.replace(
+        base,
+        path_loss=_uniformize(base.path_loss),
+        burst_outages=BurstOutageSpec(events_per_origin_trial=0.0,
+                                      shared_events_per_trial=0.0),
+        churner_wobble=0.0)
+    world = build_world_from_specs(specs, seed, defaults)
+    return world, paper_origins(), ZMapConfig(seed=seed, pps=100_000.0,
+                                              n_probes=2)

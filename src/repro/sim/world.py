@@ -1,0 +1,481 @@
+"""The simulated Internet a scan campaign runs against.
+
+A :class:`World` composes the topology, the host population, temporal
+churn, path conditions, and every destination-side blocking system into a
+single question: *what does origin O observe for each service of protocol P
+in trial T?*  The answer (an :class:`Observation`) mirrors exactly what a
+real ZMap + ZGrab pipeline records: per-address SYN-ACK counts, the L7
+outcome, and timestamps.
+
+Evaluation order per probe follows the life of a packet:
+
+1. exclusion blocklist (scanner-side — excluded services never appear),
+2. presence (churn): absent services answer nobody,
+3. static L4 filters: reputation firewall, static origin blocks, regional
+   policy, rate-IDS detection state,
+4. path: burst outages, then the correlated loss channel,
+5. L7: temporal RST blocking, MaxStartups refusal, persistent L7-dead
+   hosts, transient flakiness — first matching behaviour wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.blocking.firewall import covered_hosts_mask
+from repro.blocking.flaky import L7FlakyModel, L7FlakySpec
+from repro.blocking.ids import RateIDS
+from repro.blocking.maxstartups import MaxStartupsModel, MaxStartupsSpec
+from repro.blocking.temporal import TemporalRSTBlocker
+from repro.conditions.loss import LossDraw, PathLossModel, PathLossSpec
+from repro.conditions.outages import BurstOutageModel, BurstOutageSpec
+from repro.core.records import L7Status
+from repro.hosts.churn import ChurnModel, ChurnSpec
+from repro.hosts.table import HostTable
+from repro.origins import Origin
+from repro.rng import CounterRNG
+from repro.scanner.zmap import ZMapScanner
+from repro.topology.generator import Topology
+
+
+@dataclass(frozen=True)
+class WorldDefaults:
+    """Behaviour applied to ASes that declare nothing of their own."""
+
+    path_loss: PathLossSpec = field(default_factory=PathLossSpec)
+    l7_flaky: L7FlakySpec = field(
+        default_factory=lambda: L7FlakySpec(
+            flaky_fraction=0.02, fail_prob=0.2, drop_share=0.7,
+            dead_fraction=0.002))
+    burst_outages: Optional[BurstOutageSpec] = field(
+        default_factory=BurstOutageSpec)
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
+    #: Baseline MaxStartups prevalence: the OpenSSH default configuration
+    #: ships with MaxStartups 10:30:100, so a slice of *every* network's
+    #: SSH hosts is probabilistically refusing under synchronized scans.
+    maxstartups: MaxStartupsSpec = field(
+        default_factory=lambda: MaxStartupsSpec(
+            fraction=0.06, refuse_prob_mean=0.5, refuse_prob_spread=0.35))
+    #: Per-(origin, trial) probability that a churning (unstable) service
+    #: silently fails to answer at L4 even while nominally present.  This
+    #: is what populates the paper's "unknown" classification bucket.
+    churner_wobble: float = 0.18
+
+
+@dataclass
+class Observation:
+    """What one origin saw for one (protocol, trial)."""
+
+    protocol: str
+    trial: int
+    origin: str
+    ip: np.ndarray             # uint32, services present & scannable
+    as_index: np.ndarray       # int64
+    country_index: np.ndarray  # int64 (true country)
+    geo_index: np.ndarray      # int64 (observed GeoIP country)
+    #: Bitmask of answered probes: bit k set ⇔ probe k drew a SYN-ACK.
+    #: Keeping per-probe identity (not just a count) lets the analyses
+    #: simulate single-probe scans exactly as §5 does.
+    probe_mask: np.ndarray     # uint8
+    l7: np.ndarray             # uint8, L7Status codes
+    time: np.ndarray           # float32, first-probe send time (s)
+
+    def __len__(self) -> int:
+        return len(self.ip)
+
+    @property
+    def responses(self) -> np.ndarray:
+        """Number of SYN-ACKs received per service (popcount of the mask)."""
+        return _POPCOUNT[self.probe_mask]
+
+
+#: Popcount lookup for uint8 probe masks.
+_POPCOUNT = np.array([bin(i).count("1") for i in range(256)],
+                     dtype=np.uint8)
+
+
+class World:
+    """A concrete synthetic Internet, ready to be scanned."""
+
+    def __init__(self, topology: Topology, hosts: HostTable, seed: int,
+                 defaults: Optional[WorldDefaults] = None) -> None:
+        self.topology = topology
+        self.hosts = hosts
+        self.seed = seed
+        self.defaults = defaults if defaults is not None else WorldDefaults()
+
+        root = CounterRNG(seed, "world")
+        self._rng = root
+        self.churn = ChurnModel(root, self.defaults.churn)
+        self._ids = RateIDS(root)
+        self._temporal = TemporalRSTBlocker(root)
+        self._maxstartups = MaxStartupsModel(root)
+        self._flaky = L7FlakyModel(root)
+        self._loss_models: Dict[str, PathLossModel] = {}
+        self._loss_params: Dict[str, Tuple[np.ndarray, ...]] = {}
+        self._outage_model: Optional[BurstOutageModel] = None
+        self._outage_specs: Optional[Dict[int, BurstOutageSpec]] = None
+        self._flaky_params: Optional[Tuple[np.ndarray, ...]] = None
+        self._maxstartups_params: Optional[Tuple[np.ndarray, ...]] = None
+
+    # ------------------------------------------------------------------
+    # Lazily built per-AS parameter tables
+    # ------------------------------------------------------------------
+
+    def loss_model(self, origin: Origin) -> PathLossModel:
+        model = self._loss_models.get(origin.name)
+        if model is None:
+            model = PathLossModel(self._rng, origin.name,
+                                  state_group=origin.state_group)
+            self._loss_models[origin.name] = model
+        return model
+
+    def _loss_param_arrays(self, origin: Origin) -> Tuple[np.ndarray, ...]:
+        """(epoch, random, persistent, variability) arrays indexed by AS."""
+        cached = self._loss_params.get(origin.name)
+        if cached is not None:
+            return cached
+        n = len(self.topology.ases)
+        epoch = np.zeros(n)
+        random_ = np.zeros(n)
+        persistent = np.zeros(n)
+        variability = np.zeros(n)
+        for system in self.topology.ases:
+            spec = system.spec.path_loss or self.defaults.path_loss
+            draw: LossDraw = spec.for_origin(origin.name,
+                                             origin.state_group)
+            epoch[system.index] = draw.epoch_rate
+            random_[system.index] = draw.random_rate
+            persistent[system.index] = draw.persistent_fraction
+            variability[system.index] = draw.variability
+        result = (epoch, random_, persistent, variability)
+        self._loss_params[origin.name] = result
+        return result
+
+    def _outages(self, origins: Tuple[str, ...],
+                 scan_duration_s: float) -> BurstOutageModel:
+        if self._outage_model is None:
+            self._outage_model = BurstOutageModel(
+                self._rng, origins, scan_duration_s)
+        return self._outage_model
+
+    def outage_specs(self) -> Dict[int, BurstOutageSpec]:
+        if self._outage_specs is None:
+            specs: Dict[int, BurstOutageSpec] = {}
+            for system in self.topology.ases:
+                spec = system.spec.burst_outages or self.defaults.burst_outages
+                if spec is not None:
+                    specs[system.index] = spec
+            self._outage_specs = specs
+        return self._outage_specs
+
+    def _flaky_param_arrays(self) -> Tuple[np.ndarray, ...]:
+        """Per-AS (flaky_fraction, fail_prob, drop_share, dead_fraction)."""
+        if self._flaky_params is None:
+            n = len(self.topology.ases)
+            flaky = np.zeros(n)
+            fail = np.zeros(n)
+            drop = np.zeros(n)
+            dead = np.zeros(n)
+            for system in self.topology.ases:
+                spec = system.spec.l7_flaky or self.defaults.l7_flaky
+                flaky[system.index] = spec.flaky_fraction
+                fail[system.index] = spec.fail_prob
+                drop[system.index] = spec.drop_share
+                dead[system.index] = spec.dead_fraction
+            self._flaky_params = (flaky, fail, drop, dead)
+        return self._flaky_params
+
+    def _maxstartups_param_arrays(self) -> Tuple[np.ndarray, ...]:
+        """Per-AS (fraction, mean, spread, solo_factor) arrays."""
+        if self._maxstartups_params is None:
+            n = len(self.topology.ases)
+            fraction = np.zeros(n)
+            mean = np.zeros(n)
+            spread = np.zeros(n)
+            solo = np.zeros(n)
+            for system in self.topology.ases:
+                spec = system.spec.maxstartups or self.defaults.maxstartups
+                fraction[system.index] = spec.fraction
+                mean[system.index] = spec.refuse_prob_mean
+                spread[system.index] = spec.refuse_prob_spread
+                solo[system.index] = spec.solo_factor
+            self._maxstartups_params = (fraction, mean, spread, solo)
+        return self._maxstartups_params
+
+    # ------------------------------------------------------------------
+    # L4 static filtering
+    # ------------------------------------------------------------------
+
+    def _static_l4_masks(self, origin: Origin, trial: int,
+                         ips: np.ndarray, as_idx: np.ndarray
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """(silent_block, l7_drop_block) for static policies.
+
+        ``silent_block`` suppresses SYN-ACKs entirely (firewall drop);
+        ``l7_drop_block`` lets TCP complete but drops the application
+        handshake (regional policies with ``responds_with_block_page``).
+        """
+        silent = np.zeros(ips.shape, dtype=bool)
+        l7_drop = np.zeros(ips.shape, dtype=bool)
+        host_ids = ips.astype(np.uint64)
+        for system in self.topology.ases:
+            spec = system.spec
+            members = None
+
+            def member_mask() -> np.ndarray:
+                nonlocal members
+                if members is None:
+                    members = as_idx == system.index
+                return members
+
+            fw = spec.reputation_firewall
+            if fw is not None and fw.blocks(origin):
+                m = member_mask()
+                if np.any(m):
+                    coverage = fw.coverage_in_trial(trial)
+                    covered = covered_hosts_mask(
+                        self._rng, host_ids[m], system.index, coverage,
+                        "reputation")
+                    silent[np.flatnonzero(m)[covered]] = True
+
+            sb = spec.static_block
+            if sb is not None and sb.blocks(origin):
+                m = member_mask()
+                if np.any(m):
+                    covered = covered_hosts_mask(
+                        self._rng, host_ids[m], system.index, sb.coverage,
+                        "static")
+                    silent[np.flatnonzero(m)[covered]] = True
+
+            rp = spec.regional_policy
+            if rp is not None and rp.blocks(origin):
+                m = member_mask()
+                if np.any(m):
+                    covered = covered_hosts_mask(
+                        self._rng, host_ids[m], system.index, rp.coverage,
+                        "regional")
+                    target = l7_drop if rp.responds_with_block_page \
+                        else silent
+                    target[np.flatnonzero(m)[covered]] = True
+        return silent, l7_drop
+
+    def _ids_block_mask(self, origin: Origin, trial: int, first_trial: int,
+                        protocol: str, as_idx: np.ndarray,
+                        times: np.ndarray, ips: np.ndarray,
+                        scanner: ZMapScanner) -> np.ndarray:
+        """Hosts whose network's rate IDS has blocked this origin."""
+        blocked = np.zeros(as_idx.shape, dtype=bool)
+        host_ids = ips.astype(np.uint64)
+        for system in self.topology.ases:
+            spec = system.spec.rate_ids
+            if spec is None:
+                continue
+            members = as_idx == system.index
+            if not np.any(members):
+                continue
+            rate = scanner.probes_into_as_per_second(
+                system.total_addresses(), origin)
+            detect = self._ids.detection_time(
+                spec, origin, system.index, rate, protocol)
+            if detect is None:
+                continue
+            idx = np.flatnonzero(members)
+            if trial > first_trial and spec.persistent:
+                hit = np.ones(idx.shape, dtype=bool)
+            elif trial == first_trial:
+                hit = times[idx] >= detect
+            else:
+                continue
+            if spec.coverage < 1.0:
+                covered = covered_hosts_mask(
+                    self._rng, host_ids[idx], system.index, spec.coverage,
+                    "ids")
+                hit &= covered
+            blocked[idx[hit]] = True
+        return blocked
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+
+    def observe(self, protocol: str, trial: int, origin: Origin,
+                scanner: ZMapScanner, all_origin_names: Tuple[str, ...],
+                first_trial: int = 0,
+                targets: Optional[np.ndarray] = None) -> Observation:
+        """Everything ``origin`` records for one protocol in one trial.
+
+        ``all_origin_names`` fixes the origin universe for shared burst
+        events; ``first_trial`` is the first trial this origin scanned in
+        (rate-IDS state carries over from it).
+
+        ``targets`` restricts the observation to a subset of addresses —
+        the §6 "iteratively scan candidate sub-networks" workflow.
+        Because every stochastic draw is counter-addressed by entity, a
+        targeted observation returns *exactly* the rows the full scan
+        would (tested invariant), so targeted re-scans are consistent
+        with campaign data.
+        """
+        view = self.hosts.for_protocol(protocol)
+        present = self.churn.present_mask(view.ip, protocol, trial)
+        eligible = scanner.eligible_mask(view.ip)
+        wanted = present & eligible
+        if targets is not None:
+            wanted &= np.isin(view.ip,
+                              np.asarray(targets, dtype=np.uint32))
+        keep = np.flatnonzero(wanted)
+
+        ips = view.ip[keep]
+        as_idx = view.as_index[keep]
+        country_idx = view.country_index[keep]
+        geo_idx = self.topology.geoip.geolocate_index_array(ips)
+        host_ids = ips.astype(np.uint64)
+        n = len(ips)
+        n_probes = scanner.config.n_probes
+
+        probe_times = scanner.probe_times(ips, origin)
+        first_times = probe_times[0]
+
+        # --- L4 static filtering -------------------------------------
+        silent_block, l7_drop_block = self._static_l4_masks(
+            origin, trial, ips, as_idx)
+        ids_block = self._ids_block_mask(
+            origin, trial, first_trial, protocol, as_idx, first_times, ips,
+            scanner)
+        l4_filtered = silent_block | ids_block
+
+        # --- Path: outages + correlated loss --------------------------
+        loss = self.loss_model(origin)
+        epoch, random_, persistent, variability = \
+            self._loss_param_arrays(origin)
+        effective_epoch = loss.trial_epoch_rates(
+            epoch[as_idx], variability[as_idx], as_idx, trial)
+        persist_u = loss.persistent_draws(host_ids)
+
+        outages = self._outages(all_origin_names,
+                                scanner.config.scan_duration_s)
+        outage_specs = self.outage_specs()
+
+        probe_mask = np.zeros(n, dtype=np.uint8)
+        for probe_no in range(n_probes):
+            times_k = probe_times[probe_no]
+            delivered = loss.probe_delivered(
+                host_ids, as_idx, times_k, trial, probe_no,
+                effective_epoch, random_[as_idx], persistent[as_idx],
+                persist_u=persist_u)
+            outage_lost = outages.lost_mask(
+                origin.name, trial, as_idx, times_k, outage_specs)
+            ok = delivered & ~outage_lost & ~l4_filtered
+            probe_mask |= ok.astype(np.uint8) << np.uint8(probe_no)
+
+        # Unstable (churning) services intermittently fail to answer even
+        # while present; this is the raw material of the paper's "unknown"
+        # classification bucket.
+        if self.defaults.churner_wobble > 0.0:
+            churners = self.churn.churner_mask(ips, protocol)
+            wobble = self._rng.derive("wobble").bernoulli_array(
+                self.defaults.churner_wobble, host_ids,
+                protocol, origin.name, trial)
+            probe_mask[churners & wobble] = 0
+
+        l4_success = probe_mask > 0
+
+        # --- L7 evaluation --------------------------------------------
+        l7 = np.full(n, int(L7Status.NO_L4), dtype=np.uint8)
+        l7[l4_success] = int(L7Status.SUCCESS)
+
+        # Regional block pages: TCP completes, handshake is dropped.
+        drop_page = l4_success & l7_drop_block
+        l7[drop_page] = int(L7Status.L4_DROP)
+
+        # Temporal network-wide RST blocking (Alibaba, SSH).
+        for system in self.topology.ases:
+            spec = system.spec.temporal_rst
+            if spec is None or protocol not in spec.protocols:
+                continue
+            members = l4_success & (as_idx == system.index)
+            if not np.any(members):
+                continue
+            detect = self._temporal.detection_time(
+                spec, origin, system.index, trial, protocol,
+                scanner.config.scan_duration_s)
+            if detect is None:
+                continue
+            idx = np.flatnonzero(members)
+            hit = first_times[idx] >= detect
+            l7[idx[hit]] = int(L7Status.L4_CLOSE_RST)
+
+        # MaxStartups probabilistic refusal (SSH).
+        if protocol == "ssh":
+            ms_fraction, ms_mean, ms_spread, ms_solo = \
+                self._maxstartups_param_arrays()
+            candidates = l7 == int(L7Status.SUCCESS)
+            idx = np.flatnonzero(candidates)
+            if len(idx):
+                refused = self._maxstartups.refused_mask_params(
+                    ms_fraction[as_idx[idx]], ms_mean[as_idx[idx]],
+                    ms_spread[as_idx[idx]], ms_solo[as_idx[idx]],
+                    host_ids[idx], origin.name, trial)
+                # sshd closes the socket; roughly half the observations in
+                # the paper are RST, half FIN-ACK.
+                style_rst = self._rng.derive("ms-style").bernoulli_array(
+                    0.5, host_ids[idx])
+                close = np.where(style_rst, int(L7Status.L4_CLOSE_RST),
+                                 int(L7Status.L4_CLOSE_FIN))
+                l7[idx[refused]] = close[refused]
+
+        # Persistent L7-dead hosts and transient flakiness.
+        flaky_f, fail_p, drop_s, dead_f = self._flaky_param_arrays()
+        still_ok = l7 == int(L7Status.SUCCESS)
+        dead = self._flaky.dead_mask_params(
+            dead_f[as_idx], host_ids, protocol)
+        l7[still_ok & dead] = int(L7Status.L4_DROP)
+
+        still_ok = l7 == int(L7Status.SUCCESS)
+        fails, drops = self._flaky.failure_masks_params(
+            flaky_f[as_idx], fail_p[as_idx], drop_s[as_idx],
+            host_ids, protocol, origin.name, trial)
+        l7[still_ok & fails & drops] = int(L7Status.L4_DROP)
+        l7[still_ok & fails & ~drops] = int(L7Status.L4_CLOSE_FIN)
+
+        return Observation(
+            protocol=protocol, trial=trial, origin=origin.name,
+            ip=ips, as_index=as_idx, country_index=country_idx,
+            geo_index=geo_idx, probe_mask=probe_mask, l7=l7,
+            time=first_times.astype(np.float32))
+
+    # ------------------------------------------------------------------
+    # Targeted re-probing (the §6 retry experiment)
+    # ------------------------------------------------------------------
+
+    def ssh_retry_success(self, ips: np.ndarray, origin: Origin, trial: int,
+                          max_attempts: int) -> np.ndarray:
+        """Whether ≤ ``max_attempts`` immediate retries complete SSH.
+
+        Models the paper's follow-up experiment: iteratively re-trying the
+        SSH handshake against MaxStartups-protected hosts from a single
+        origin (``solo=True`` applies the reduced single-scanner pressure).
+        Hosts not affected by MaxStartups succeed on the first attempt.
+        """
+        ips = np.asarray(ips, dtype=np.uint32)
+        as_idx = self.topology.routing.as_index_array(ips)
+        if np.any(as_idx < 0):
+            raise ValueError("some target IPs are not routed to any AS")
+        host_ids = ips.astype(np.uint64)
+        fraction, mean, spread, solo = self._maxstartups_param_arrays()
+        success = np.zeros(ips.shape, dtype=bool)
+        remaining = np.arange(len(ips))
+        for attempt in range(max_attempts):
+            if len(remaining) == 0:
+                break
+            refused = self._maxstartups.refused_mask_params(
+                fraction[as_idx[remaining]], mean[as_idx[remaining]],
+                spread[as_idx[remaining]], solo[as_idx[remaining]],
+                host_ids[remaining], origin.name, trial,
+                attempt=attempt, solo=True)
+            success[remaining[~refused]] = True
+            remaining = remaining[refused]
+        return success

@@ -1,0 +1,19 @@
+"""Synthetic Internet topology: countries, ASes, prefixes, routing, geo."""
+
+from repro.topology.geo import Country, CountryRegistry, GeoIPDatabase
+from repro.topology.asn import ASKind, ASSpec, AutonomousSystem, ASRegistry
+from repro.topology.routing import RoutingTable
+from repro.topology.generator import Topology, build_topology
+
+__all__ = [
+    "Country",
+    "CountryRegistry",
+    "GeoIPDatabase",
+    "ASKind",
+    "ASSpec",
+    "AutonomousSystem",
+    "ASRegistry",
+    "RoutingTable",
+    "Topology",
+    "build_topology",
+]

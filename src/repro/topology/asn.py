@@ -1,0 +1,158 @@
+"""Autonomous systems: specs, instances, and the AS registry.
+
+An :class:`ASSpec` is the declarative description of one network — its
+country, size, and every behaviour the paper attributes to networks of its
+kind (reputation firewalls, regional policies, rate IDSes, temporal
+blocking, MaxStartups prevalence, path-loss profile, burst-outage profile,
+L7 flakiness).  The topology generator turns specs into placed
+:class:`AutonomousSystem` instances with allocated prefixes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.blocking.firewall import ReputationFirewallSpec, StaticBlockSpec
+from repro.blocking.flaky import L7FlakySpec
+from repro.blocking.ids import RateIDSSpec
+from repro.blocking.maxstartups import MaxStartupsSpec
+from repro.blocking.regional import RegionalPolicySpec
+from repro.blocking.temporal import TemporalRSTSpec
+from repro.conditions.loss import PathLossSpec
+from repro.conditions.outages import BurstOutageSpec
+from repro.net.ipv4 import IPv4Network
+
+#: Protocols studied by the paper, in its canonical order.
+PROTOCOLS = ("http", "https", "ssh")
+
+
+class ASKind(enum.Enum):
+    """Coarse network type, used by the analyses that group by industry."""
+
+    HOSTING = "hosting"
+    ISP = "isp"
+    CLOUD = "cloud"
+    CDN = "cdn"
+    ACADEMIC = "academic"
+    GOVERNMENT = "government"
+    ENTERPRISE = "enterprise"
+    FINANCIAL = "financial"
+    HEALTHCARE = "healthcare"
+    UTILITY = "utility"
+    MEDIA = "media"
+
+
+@dataclass(frozen=True)
+class ASSpec:
+    """Declarative description of one autonomous system.
+
+    ``hosts`` maps protocol name → number of listening hosts.  All the
+    behaviour fields default to "plain network": no blocking, near-zero
+    loss, no outages.
+    """
+
+    name: str
+    country: str
+    kind: ASKind = ASKind.HOSTING
+    hosts: Dict[str, int] = field(default_factory=dict)
+    #: Preferred ASN; auto-assigned when None.
+    asn: Optional[int] = None
+    #: GeoIP misattribution: the country this AS's prefixes *appear* to be
+    #: in (the Cloudflare anycast case); None means truthful geolocation.
+    geolocates_to: Optional[str] = None
+    #: Average listening hosts per populated /24 (controls how many /24s
+    #: the AS occupies and therefore the network-vs-host analyses).
+    hosts_per_slash24: float = 8.0
+
+    # Blocking behaviours (all optional).
+    reputation_firewall: Optional[ReputationFirewallSpec] = None
+    static_block: Optional[StaticBlockSpec] = None
+    regional_policy: Optional[RegionalPolicySpec] = None
+    rate_ids: Optional[RateIDSSpec] = None
+    temporal_rst: Optional[TemporalRSTSpec] = None
+    maxstartups: Optional[MaxStartupsSpec] = None
+    l7_flaky: Optional[L7FlakySpec] = None
+
+    # Path conditions.
+    path_loss: Optional[PathLossSpec] = None
+    burst_outages: Optional[BurstOutageSpec] = None
+
+    def total_hosts(self) -> int:
+        return sum(self.hosts.values())
+
+    def hosts_for(self, protocol: str) -> int:
+        return self.hosts.get(protocol, 0)
+
+
+@dataclass
+class AutonomousSystem:
+    """A placed AS: an :class:`ASSpec` plus its ASN, index, and prefixes."""
+
+    index: int           # dense index used in columnar host arrays
+    asn: int             # the AS number
+    spec: ASSpec
+    prefixes: List[IPv4Network] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def country(self) -> str:
+        return self.spec.country
+
+    @property
+    def kind(self) -> ASKind:
+        return self.spec.kind
+
+    def total_addresses(self) -> int:
+        return sum(p.num_addresses for p in self.prefixes)
+
+
+class ASRegistry:
+    """An indexed set of autonomous systems."""
+
+    def __init__(self) -> None:
+        self._systems: List[AutonomousSystem] = []
+        self._by_asn: Dict[int, int] = {}
+        self._by_name: Dict[str, int] = {}
+        self._next_asn = 64512  # start auto-assignment in private space
+
+    def add(self, spec: ASSpec) -> AutonomousSystem:
+        """Place ``spec`` and return the new :class:`AutonomousSystem`."""
+        asn = spec.asn
+        if asn is None:
+            asn = self._next_asn
+            while asn in self._by_asn:
+                asn += 1
+        if asn in self._by_asn:
+            raise ValueError(f"duplicate ASN {asn}")
+        if spec.name in self._by_name:
+            raise ValueError(f"duplicate AS name {spec.name!r}")
+        self._next_asn = max(self._next_asn, asn + 1)
+        system = AutonomousSystem(index=len(self._systems), asn=asn,
+                                  spec=spec)
+        self._systems.append(system)
+        self._by_asn[asn] = system.index
+        self._by_name[spec.name] = system.index
+        return system
+
+    def by_index(self, index: int) -> AutonomousSystem:
+        return self._systems[index]
+
+    def by_asn(self, asn: int) -> AutonomousSystem:
+        return self._systems[self._by_asn[asn]]
+
+    def by_name(self, name: str) -> AutonomousSystem:
+        return self._systems[self._by_name[name]]
+
+    def __len__(self) -> int:
+        return len(self._systems)
+
+    def __iter__(self) -> Iterator[AutonomousSystem]:
+        return iter(self._systems)
+
+    def names(self) -> List[str]:
+        return [s.name for s in self._systems]

@@ -1,0 +1,114 @@
+"""Deterministic topology construction from declarative AS specs.
+
+Allocation is intentionally boring: ASes receive contiguous, power-of-two
+aligned prefixes in spec order, with unallocated guard space between them,
+starting at 1.0.0.0.  Boring is a feature — the allocation is reproducible,
+prefix containment is trivially correct, and the interesting structure
+(country skews, behaviour mixes) all lives in the specs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.net.ipv4 import IPv4Network
+from repro.topology.asn import ASRegistry, ASSpec, AutonomousSystem
+from repro.topology.geo import Country, CountryRegistry, GeoIPDatabase
+from repro.topology.routing import RoutingTable
+
+#: First allocatable address (0.0.0.0/8 is reserved, as on the Internet).
+ALLOCATION_BASE = 1 << 24
+
+#: Fraction of extra /24s left unallocated between consecutive ASes.
+GUARD_FRACTION = 0.25
+
+
+@dataclass
+class Topology:
+    """A fully constructed synthetic Internet topology."""
+
+    countries: CountryRegistry
+    ases: ASRegistry
+    routing: RoutingTable
+    geoip: GeoIPDatabase
+    #: AS index → array of populated /24 network base addresses.
+    populated_slash24s: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    def country_index(self, code: str) -> int:
+        return self.countries.index_of(code)
+
+    def as_by_name(self, name: str) -> AutonomousSystem:
+        return self.ases.by_name(name)
+
+
+def build_topology(specs: Sequence[ASSpec],
+                   countries: Sequence[Country]) -> Topology:
+    """Place every spec into the address space and build lookup structures.
+
+    Raises when a spec references a country missing from ``countries``.
+    """
+    country_registry = CountryRegistry()
+    for country in countries:
+        country_registry.add(country)
+
+    as_registry = ASRegistry()
+    geoip = GeoIPDatabase(country_registry)
+    populated: Dict[int, np.ndarray] = {}
+
+    cursor = ALLOCATION_BASE
+    for spec in specs:
+        if spec.country not in country_registry:
+            raise ValueError(
+                f"AS {spec.name!r} references unknown country "
+                f"{spec.country!r}")
+        if (spec.geolocates_to is not None
+                and spec.geolocates_to not in country_registry):
+            raise ValueError(
+                f"AS {spec.name!r} geolocates to unknown country "
+                f"{spec.geolocates_to!r}")
+
+        system = as_registry.add(spec)
+        n_slash24 = _slash24_count(spec)
+        prefix, cursor = _allocate(cursor, n_slash24)
+        system.prefixes.append(prefix)
+        geoip.add_prefix(prefix, spec.country,
+                         geolocates_to=spec.geolocates_to)
+        # Populate the leading /24s of the prefix; the rest is guard space
+        # inside the announcement, as real allocations have.
+        bases = prefix.address + 256 * np.arange(n_slash24, dtype=np.uint64)
+        populated[system.index] = bases.astype(np.uint32)
+
+    routing = RoutingTable(as_registry)
+    return Topology(countries=country_registry, ases=as_registry,
+                    routing=routing, geoip=geoip,
+                    populated_slash24s=populated)
+
+
+def _slash24_count(spec: ASSpec) -> int:
+    """Number of /24s to populate for one AS."""
+    total = spec.total_hosts()
+    if total <= 0:
+        return 1
+    per_block = max(spec.hosts_per_slash24, 1.0)
+    return max(1, math.ceil(total / per_block))
+
+
+def _allocate(cursor: int, n_slash24: int) -> tuple:
+    """Allocate an aligned power-of-two prefix holding ``n_slash24`` /24s.
+
+    Returns (prefix, new_cursor).  The prefix size includes guard space so
+    neighbouring ASes are separated by unannounced addresses.
+    """
+    with_guard = max(1, math.ceil(n_slash24 * (1.0 + GUARD_FRACTION)))
+    size_blocks = 1 << (with_guard - 1).bit_length()  # next power of two
+    size_addresses = size_blocks * 256
+    prefix_len = 32 - int(math.log2(size_addresses))
+    # Align the cursor to the prefix size.
+    aligned = (cursor + size_addresses - 1) & ~(size_addresses - 1)
+    if aligned + size_addresses > (1 << 32):
+        raise ValueError("address space exhausted; reduce world size")
+    return IPv4Network(aligned, prefix_len), aligned + size_addresses

@@ -1,0 +1,162 @@
+"""Countries, continents, and IP geolocation.
+
+The paper uses MaxMind GeoIP2 Lite to geolocate hosts.  Our stand-in is a
+prefix-trie database built from the topology's own prefix allocations —
+with optional deliberate *misattributions* to model the anycast/geolocation
+errors the paper encounters (§4.4: hosts "exclusively accessible from
+Australia" that geolocate to the US/EU because Cloudflare anycasts them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.net.ipv4 import IPv4Network
+from repro.net.trie import PrefixTrie
+
+#: Continent codes used throughout (paper origins cover all but AF/AN).
+CONTINENTS = ("AF", "AN", "AS", "EU", "NA", "OC", "SA")
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country (or dependent territory) in the synthetic world."""
+
+    code: str        # ISO-3166 alpha-2, e.g. "JP"
+    name: str
+    continent: str   # one of CONTINENTS
+
+    def __post_init__(self) -> None:
+        if len(self.code) != 2 or not self.code.isupper():
+            raise ValueError(f"invalid country code: {self.code!r}")
+        if self.continent not in CONTINENTS:
+            raise ValueError(f"invalid continent: {self.continent!r}")
+
+
+class CountryRegistry:
+    """An indexed set of countries.
+
+    Countries are referenced by dense integer index in the columnar host
+    table, and by ISO code everywhere user-facing.
+    """
+
+    def __init__(self) -> None:
+        self._countries: List[Country] = []
+        self._by_code: Dict[str, int] = {}
+
+    def add(self, country: Country) -> int:
+        """Register ``country`` and return its dense index (idempotent)."""
+        existing = self._by_code.get(country.code)
+        if existing is not None:
+            return existing
+        index = len(self._countries)
+        self._countries.append(country)
+        self._by_code[country.code] = index
+        return index
+
+    def index_of(self, code: str) -> int:
+        return self._by_code[code]
+
+    def get(self, code: str) -> Country:
+        return self._countries[self._by_code[code]]
+
+    def by_index(self, index: int) -> Country:
+        return self._countries[index]
+
+    def __contains__(self, code: str) -> bool:
+        return code in self._by_code
+
+    def __len__(self) -> int:
+        return len(self._countries)
+
+    def __iter__(self) -> Iterator[Country]:
+        return iter(self._countries)
+
+    def codes(self) -> List[str]:
+        return [c.code for c in self._countries]
+
+
+class GeoIPDatabase:
+    """Prefix → country geolocation with deliberate error support.
+
+    ``true_country`` lookups reflect where the topology actually placed the
+    prefix; ``geolocate`` lookups reflect what a GeoIP database would say,
+    which may differ for prefixes registered with a misattribution (the
+    anycast case).  Analyses use :meth:`geolocate`, exactly as the paper
+    relies on MaxMind rather than ground truth.
+    """
+
+    def __init__(self, registry: CountryRegistry) -> None:
+        self.registry = registry
+        self._true = PrefixTrie()
+        self._observed = PrefixTrie()
+
+    def add_prefix(self, network: IPv4Network, country_code: str,
+                   geolocates_to: Optional[str] = None) -> None:
+        """Register a prefix's true and observed (GeoIP) country."""
+        true_idx = self.registry.index_of(country_code)
+        observed_code = geolocates_to or country_code
+        observed_idx = self.registry.index_of(observed_code)
+        self._true.insert(network, true_idx)
+        self._observed.insert(network, observed_idx)
+
+    def true_country(self, ip: int) -> Optional[Country]:
+        idx = self._true.lookup(ip, default=-1)
+        return None if idx < 0 else self.registry.by_index(idx)
+
+    def geolocate(self, ip: int) -> Optional[Country]:
+        idx = self._observed.lookup(ip, default=-1)
+        return None if idx < 0 else self.registry.by_index(idx)
+
+    def geolocate_index_array(self, ips: np.ndarray) -> np.ndarray:
+        """Vectorized GeoIP lookup → country indices (-1 when unknown)."""
+        raw = self._observed.lookup_index_array(ips)
+        values = self._observed.compiled_values()
+        table = np.array(values + [-1], dtype=np.int64)
+        return table[raw]
+
+    def true_index_array(self, ips: np.ndarray) -> np.ndarray:
+        """Vectorized true-location lookup → country indices."""
+        raw = self._true.lookup_index_array(ips)
+        values = self._true.compiled_values()
+        table = np.array(values + [-1], dtype=np.int64)
+        return table[raw]
+
+
+def default_countries() -> List[Country]:
+    """The country set used by the paper scenario.
+
+    Covers every country named in the paper's tables and figures plus the
+    origin countries; host-count weights live in the scenario, not here.
+    """
+    rows = [
+        ("US", "United States", "NA"), ("CN", "China", "AS"),
+        ("RU", "Russia", "EU"), ("JP", "Japan", "AS"),
+        ("DE", "Germany", "EU"), ("BR", "Brazil", "SA"),
+        ("AU", "Australia", "OC"), ("IT", "Italy", "EU"),
+        ("HK", "Hong Kong", "AS"), ("GB", "Great Britain", "EU"),
+        ("FR", "France", "EU"), ("NL", "Netherlands", "EU"),
+        ("KR", "South Korea", "AS"), ("ZA", "South Africa", "AF"),
+        ("BD", "Bangladesh", "AS"), ("EE", "Estonia", "EU"),
+        ("UA", "Ukraine", "EU"), ("RO", "Romania", "EU"),
+        ("KZ", "Kazakhstan", "AS"), ("AR", "Argentina", "SA"),
+        ("AT", "Austria", "EU"), ("VE", "Venezuela", "SA"),
+        ("EC", "Ecuador", "SA"), ("AM", "Armenia", "AS"),
+        ("AL", "Albania", "EU"), ("BF", "Burkina Faso", "AF"),
+        ("LY", "Libya", "AF"), ("MN", "Mongolia", "AS"),
+        ("MW", "Malawi", "AF"), ("SD", "Sudan", "AF"),
+        ("PL", "Poland", "EU"), ("PT", "Portugal", "EU"),
+        ("CO", "Colombia", "SA"), ("PE", "Peru", "SA"),
+        ("ZW", "Zimbabwe", "AF"), ("TN", "Tunisia", "AF"),
+        ("SN", "Senegal", "AF"), ("BO", "Bolivia", "SA"),
+        ("GR", "Greece", "EU"), ("GU", "Guam", "OC"),
+        ("ES", "Spain", "EU"), ("IN", "India", "AS"),
+        ("CA", "Canada", "NA"), ("MX", "Mexico", "NA"),
+        ("SG", "Singapore", "AS"), ("TW", "Taiwan", "AS"),
+        ("VN", "Vietnam", "AS"), ("TR", "Turkey", "AS"),
+        ("ID", "Indonesia", "AS"), ("SE", "Sweden", "EU"),
+    ]
+    return [Country(code, name, continent) for code, name, continent in rows]

@@ -1,0 +1,146 @@
+"""AS-level connectivity graph and topological distance (§5, §7).
+
+The paper repeatedly tested the intuition that scanning *topologically
+closer* to a destination improves visibility — and found it doesn't:
+"hypotheses based on topological and regional distance, publicly visible
+peering relationships, traceroute results, and packet drop rarely panned
+out" (§7).  To reproduce that negative result we need a notion of
+topological distance at all, so this module builds a plausible AS-level
+graph over the synthetic topology:
+
+* a small clique of Tier-1 transit providers forms the core;
+* every AS multi-homes to 1–3 Tier-1s (clouds/CDNs to more), with a
+  regional bias so continental structure exists;
+* each scan origin attaches to the Tier-1s serving its continent.
+
+Distances are shortest-path hop counts via networkx.  The
+``distance_vs_transient`` analysis then measures whether hop count
+predicts per-AS transient loss — in both the paper and this model, it
+does not, because loss lives in specific paths and policies rather than
+hop counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.origins import Origin
+from repro.rng import CounterRNG
+from repro.topology.asn import ASKind
+from repro.topology.generator import Topology
+
+#: Tier-1 backbone nodes and the continents they primarily serve.
+TIER1_REGIONS = {
+    "T1-NA-1": "NA", "T1-NA-2": "NA",
+    "T1-EU-1": "EU", "T1-EU-2": "EU",
+    "T1-AS-1": "AS", "T1-AS-2": "AS",
+    "T1-SA-1": "SA", "T1-OC-1": "OC",
+}
+
+
+@dataclass
+class ASGraph:
+    """The AS-level graph plus lookup tables."""
+
+    graph: "nx.Graph"
+    #: AS index → graph node name.
+    as_node: Dict[int, str]
+    #: Origin name → graph node name.
+    origin_node: Dict[str, str]
+
+    def distance(self, origin_name: str, as_index: int) -> int:
+        """Shortest-path hop count from an origin to an AS."""
+        return nx.shortest_path_length(
+            self.graph, self.origin_node[origin_name],
+            self.as_node[as_index])
+
+    def distances_from(self, origin_name: str) -> Dict[int, int]:
+        """Hop counts from one origin to every AS."""
+        lengths = nx.single_source_shortest_path_length(
+            self.graph, self.origin_node[origin_name])
+        return {as_index: lengths[node]
+                for as_index, node in self.as_node.items()
+                if node in lengths}
+
+
+def build_as_graph(topology: Topology, origins: Sequence[Origin],
+                   seed: int = 0) -> ASGraph:
+    """Construct the synthetic AS-level graph."""
+    rng = CounterRNG(seed, "as-graph")
+    graph = nx.Graph()
+
+    tier1 = list(TIER1_REGIONS)
+    graph.add_nodes_from(tier1)
+    # Tier-1s form a (nearly) full mesh — the default-free zone.
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1:]:
+            graph.add_edge(a, b)
+
+    continent_of = {c.code: c.continent for c in topology.countries}
+
+    def tier1s_for(continent: str) -> List[str]:
+        local = [name for name, region in TIER1_REGIONS.items()
+                 if region == continent]
+        return local if local else ["T1-NA-1"]
+
+    as_node: Dict[int, str] = {}
+    for system in topology.ases:
+        node = f"AS{system.asn}"
+        graph.add_node(node)
+        as_node[system.index] = node
+        continent = continent_of.get(system.country, "NA")
+        local = tier1s_for(continent)
+        # Everyone homes to one local Tier-1...
+        first = rng.choice(local, "home", system.index)
+        graph.add_edge(node, first)
+        # ...and bigger/multihomed networks buy extra transit anywhere.
+        extra = 2 if system.kind in (ASKind.CLOUD, ASKind.CDN) else \
+            (1 if rng.bernoulli(0.35, "multi", system.index) else 0)
+        for k in range(extra):
+            other = rng.choice(tier1, "extra", system.index, k)
+            graph.add_edge(node, other)
+
+    origin_node: Dict[str, str] = {}
+    for origin in origins:
+        node = f"ORIGIN-{origin.name}"
+        graph.add_node(node)
+        origin_node[origin.name] = node
+        for upstream in tier1s_for(origin.continent):
+            graph.add_edge(node, upstream)
+
+    return ASGraph(graph=graph, as_node=as_node,
+                   origin_node=origin_node)
+
+
+def distance_vs_transient(as_graph: ASGraph, rates,
+                          min_hosts: float = 10.0
+                          ) -> Dict[str, Tuple[float, float]]:
+    """Per-origin Spearman between hop count and transient loss rate.
+
+    ``rates`` is a :class:`repro.core.transient.TransientRates`.  The
+    paper's (negative) finding is |ρ| ≈ 0: scanning closer does not
+    reduce transient loss.
+    """
+    from repro.core.stats import spearman
+
+    present_mean = rates.present.mean(axis=0)
+    eligible = np.flatnonzero(present_mean >= min_hosts)
+    mean_rates = rates.mean_rates()
+
+    out: Dict[str, Tuple[float, float]] = {}
+    for oi, origin in enumerate(rates.origins):
+        if origin not in as_graph.origin_node:
+            continue
+        lengths = as_graph.distances_from(origin)
+        xs, ys = [], []
+        for a in eligible:
+            if int(a) in lengths:
+                xs.append(lengths[int(a)])
+                ys.append(mean_rates[oi, a])
+        out[origin] = spearman(np.array(xs, dtype=float),
+                               np.array(ys, dtype=float))
+    return out

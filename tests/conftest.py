@@ -1,0 +1,110 @@
+"""Shared fixtures: small simulated campaigns and hand-built datasets."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import CampaignDataset, TrialData
+from repro.core.records import L7Status
+from repro.sim.campaign import run_campaign
+from repro.sim.scenario import small_scenario
+
+# ----------------------------------------------------------------------
+# Hand-built TrialData
+# ----------------------------------------------------------------------
+
+#: Short status names for the hand-built dataset helper.
+STATUS = {
+    "none": int(L7Status.NO_L4),
+    "drop": int(L7Status.L4_DROP),
+    "fin": int(L7Status.L4_CLOSE_FIN),
+    "rst": int(L7Status.L4_CLOSE_RST),
+    "ok": int(L7Status.SUCCESS),
+}
+
+
+def make_trial(protocol: str, trial: int, origins: Sequence[str],
+               ips: Sequence[int],
+               l7: Dict[str, Sequence[str]],
+               probe_mask: Optional[Dict[str, Sequence[int]]] = None,
+               time: Optional[Dict[str, Sequence[float]]] = None,
+               as_index: Optional[Sequence[int]] = None,
+               country_index: Optional[Sequence[int]] = None,
+               geo_index: Optional[Sequence[int]] = None,
+               n_probes: int = 2) -> TrialData:
+    """Build a TrialData from terse per-origin status strings.
+
+    ``l7[origin]`` is a list of status names from :data:`STATUS`, aligned
+    with ``ips``.  Probe masks default to 3 (both answered) for statuses
+    with L4 contact and 0 otherwise.
+    """
+    ips_arr = np.array(sorted(ips), dtype=np.uint32)
+    if not np.array_equal(ips_arr, np.array(ips, dtype=np.uint32)):
+        raise ValueError("pass ips pre-sorted so rows line up with l7")
+    n = len(ips_arr)
+    o = len(origins)
+    l7_mat = np.zeros((o, n), dtype=np.uint8)
+    mask_mat = np.zeros((o, n), dtype=np.uint8)
+    time_mat = np.zeros((o, n), dtype=np.float32)
+    for oi, origin in enumerate(origins):
+        statuses = l7[origin]
+        if len(statuses) != n:
+            raise ValueError(f"l7[{origin}] must have {n} entries")
+        codes = [STATUS[s] for s in statuses]
+        l7_mat[oi] = codes
+        if probe_mask is not None and origin in probe_mask:
+            mask_mat[oi] = probe_mask[origin]
+        else:
+            mask_mat[oi] = [3 if c != STATUS["none"] else 0 for c in codes]
+        if time is not None and origin in time:
+            time_mat[oi] = time[origin]
+    return TrialData(
+        protocol=protocol,
+        trial=trial,
+        origins=list(origins),
+        ip=ips_arr,
+        as_index=np.array(as_index if as_index is not None
+                          else [0] * n, dtype=np.int64),
+        country_index=np.array(country_index if country_index is not None
+                               else [0] * n, dtype=np.int64),
+        geo_index=np.array(geo_index if geo_index is not None
+                           else (country_index if country_index is not None
+                                 else [0] * n), dtype=np.int64),
+        probe_mask=mask_mat,
+        l7=l7_mat,
+        time=time_mat,
+        n_probes=n_probes)
+
+
+def make_campaign(tables: List[TrialData],
+                  metadata: Optional[dict] = None) -> CampaignDataset:
+    return CampaignDataset(tables, metadata=metadata
+                           or {"scan_duration_s": 86400.0})
+
+
+# ----------------------------------------------------------------------
+# Simulated campaigns (session-scoped: built once for the whole run)
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="session")
+def small_world():
+    world, origins, config = small_scenario(seed=11)
+    return world, origins, config
+
+
+@pytest.fixture(scope="session")
+def small_campaign(small_world):
+    """A full 3-trial, 3-protocol campaign on the small world."""
+    world, origins, config = small_world
+    return run_campaign(world, origins, config, n_trials=3)
+
+
+@pytest.fixture(scope="session")
+def http_campaign(small_world):
+    """HTTP-only campaign for analyses that need one protocol."""
+    world, origins, config = small_world
+    return run_campaign(world, origins, config, protocols=("http",),
+                        n_trials=3)

@@ -1,0 +1,106 @@
+"""Algebraic property tests for the value-type layers (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.blocklist import Blocklist
+from repro.net.ipv4 import IPv4Network, summarize_range
+from repro.net.trie import PrefixTrie
+
+cidrs = st.tuples(st.integers(0, 2**32 - 1), st.integers(4, 32)).map(
+    lambda t: IPv4Network(t[0], t[1]))
+blocklists = st.lists(cidrs, min_size=0, max_size=8).map(Blocklist)
+probe_ips = st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=15)
+
+
+class TestBlocklistAlgebra:
+    @given(blocklists, blocklists, probe_ips)
+    @settings(max_examples=50, deadline=None)
+    def test_union_commutative(self, a, b, ips):
+        ab = a.union(b)
+        ba = b.union(a)
+        for ip in ips:
+            assert ab.contains(ip) == ba.contains(ip)
+        assert ab.total_excluded() == ba.total_excluded()
+
+    @given(blocklists, blocklists, blocklists, probe_ips)
+    @settings(max_examples=30, deadline=None)
+    def test_union_associative(self, a, b, c, ips):
+        left = a.union(b).union(c)
+        right = a.union(b.union(c))
+        for ip in ips:
+            assert left.contains(ip) == right.contains(ip)
+
+    @given(blocklists, probe_ips)
+    @settings(max_examples=50, deadline=None)
+    def test_union_idempotent(self, a, ips):
+        doubled = a.union(a)
+        for ip in ips:
+            assert doubled.contains(ip) == a.contains(ip)
+        assert doubled.total_excluded() == a.total_excluded()
+
+    @given(blocklists, blocklists)
+    @settings(max_examples=50, deadline=None)
+    def test_union_monotone(self, a, b):
+        merged = a.union(b)
+        assert merged.total_excluded() >= a.total_excluded()
+        assert merged.total_excluded() >= b.total_excluded()
+        assert merged.total_excluded() \
+            <= a.total_excluded() + b.total_excluded()
+
+
+class TestSummarizeRangeMinimality:
+    @given(st.integers(0, 2**24), st.integers(0, 2**12))
+    @settings(max_examples=60, deadline=None)
+    def test_blocks_are_maximal(self, first, span):
+        """No two adjacent blocks could have been merged into one CIDR."""
+        last = first + span
+        nets = list(summarize_range(first, last))
+        for left, right in zip(nets, nets[1:]):
+            # Same-size adjacent aligned blocks would merge → the
+            # summary would not be minimal.
+            if left.prefix_len == right.prefix_len:
+                merged_size = left.num_addresses * 2
+                assert left.address % merged_size != 0 \
+                    or right.address != left.address + left.num_addresses
+
+
+class TestTrieRebuild:
+    @given(st.lists(st.tuples(st.integers(0, 2**32 - 1),
+                              st.integers(0, 32),
+                              st.integers(0, 5)),
+                    min_size=0, max_size=10),
+           probe_ips)
+    @settings(max_examples=40, deadline=None)
+    def test_items_round_trip(self, entries, ips):
+        """Rebuilding a trie from items() reproduces all lookups."""
+        original = PrefixTrie()
+        for addr, length, value in entries:
+            original.insert(IPv4Network(addr, length), value)
+        rebuilt = PrefixTrie()
+        for net, value in original.items():
+            rebuilt.insert(net, value)
+        assert len(rebuilt) == len(original)
+        for ip in ips:
+            assert rebuilt.lookup(ip) == original.lookup(ip)
+
+
+class TestBootstrapCoverageProperty:
+    @given(st.integers(20, 300), st.floats(0.1, 0.95))
+    @settings(max_examples=20, deadline=None)
+    def test_interval_brackets_point(self, n, rate):
+        from repro.core.bootstrap import coverage_interval
+        from tests.conftest import make_trial
+        ok = int(n * rate)
+        td = make_trial("http", 0, ["A"], list(range(1, n + 1)),
+                        l7={"A": ["ok"] * ok + ["drop"] * (n - ok)})
+        # With one origin the ground truth is only the hosts A saw, so
+        # add a second origin seeing everything to keep misses in GT.
+        td = make_trial("http", 0, ["A", "B"], list(range(1, n + 1)),
+                        l7={"A": ["ok"] * ok + ["drop"] * (n - ok),
+                            "B": ["ok"] * n})
+        ci = coverage_interval(td, "A", replicates=100)
+        assert ci.low <= ci.point <= ci.high
+        assert ci.point == pytest.approx(ok / n)

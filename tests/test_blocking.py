@@ -1,0 +1,357 @@
+"""Tests for the destination-side blocking systems."""
+
+import numpy as np
+import pytest
+
+from repro.blocking.firewall import (
+    ReputationFirewallSpec,
+    StaticBlockSpec,
+    covered_hosts_mask,
+)
+from repro.blocking.flaky import L7FlakyModel, L7FlakySpec
+from repro.blocking.ids import RateIDS, RateIDSSpec
+from repro.blocking.maxstartups import MaxStartupsModel, MaxStartupsSpec
+from repro.blocking.regional import RegionalPolicySpec
+from repro.blocking.temporal import TemporalRSTBlocker, TemporalRSTSpec
+from repro.origins import Origin
+from repro.rng import CounterRNG
+
+AU = Origin("AU", "AU", "OC", reputation=2.0)
+JP = Origin("JP", "JP", "AS", reputation=0.0)
+CEN = Origin("CEN", "US", "NA", kind="commercial", reputation=500.0)
+US64 = Origin("US64", "US", "NA", reputation=5.0, n_source_ips=64)
+
+
+class TestReputationFirewall:
+    def test_blocks_by_threshold(self):
+        spec = ReputationFirewallSpec(min_reputation=100.0)
+        assert spec.blocks(CEN)
+        assert not spec.blocks(AU)
+        assert not spec.blocks(JP)
+
+    def test_coverage_validation(self):
+        with pytest.raises(ValueError):
+            ReputationFirewallSpec(min_reputation=1.0, coverage=1.5)
+
+    def test_coverage_ramp(self):
+        spec = ReputationFirewallSpec(min_reputation=1.0, coverage=0.9,
+                                      full_coverage_from_trial=2)
+        assert spec.coverage_in_trial(0) == 0.9
+        assert spec.coverage_in_trial(1) == 0.9
+        assert spec.coverage_in_trial(2) == 1.0
+
+    def test_constant_coverage_default(self):
+        spec = ReputationFirewallSpec(min_reputation=1.0, coverage=0.5)
+        assert spec.coverage_in_trial(0) == 0.5
+        assert spec.coverage_in_trial(2) == 0.5
+
+
+class TestStaticBlock:
+    def test_blocks_named_origins(self):
+        spec = StaticBlockSpec(origins=frozenset({"AU", "CEN"}))
+        assert spec.blocks(AU)
+        assert spec.blocks(CEN)
+        assert not spec.blocks(JP)
+
+    def test_coverage_validation(self):
+        with pytest.raises(ValueError):
+            StaticBlockSpec(origins=frozenset({"AU"}), coverage=-0.1)
+
+
+class TestCoveredHostsMask:
+    def test_extremes(self):
+        rng = CounterRNG(1, "fw")
+        ids = np.arange(100, dtype=np.uint64)
+        assert covered_hosts_mask(rng, ids, 1, 1.0, "x").all()
+        assert not covered_hosts_mask(rng, ids, 1, 0.0, "x").any()
+
+    def test_fraction_and_persistence(self):
+        rng = CounterRNG(1, "fw")
+        ids = np.arange(20000, dtype=np.uint64)
+        mask_a = covered_hosts_mask(rng, ids, 1, 0.3, "x")
+        mask_b = covered_hosts_mask(rng, ids, 1, 0.3, "x")
+        assert np.array_equal(mask_a, mask_b)
+        assert abs(mask_a.mean() - 0.3) < 0.02
+
+    def test_coverage_sets_are_nested(self):
+        """Growing coverage only adds hosts — required for EGI's ramp."""
+        rng = CounterRNG(1, "fw")
+        ids = np.arange(5000, dtype=np.uint64)
+        small = covered_hosts_mask(rng, ids, 1, 0.3, "x")
+        large = covered_hosts_mask(rng, ids, 1, 0.8, "x")
+        assert (large | small).sum() == large.sum()
+
+    def test_differs_by_as_and_label(self):
+        rng = CounterRNG(1, "fw")
+        ids = np.arange(5000, dtype=np.uint64)
+        a = covered_hosts_mask(rng, ids, 1, 0.5, "x")
+        b = covered_hosts_mask(rng, ids, 2, 0.5, "x")
+        c = covered_hosts_mask(rng, ids, 1, 0.5, "y")
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestRegionalPolicy:
+    def test_allowlist(self):
+        spec = RegionalPolicySpec(allow_countries=frozenset({"JP"}))
+        assert not spec.blocks(JP)
+        assert spec.blocks(AU)
+        assert spec.blocks(CEN)
+
+    def test_blocklist(self):
+        spec = RegionalPolicySpec(block_countries=frozenset({"BR", "JP"}))
+        assert spec.blocks(JP)
+        assert not spec.blocks(AU)
+
+    def test_allowlist_applied_before_blocklist(self):
+        spec = RegionalPolicySpec(allow_countries=frozenset({"AU"}),
+                                  block_countries=frozenset({"AU"}))
+        assert spec.blocks(AU)  # blocklisted even though allowlisted
+
+    def test_coverage_validation(self):
+        with pytest.raises(ValueError):
+            RegionalPolicySpec(coverage=1.2)
+
+
+class TestRateIDS:
+    def _ids(self):
+        return RateIDS(CounterRNG(4, "w"))
+
+    def test_under_threshold_not_detected(self):
+        spec = RateIDSSpec(per_ip_rate_threshold=1.0)
+        assert self._ids().detection_time(spec, AU, 1, 0.5, "http") is None
+
+    def test_over_threshold_detected(self):
+        spec = RateIDSSpec(per_ip_rate_threshold=1.0)
+        detect = self._ids().detection_time(spec, AU, 1, 2.0, "http")
+        assert detect is not None and detect >= 0.0
+
+    def test_multi_ip_evasion(self):
+        """The §4.3 story: 64 source IPs dilute the per-IP rate."""
+        spec = RateIDSSpec(per_ip_rate_threshold=1.0)
+        single_rate = 2.0
+        diluted = single_rate / US64.n_source_ips
+        ids = self._ids()
+        assert ids.detection_time(spec, AU, 1, single_rate, "http") \
+            is not None
+        assert ids.detection_time(spec, US64, 1, diluted, "http") is None
+
+    def test_protocol_filter(self):
+        spec = RateIDSSpec(per_ip_rate_threshold=1.0, protocols=("ssh",))
+        ids = self._ids()
+        assert ids.detection_time(spec, AU, 1, 5.0, "http") is None
+        assert ids.detection_time(spec, AU, 1, 5.0, "ssh") is not None
+
+    def test_detection_deterministic(self):
+        spec = RateIDSSpec(per_ip_rate_threshold=1.0)
+        a = self._ids().detection_time(spec, AU, 1, 5.0, "http")
+        b = self._ids().detection_time(spec, AU, 1, 5.0, "http")
+        assert a == b
+
+    def test_blocked_at_semantics(self):
+        spec = RateIDSSpec(per_ip_rate_threshold=1.0,
+                           detection_delay_mean_s=1000.0)
+        ids = self._ids()
+        detect = ids.detection_time(spec, AU, 1, 5.0, "http")
+        # Before detection in the first trial: open.
+        assert not ids.blocked_at(spec, AU, 1, 5.0, "http", 0, 0,
+                                  detect - 1.0)
+        # After detection: blocked.
+        assert ids.blocked_at(spec, AU, 1, 5.0, "http", 0, 0,
+                              detect + 1.0)
+        # Later trials: persistently blocked from t=0.
+        assert ids.blocked_at(spec, AU, 1, 5.0, "http", 2, 0, 0.0)
+
+    def test_non_persistent_ids(self):
+        spec = RateIDSSpec(per_ip_rate_threshold=1.0, persistent=False)
+        ids = self._ids()
+        assert not ids.blocked_at(spec, AU, 1, 5.0, "http", 2, 0, 0.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            RateIDSSpec(per_ip_rate_threshold=0.0)
+        with pytest.raises(ValueError):
+            RateIDSSpec(coverage=1.5)
+
+
+class TestTemporalRST:
+    def _blocker(self):
+        return TemporalRSTBlocker(CounterRNG(6, "w"))
+
+    def test_protocol_filter(self):
+        spec = TemporalRSTSpec(detection_prob=1.0)
+        blocker = self._blocker()
+        assert blocker.detection_time(spec, AU, 1, 0, "http", 1000.0) \
+            is None
+        assert blocker.detection_time(spec, AU, 1, 0, "ssh", 1000.0) \
+            is not None
+
+    def test_detection_time_in_range(self):
+        spec = TemporalRSTSpec(detection_prob=1.0)
+        blocker = self._blocker()
+        for trial in range(5):
+            detect = blocker.detection_time(spec, AU, 1, trial, "ssh",
+                                            1000.0)
+            assert 0.0 <= detect <= 1000.0
+
+    def test_detection_varies_by_trial(self):
+        spec = TemporalRSTSpec(detection_prob=1.0,
+                               detect_fraction_jitter=0.35)
+        blocker = self._blocker()
+        times = {blocker.detection_time(spec, AU, 1, t, "ssh", 1000.0)
+                 for t in range(4)}
+        assert len(times) > 1
+
+    def test_multi_ip_detected_less_often(self):
+        spec = TemporalRSTSpec(detection_prob=0.9,
+                               multi_ip_detection_prob=0.05)
+        blocker = self._blocker()
+        single = sum(blocker.detection_time(spec, AU, a, 0, "ssh", 1.0)
+                     is not None for a in range(400))
+        multi = sum(blocker.detection_time(spec, US64, a, 0, "ssh", 1.0)
+                    is not None for a in range(400))
+        assert single > 300
+        assert multi < 60
+
+    def test_rst_at(self):
+        spec = TemporalRSTSpec(detection_prob=1.0,
+                               detect_fraction_mean=0.5,
+                               detect_fraction_jitter=0.0)
+        blocker = self._blocker()
+        assert not blocker.rst_at(spec, AU, 1, 0, "ssh", 100.0, 1000.0)
+        assert blocker.rst_at(spec, AU, 1, 0, "ssh", 900.0, 1000.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            TemporalRSTSpec(detection_prob=1.5)
+
+
+class TestMaxStartups:
+    def _model(self):
+        return MaxStartupsModel(CounterRNG(8, "w"))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            MaxStartupsSpec(fraction=-0.1)
+        with pytest.raises(ValueError):
+            MaxStartupsSpec(refuse_prob_mean=1.5)
+
+    def test_affected_fraction(self):
+        model = self._model()
+        spec = MaxStartupsSpec(fraction=0.4)
+        ids = np.arange(20000, dtype=np.uint64)
+        assert abs(model.affected_mask(spec, ids).mean() - 0.4) < 0.02
+
+    def test_affected_persistent(self):
+        model = self._model()
+        spec = MaxStartupsSpec(fraction=0.4)
+        ids = np.arange(1000, dtype=np.uint64)
+        assert np.array_equal(model.affected_mask(spec, ids),
+                              model.affected_mask(spec, ids))
+
+    def test_refuse_probs_in_configured_band(self):
+        model = self._model()
+        spec = MaxStartupsSpec(fraction=1.0, refuse_prob_mean=0.5,
+                               refuse_prob_spread=0.2)
+        probs = model.refuse_probs(spec, np.arange(10000, dtype=np.uint64))
+        assert probs.min() >= 0.3 - 1e-9
+        assert probs.max() <= 0.7 + 1e-9
+        assert abs(probs.mean() - 0.5) < 0.01
+
+    def test_retries_are_independent_draws(self):
+        """Retrying must help — Figure 13's mechanism."""
+        model = self._model()
+        spec = MaxStartupsSpec(fraction=1.0, refuse_prob_mean=0.6,
+                               refuse_prob_spread=0.0)
+        ids = np.arange(20000, dtype=np.uint64)
+        refused_0 = model.refused_mask(spec, ids, "US1", 0, attempt=0)
+        refused_1 = model.refused_mask(spec, ids, "US1", 0, attempt=1)
+        both = (refused_0 & refused_1).mean()
+        assert abs(both - 0.36) < 0.02  # 0.6 * 0.6 if independent
+
+    def test_solo_factor_reduces_refusals(self):
+        model = self._model()
+        spec = MaxStartupsSpec(fraction=1.0, refuse_prob_mean=0.6,
+                               refuse_prob_spread=0.0, solo_factor=0.5)
+        ids = np.arange(20000, dtype=np.uint64)
+        sync = model.refused_mask(spec, ids, "US1", 0).mean()
+        solo = model.refused_mask(spec, ids, "US1", 0, solo=True).mean()
+        assert abs(sync - 0.6) < 0.02
+        assert abs(solo - 0.3) < 0.02
+
+    def test_scalar_matches_vector(self):
+        model = self._model()
+        spec = MaxStartupsSpec(fraction=0.5, refuse_prob_mean=0.5)
+        ids = np.arange(200, dtype=np.uint64)
+        vec = model.refused_mask(spec, ids, "AU", 1, attempt=2)
+        for i in range(200):
+            assert model.refused_one(spec, int(ids[i]), "AU", 1,
+                                     attempt=2) == vec[i]
+
+    def test_unaffected_hosts_never_refuse(self):
+        model = self._model()
+        spec = MaxStartupsSpec(fraction=0.3, refuse_prob_mean=0.9,
+                               refuse_prob_spread=0.05)
+        ids = np.arange(5000, dtype=np.uint64)
+        affected = model.affected_mask(spec, ids)
+        refused = model.refused_mask(spec, ids, "AU", 0)
+        assert not (refused & ~affected).any()
+
+
+class TestL7Flaky:
+    def _model(self):
+        return L7FlakyModel(CounterRNG(9, "w"))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            L7FlakySpec(flaky_fraction=1.5)
+        with pytest.raises(ValueError):
+            L7FlakySpec(drop_share=-0.5)
+
+    def test_dead_mask_fraction_and_persistence(self):
+        model = self._model()
+        spec = L7FlakySpec(dead_fraction=0.1)
+        ids = np.arange(20000, dtype=np.uint64)
+        dead = model.dead_mask(spec, ids, "http")
+        assert abs(dead.mean() - 0.1) < 0.01
+        assert np.array_equal(dead, model.dead_mask(spec, ids, "http"))
+
+    def test_failure_rate(self):
+        model = self._model()
+        spec = L7FlakySpec(flaky_fraction=0.5, fail_prob=0.4)
+        ids = np.arange(40000, dtype=np.uint64)
+        fails, _ = model.failure_masks(spec, ids, "http", "AU", 0)
+        assert abs(fails.mean() - 0.2) < 0.01
+
+    def test_drops_subset_of_fails(self):
+        model = self._model()
+        spec = L7FlakySpec(flaky_fraction=0.5, fail_prob=0.5,
+                           drop_share=0.7)
+        ids = np.arange(40000, dtype=np.uint64)
+        fails, drops = model.failure_masks(spec, ids, "http", "AU", 0)
+        assert not (drops & ~fails).any()
+        assert abs(drops.sum() / fails.sum() - 0.7) < 0.03
+
+    def test_failures_vary_by_origin_and_trial(self):
+        model = self._model()
+        spec = L7FlakySpec(flaky_fraction=1.0, fail_prob=0.5)
+        ids = np.arange(5000, dtype=np.uint64)
+        a, _ = model.failure_masks(spec, ids, "http", "AU", 0)
+        b, _ = model.failure_masks(spec, ids, "http", "JP", 0)
+        c, _ = model.failure_masks(spec, ids, "http", "AU", 1)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_params_form_matches_spec_form(self):
+        model = self._model()
+        spec = L7FlakySpec(flaky_fraction=0.4, fail_prob=0.3,
+                           drop_share=0.6, dead_fraction=0.05)
+        ids = np.arange(3000, dtype=np.uint64)
+        fails_a, drops_a = model.failure_masks(spec, ids, "ssh", "DE", 2)
+        fails_b, drops_b = model.failure_masks_params(
+            np.full(ids.shape, spec.flaky_fraction),
+            np.full(ids.shape, spec.fail_prob),
+            np.full(ids.shape, spec.drop_share),
+            ids, "ssh", "DE", 2)
+        assert np.array_equal(fails_a, fails_b)
+        assert np.array_equal(drops_a, drops_b)

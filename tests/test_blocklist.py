@@ -1,0 +1,107 @@
+"""Tests for scan exclusion blocklists."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.blocklist import Blocklist
+from repro.net.ipv4 import IPv4Network, parse_ipv4
+
+
+class TestConstruction:
+    def test_empty(self):
+        bl = Blocklist()
+        assert len(bl) == 0
+        assert not bl
+        assert bl.total_excluded() == 0
+        assert not bl.contains(parse_ipv4("1.2.3.4"))
+
+    def test_from_cidrs(self):
+        bl = Blocklist.from_cidrs(["10.0.0.0/8", "192.0.2.0/24"])
+        assert bl.contains(parse_ipv4("10.1.2.3"))
+        assert bl.contains(parse_ipv4("192.0.2.200"))
+        assert not bl.contains(parse_ipv4("11.0.0.1"))
+
+    def test_from_text_with_comments(self):
+        text = """
+        # institutional exclusions
+        10.0.0.0/8      corp asked nicely
+        192.0.2.7       # single host
+        """
+        bl = Blocklist.from_text(text)
+        assert bl.contains(parse_ipv4("10.255.0.1"))
+        assert bl.contains(parse_ipv4("192.0.2.7"))
+        assert not bl.contains(parse_ipv4("192.0.2.8"))
+
+    def test_adjacent_ranges_merge(self):
+        bl = Blocklist.from_cidrs(["10.0.0.0/25", "10.0.0.128/25"])
+        assert len(bl) == 1
+        assert bl.total_excluded() == 256
+
+    def test_overlapping_ranges_merge(self):
+        bl = Blocklist.from_cidrs(["10.0.0.0/8", "10.1.0.0/16"])
+        assert len(bl) == 1
+        assert bl.total_excluded() == 2**24
+
+
+class TestUnion:
+    def test_union_is_synchronized_blocklist(self):
+        a = Blocklist.from_cidrs(["10.0.0.0/8"])
+        b = Blocklist.from_cidrs(["192.0.2.0/24"])
+        merged = a.union(b)
+        assert merged.contains(parse_ipv4("10.0.0.1"))
+        assert merged.contains(parse_ipv4("192.0.2.1"))
+        assert a.total_excluded() + b.total_excluded() \
+            == merged.total_excluded()
+
+    def test_union_with_empty(self):
+        a = Blocklist.from_cidrs(["10.0.0.0/8"])
+        merged = a.union(Blocklist())
+        assert merged.total_excluded() == a.total_excluded()
+
+    def test_union_overlapping(self):
+        a = Blocklist.from_cidrs(["10.0.0.0/8"])
+        b = Blocklist.from_cidrs(["10.0.0.0/16"])
+        assert a.union(b).total_excluded() == 2**24
+
+
+class TestMembership:
+    def test_boundaries(self):
+        bl = Blocklist.from_cidrs(["192.0.2.0/24"])
+        assert bl.contains(parse_ipv4("192.0.2.0"))
+        assert bl.contains(parse_ipv4("192.0.2.255"))
+        assert not bl.contains(parse_ipv4("192.0.1.255"))
+        assert not bl.contains(parse_ipv4("192.0.3.0"))
+
+    def test_vector_matches_scalar(self):
+        bl = Blocklist.from_cidrs(["10.0.0.0/8", "192.0.2.0/24"])
+        ips = np.array([parse_ipv4(s) for s in
+                        ("9.255.255.255", "10.0.0.0", "10.255.255.255",
+                         "11.0.0.0", "192.0.2.128")], dtype=np.uint32)
+        assert list(bl.contains_array(ips)) \
+            == [bl.contains(int(ip)) for ip in ips]
+
+    def test_vector_on_empty(self):
+        bl = Blocklist()
+        assert not bl.contains_array(
+            np.array([1, 2, 3], dtype=np.uint32)).any()
+
+    def test_intervals_sorted_disjoint(self):
+        bl = Blocklist.from_cidrs(["192.0.2.0/24", "10.0.0.0/8"])
+        intervals = list(bl.intervals())
+        assert intervals == sorted(intervals)
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 < s2
+
+    @given(st.lists(st.tuples(st.integers(0, 2**32 - 1),
+                              st.integers(8, 32)),
+                    min_size=1, max_size=10),
+           st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_membership_matches_networks(self, prefixes, ips):
+        nets = [IPv4Network(a, l) for a, l in prefixes]
+        bl = Blocklist(nets)
+        for ip in ips:
+            expected = any(net.contains(ip) for net in nets)
+            assert bl.contains(ip) == expected

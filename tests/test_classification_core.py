@@ -1,0 +1,210 @@
+"""Tests for ground truth, coverage, and miss classification.
+
+These use small hand-built datasets where every expected classification
+can be verified by eye against §3's definitions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.classification import (
+    MissCategory,
+    breakdown_by_origin,
+    classify_misses,
+    figure2_rows,
+)
+from repro.core.coverage import (
+    coverage_by_origin,
+    coverage_table,
+    median_single_origin_coverage,
+)
+from repro.core.ground_truth import (
+    build_presence,
+    ground_truth_ips,
+    union_ground_truth,
+)
+from tests.conftest import make_campaign, make_trial
+
+
+def three_trial_campaign():
+    """Hosts engineered to hit every classification bucket for origin A.
+
+    ip 10: seen by A in every trial                      → ACCESSIBLE
+    ip 20: missed by A in trial 1 only                   → TRANSIENT
+    ip 30: missed by A in all trials, seen by B          → LONG_TERM
+    ip 40: exists only in trial 0 (B sees it), A misses  → UNKNOWN
+    ip 50: exists only in trial 0, A sees it             → ACCESSIBLE
+    ip 60: never completes L7 anywhere                   → not in universe
+    """
+    ips = [10, 20, 30, 40, 50, 60]
+    tables = [
+        make_trial("http", 0, ["A", "B"], ips, l7={
+            "A": ["ok", "ok", "drop", "none", "ok", "none"],
+            "B": ["ok", "ok", "ok", "ok", "none", "drop"]}),
+        make_trial("http", 1, ["A", "B"], [10, 20, 30], l7={
+            "A": ["ok", "none", "none"],
+            "B": ["ok", "ok", "ok"]}),
+        make_trial("http", 2, ["A", "B"], [10, 20, 30], l7={
+            "A": ["ok", "ok", "drop"],
+            "B": ["ok", "ok", "ok"]}),
+    ]
+    return make_campaign(tables)
+
+
+class TestGroundTruth:
+    def test_per_trial_ground_truth(self):
+        ds = three_trial_campaign()
+        assert list(ground_truth_ips(ds.trial_data("http", 0))) \
+            == [10, 20, 30, 40, 50]
+        assert list(ground_truth_ips(ds.trial_data("http", 1))) \
+            == [10, 20, 30]
+
+    def test_union(self):
+        ds = three_trial_campaign()
+        assert list(union_ground_truth(ds, "http")) == [10, 20, 30, 40, 50]
+
+    def test_presence_matrix(self):
+        ds = three_trial_campaign()
+        presence = build_presence(ds, "http")
+        assert list(presence.ips) == [10, 20, 30, 40, 50]
+        assert list(presence.present[0]) == [True] * 5
+        assert list(presence.present[1]) == [True, True, True, False,
+                                             False]
+        assert list(presence.present_trial_counts()) == [3, 3, 3, 1, 1]
+
+    def test_accessible_implies_present(self):
+        ds = three_trial_campaign()
+        presence = build_presence(ds, "http")
+        assert not np.any(presence.accessible
+                          & ~presence.present[np.newaxis, :, :])
+
+    def test_single_probe_universe_shrinks_or_equal(self):
+        ds = three_trial_campaign()
+        full = union_ground_truth(ds, "http")
+        single = union_ground_truth(ds, "http", single_probe=True)
+        assert set(single.tolist()) <= set(full.tolist())
+
+
+class TestCoverage:
+    def test_coverage_by_origin(self):
+        ds = three_trial_campaign()
+        cov = coverage_by_origin(ds.trial_data("http", 0))
+        # Trial 0 ground truth has 5 hosts; A sees 10, 20, 50.
+        assert cov["A"] == pytest.approx(3 / 5)
+        assert cov["B"] == pytest.approx(4 / 5)
+
+    def test_coverage_table(self):
+        ds = three_trial_campaign()
+        table = coverage_table(ds, "http")
+        assert table.union_size == {0: 5, 1: 3, 2: 3}
+        # Intersection in trial 1: both see only ip 10.
+        assert table.intersection[1] == pytest.approx(1 / 3)
+        assert table.mean_coverage("B") == pytest.approx(
+            np.mean([4 / 5, 1.0, 1.0]))
+        rows = table.rows()
+        assert len(rows) == 4  # 3 trials + mean
+
+    def test_median_single_origin(self):
+        ds = three_trial_campaign()
+        med = median_single_origin_coverage(ds, "http")
+        # A: 3/5, 1/3, 2/3 over the trials; B: 4/5, 1, 1.
+        values = [3 / 5, 1 / 3, 2 / 3, 4 / 5, 1.0, 1.0]
+        assert med == pytest.approx(np.median(values))
+
+
+class TestClassification:
+    def test_expected_categories_for_a(self):
+        ds = three_trial_campaign()
+        cls = classify_misses(ds, "http", "A")
+        cats = {int(ip): [MissCategory(c) for c in cls.category[:, i]]
+                for i, ip in enumerate(cls.ips)}
+        assert cats[10] == [MissCategory.ACCESSIBLE] * 3
+        assert cats[20] == [MissCategory.ACCESSIBLE,
+                            MissCategory.TRANSIENT,
+                            MissCategory.ACCESSIBLE]
+        assert cats[30] == [MissCategory.LONG_TERM] * 3
+        assert cats[40] == [MissCategory.UNKNOWN,
+                            MissCategory.NOT_PRESENT,
+                            MissCategory.NOT_PRESENT]
+        assert cats[50] == [MissCategory.ACCESSIBLE,
+                            MissCategory.NOT_PRESENT,
+                            MissCategory.NOT_PRESENT]
+
+    def test_b_sees_everything_it_could(self):
+        ds = three_trial_campaign()
+        cls = classify_misses(ds, "http", "B")
+        # B misses only ip 50 (present in trial 0 only) → UNKNOWN.
+        assert not cls.long_term_mask().any()
+        unknown = cls.ever_category(MissCategory.UNKNOWN)
+        assert list(cls.ips[unknown]) == [50]
+
+    def test_counts_and_missing_mask(self):
+        ds = three_trial_campaign()
+        cls = classify_misses(ds, "http", "A")
+        counts = cls.counts(0)
+        assert counts[MissCategory.ACCESSIBLE] == 3
+        assert counts[MissCategory.LONG_TERM] == 1
+        assert counts[MissCategory.UNKNOWN] == 1
+        assert cls.missing_mask(0).sum() == 2
+
+    def test_breakdown_covers_all_origins(self):
+        ds = three_trial_campaign()
+        breakdown = breakdown_by_origin(ds, "http")
+        assert set(breakdown) == {"A", "B"}
+
+    def test_figure2_rows(self):
+        ds = three_trial_campaign()
+        rows = figure2_rows(ds, "http")
+        assert len(rows) == 6  # 2 origins × 3 trials
+        a0 = next(r for r in rows
+                  if r["origin"] == "A" and r["trial"] == 0)
+        assert a0["long_term_host"] + a0["long_term_network"] == 1
+        assert a0["unknown"] == 1
+
+    def test_two_trial_miss_is_long_term(self):
+        """A host present twice and missed twice is long-term (§3)."""
+        tables = [
+            make_trial("http", 0, ["A", "B"], [10],
+                       l7={"A": ["drop"], "B": ["ok"]}),
+            make_trial("http", 1, ["A", "B"], [10],
+                       l7={"A": ["none"], "B": ["ok"]}),
+        ]
+        ds = make_campaign(tables)
+        cls = classify_misses(ds, "http", "A")
+        assert [MissCategory(c) for c in cls.category[:, 0]] \
+            == [MissCategory.LONG_TERM] * 2
+
+
+class TestNetworkSplit:
+    def test_whole_slash24_counts_as_network(self):
+        """Two same-/24 hosts consistently missed → network-level miss."""
+        ips = [256, 257, 512]  # 0.0.1.0/24 twice, 0.0.2.0/24 once
+        tables = [
+            make_trial("http", t, ["A", "B"], ips, l7={
+                "A": ["drop", "drop", "drop"],
+                "B": ["ok", "ok", "ok"]})
+            for t in range(2)
+        ]
+        ds = make_campaign(tables)
+        cls = classify_misses(ds, "http", "A")
+        split = cls.network_split(0, MissCategory.LONG_TERM)
+        assert split == {"host": 1, "network": 2}
+
+    def test_mixed_slash24_is_host_level(self):
+        ips = [256, 257]
+        tables = [
+            make_trial("http", t, ["A", "B"], ips, l7={
+                "A": ["drop", "ok"],
+                "B": ["ok", "ok"]})
+            for t in range(2)
+        ]
+        ds = make_campaign(tables)
+        cls = classify_misses(ds, "http", "A")
+        split = cls.network_split(0, MissCategory.LONG_TERM)
+        assert split == {"host": 1, "network": 0}
+
+    def test_empty_category(self):
+        ds = three_trial_campaign()
+        cls = classify_misses(ds, "http", "B")
+        assert cls.network_split(1, MissCategory.LONG_TERM) \
+            == {"host": 0, "network": 0}

@@ -1,0 +1,88 @@
+"""Tests for the CLI and the full-report generator."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.report import full_report
+from repro.io.ndjson import load_campaign
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    target = tmp_path_factory.mktemp("cli-campaign")
+    code = main(["simulate", str(target), "--scale", "0.04",
+                 "--trials", "2", "--protocols", "http", "ssh",
+                 "--seed", "9"])
+    assert code == 0
+    return target
+
+
+class TestSimulate:
+    def test_writes_loadable_dataset(self, dataset_dir):
+        ds = load_campaign(str(dataset_dir))
+        assert set(ds.protocols) == {"http", "ssh"}
+        assert ds.trials_for("http") == [0, 1]
+
+    def test_followup_scenario(self, tmp_path):
+        code = main(["simulate", str(tmp_path / "f"), "--scale", "0.04",
+                     "--trials", "1", "--protocols", "http",
+                     "--scenario", "followup"])
+        assert code == 0
+        ds = load_campaign(str(tmp_path / "f"))
+        assert "HE" in ds.trial_data("http", 0).origins
+
+
+class TestReportCommand:
+    def test_report_runs(self, dataset_dir, capsys):
+        assert main(["report", str(dataset_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "[coverage] http" in out
+        assert "[ssh mechanisms" in out
+        assert "[mcnemar]" in out
+        assert "[/24 agreement]" in out
+
+    def test_coverage_command_with_csv(self, dataset_dir, tmp_path,
+                                       capsys):
+        csv_path = tmp_path / "cov.csv"
+        assert main(["coverage", str(dataset_dir),
+                     "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "coverage — http" in out
+        assert csv_path.exists()
+
+
+class TestPlanCommand:
+    def test_plan_runs(self, dataset_dir, capsys):
+        assert main(["plan", str(dataset_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "greedy origin plan" in out
+        assert "diminishing returns" in out
+
+    def test_plan_single_probe(self, dataset_dir, capsys):
+        assert main(["plan", str(dataset_dir), "--protocol", "ssh",
+                     "--single-probe"]) == 0
+        assert "ssh" in capsys.readouterr().out
+
+
+class TestValidateCommand:
+    def test_validate_passes_on_default_world(self, capsys):
+        code = main(["validate", "--scale", "0.04", "--sample", "0.5"])
+        out = capsys.readouterr().out
+        assert "rate validation" in out
+        assert code == 0
+
+
+class TestFullReport:
+    def test_contains_every_section(self, small_campaign):
+        text = full_report(small_campaign)
+        for marker in ("[coverage]", "[missing hosts", "[exclusivity]",
+                       "[long-term misses on the wire]",
+                       "[transient overlap]", "[drop estimates]",
+                       "[bursts]", "[ssh mechanisms",
+                       "[multi-origin coverage]", "[mcnemar]",
+                       "[/24 agreement]", "[asynchrony]", "[diurnal]"):
+            assert marker in text, marker
+
+    def test_report_is_deterministic(self, small_campaign):
+        assert full_report(small_campaign) == full_report(small_campaign)

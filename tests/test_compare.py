@@ -1,0 +1,96 @@
+"""Tests for campaign-to-campaign comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core.compare import (
+    compare_coverage,
+    compare_visibility,
+)
+from tests.conftest import make_campaign, make_trial
+
+
+def campaign(a_rate_ok, b_rate_ok, n=100):
+    """Single-trial campaign where A and B see given host fractions."""
+    ips = list(range(1, n + 1))
+    a_ok = int(n * a_rate_ok)
+    b_ok = int(n * b_rate_ok)
+    l7 = {"A": ["ok"] * a_ok + ["drop"] * (n - a_ok),
+          "B": ["drop"] * (n - b_ok) + ["ok"] * b_ok}
+    return make_campaign([make_trial("http", 0, ["A", "B"], ips, l7=l7)])
+
+
+class TestCompareCoverage:
+    def test_deltas(self):
+        before = campaign(0.8, 0.9)
+        after = campaign(0.9, 0.85)
+        delta = compare_coverage(before, after, "http")
+        b, a, d = delta.by_origin["A"]
+        assert b == pytest.approx(0.8)
+        assert a == pytest.approx(0.9)
+        assert d == pytest.approx(0.1)
+        assert delta.biggest_gain() == "A"
+        assert delta.biggest_loss() == "B"
+
+    def test_only_shared_origins(self):
+        before = campaign(0.8, 0.9)
+        after_tables = [make_trial("http", 0, ["A", "C"], [1, 2],
+                                   l7={"A": ["ok", "ok"],
+                                       "C": ["ok", "ok"]})]
+        after = make_campaign(after_tables)
+        delta = compare_coverage(before, after, "http")
+        assert set(delta.by_origin) == {"A"}
+
+    def test_simulated_censys_reip(self, small_world):
+        """The paper's Censys re-IP: fresh range → coverage gain."""
+        from repro.sim.campaign import run_campaign
+        from repro.sim.scenario import followup_scenario, small_scenario
+        world, origins, config = small_world
+        before = run_campaign(world, origins, config,
+                              protocols=("http",), n_trials=1)
+        fworld, forigins, fconfig = followup_scenario(seed=11, scale=0.04)
+        after = run_campaign(fworld, forigins, fconfig,
+                             protocols=("http",), n_trials=1)
+        delta = compare_coverage(before, after, "http")
+        assert delta.by_origin["CEN"][2] > 0.02
+
+
+class TestCompareVisibility:
+    def _campaign_with_as(self, a_sees_as1):
+        ips = [10, 11, 20, 21]
+        as_index = [0, 0, 1, 1]
+        a = ["ok", "ok", "ok" if a_sees_as1 else "none",
+             "ok" if a_sees_as1 else "none"]
+        tables = [make_trial("http", 0, ["A", "B"], ips,
+                             l7={"A": a, "B": ["ok"] * 4},
+                             as_index=as_index)]
+        return make_campaign(tables)
+
+    def test_recovered_as(self):
+        asn_map = {0: 100, 1: 200}
+        before = self._campaign_with_as(a_sees_as1=False)
+        after = self._campaign_with_as(a_sees_as1=True)
+        delta = compare_visibility(before, after, "http", "A",
+                                   asn_map, asn_map)
+        assert delta.by_asn[200] == (0.0, 1.0)
+        assert delta.by_asn[100] == (1.0, 1.0)
+        assert delta.recovered() == [200]
+        assert delta.lost() == []
+
+    def test_lost_as(self):
+        asn_map = {0: 100, 1: 200}
+        before = self._campaign_with_as(a_sees_as1=True)
+        after = self._campaign_with_as(a_sees_as1=False)
+        delta = compare_visibility(before, after, "http", "A",
+                                   asn_map, asn_map)
+        assert delta.lost() == [200]
+
+    def test_missing_origin_gives_empty(self):
+        asn_map = {0: 100, 1: 200}
+        before = self._campaign_with_as(True)
+        after_tables = [make_trial("http", 0, ["B"], [10],
+                                   l7={"B": ["ok"]})]
+        after = make_campaign(after_tables)
+        delta = compare_visibility(before, after, "http", "A",
+                                   asn_map, asn_map)
+        assert delta.by_asn == {}

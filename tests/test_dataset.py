@@ -1,0 +1,128 @@
+"""Tests for the campaign dataset model and alignment helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import CampaignDataset, align_ips, union_ip_universe
+from tests.conftest import make_campaign, make_trial
+
+
+class TestTrialData:
+    def test_accessible(self):
+        td = make_trial("http", 0, ["A", "B"], [10, 20, 30],
+                        l7={"A": ["ok", "drop", "none"],
+                            "B": ["ok", "ok", "ok"]})
+        assert list(td.accessible("A")) == [True, False, False]
+        assert list(td.accessible("B")) == [True, True, True]
+
+    def test_accessible_single_probe(self):
+        td = make_trial("http", 0, ["A"], [10, 20],
+                        l7={"A": ["ok", "ok"]},
+                        probe_mask={"A": [2, 3]})
+        # First host answered only the second probe: invisible to a
+        # single-probe scan.
+        assert list(td.accessible("A", single_probe=True)) == [False, True]
+        assert list(td.accessible("A")) == [True, True]
+
+    def test_l4_responsive(self):
+        td = make_trial("ssh", 0, ["A"], [10, 20, 30, 40],
+                        l7={"A": ["none", "drop", "rst", "ok"]})
+        assert list(td.l4_responsive("A")) == [False, True, True, True]
+
+    def test_response_counts(self):
+        td = make_trial("http", 0, ["A"], [10, 20, 30],
+                        l7={"A": ["ok", "ok", "none"]},
+                        probe_mask={"A": [3, 1, 0]})
+        assert list(td.response_counts("A")) == [2, 1, 0]
+
+    def test_ground_truth_union(self):
+        td = make_trial("http", 0, ["A", "B"], [10, 20, 30],
+                        l7={"A": ["ok", "none", "none"],
+                            "B": ["none", "ok", "none"]})
+        assert list(td.ground_truth()) == [True, True, False]
+        assert list(td.ground_truth(origins=["A"])) == [True, False, False]
+
+    def test_origin_row_missing(self):
+        td = make_trial("http", 0, ["A"], [10], l7={"A": ["ok"]})
+        with pytest.raises(KeyError):
+            td.origin_row("Z")
+        assert not td.has_origin("Z")
+
+    def test_shape_validation(self):
+        td = make_trial("http", 0, ["A"], [10, 20],
+                        l7={"A": ["ok", "ok"]})
+        with pytest.raises(ValueError):
+            make_trial("http", 0, ["A"], [20, 10],  # unsorted
+                       l7={"A": ["ok", "ok"]})
+        # Matrix shape mismatches are caught by TrialData itself.
+        import dataclasses
+        with pytest.raises(ValueError):
+            dataclasses.replace(td, probe_mask=np.zeros((2, 2),
+                                                        dtype=np.uint8))
+
+
+class TestCampaignDataset:
+    def test_addressing(self):
+        tables = [make_trial("http", t, ["A"], [10], l7={"A": ["ok"]})
+                  for t in range(2)]
+        ds = make_campaign(tables)
+        assert ds.protocols == ["http"]
+        assert ds.trials_for("http") == [0, 1]
+        assert len(ds) == 2
+        assert ds.trial_data("http", 1).trial == 1
+
+    def test_duplicate_trial_rejected(self):
+        tables = [make_trial("http", 0, ["A"], [10], l7={"A": ["ok"]}),
+                  make_trial("http", 0, ["A"], [10], l7={"A": ["ok"]})]
+        with pytest.raises(ValueError):
+            CampaignDataset(tables)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignDataset([])
+
+    def test_origins_for_excludes_partial(self):
+        tables = [
+            make_trial("http", 0, ["A", "B"], [10],
+                       l7={"A": ["ok"], "B": ["ok"]}),
+            make_trial("http", 1, ["A"], [10], l7={"A": ["ok"]}),
+        ]
+        ds = make_campaign(tables)
+        assert ds.origins_for("http") == ["A"]
+        assert ds.all_origins("http") == ["A", "B"]
+
+
+class TestAlignIps:
+    def test_basic(self):
+        reference = np.array([1, 3, 5], dtype=np.uint32)
+        other = np.array([1, 2, 3, 4], dtype=np.uint32)
+        assert list(align_ips(reference, other)) == [0, 2, -1]
+
+    def test_empty_other(self):
+        reference = np.array([1], dtype=np.uint32)
+        assert list(align_ips(reference, np.array([], dtype=np.uint32))) \
+            == [-1]
+
+    @given(st.lists(st.integers(0, 1000), min_size=0, max_size=40,
+                    unique=True),
+           st.lists(st.integers(0, 1000), min_size=0, max_size=40,
+                    unique=True))
+    @settings(max_examples=80, deadline=None)
+    def test_alignment_property(self, ref, other):
+        ref_arr = np.array(sorted(ref), dtype=np.uint32)
+        other_arr = np.array(sorted(other), dtype=np.uint32)
+        pos = align_ips(ref_arr, other_arr)
+        other_set = set(other)
+        for value, p in zip(sorted(ref), pos):
+            if value in other_set:
+                assert other_arr[p] == value
+            else:
+                assert p == -1
+
+    def test_union_universe(self):
+        a = make_trial("http", 0, ["A"], [10, 30], l7={"A": ["ok", "ok"]})
+        b = make_trial("http", 1, ["A"], [20, 30], l7={"A": ["ok", "ok"]})
+        assert list(union_ip_universe([a, b])) == [10, 20, 30]
+        assert len(union_ip_universe([])) == 0

@@ -1,0 +1,81 @@
+"""Tests for post-hoc exclusion-request handling."""
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import coverage_by_origin
+from repro.net.blocklist import Blocklist
+from repro.net.ipv4 import format_ipv4
+from repro.sim.exclusions import (
+    apply_exclusions,
+    exclude_from_trial,
+    excluded_host_count,
+)
+from tests.conftest import make_campaign, make_trial
+
+
+def sample_campaign():
+    ips = [256, 257, 512, 513]   # two /24s
+    tables = [make_trial("http", t, ["A", "B"], ips,
+                         l7={"A": ["ok"] * 4, "B": ["ok", "ok", "drop",
+                                                    "ok"]},
+                         as_index=[0, 0, 1, 1])
+              for t in range(2)]
+    return make_campaign(tables, metadata={"seed": 1})
+
+
+class TestExcludeFromTrial:
+    def test_rows_removed(self):
+        ds = sample_campaign()
+        bl = Blocklist.from_cidrs(["0.0.1.0/24"])
+        filtered = exclude_from_trial(ds.trial_data("http", 0), bl)
+        assert list(filtered.ip) == [512, 513]
+        assert filtered.probe_mask.shape == (2, 2)
+        assert filtered.l7.shape == (2, 2)
+
+    def test_original_untouched(self):
+        ds = sample_campaign()
+        before = ds.trial_data("http", 0)
+        exclude_from_trial(before, Blocklist.from_cidrs(["0.0.1.0/24"]))
+        assert len(before.ip) == 4
+
+    def test_empty_blocklist_is_identity(self):
+        ds = sample_campaign()
+        td = ds.trial_data("http", 0)
+        filtered = exclude_from_trial(td, Blocklist())
+        assert np.array_equal(filtered.ip, td.ip)
+
+
+class TestApplyExclusions:
+    def test_every_trial_filtered(self):
+        ds = sample_campaign()
+        bl = Blocklist.from_cidrs(["0.0.2.0/24"])
+        filtered = apply_exclusions(ds, bl)
+        for trial in (0, 1):
+            assert list(filtered.trial_data("http", trial).ip) \
+                == [256, 257]
+
+    def test_metadata_discloses_exclusion(self):
+        ds = sample_campaign()
+        bl = Blocklist.from_cidrs(["0.0.2.0/24"])
+        filtered = apply_exclusions(ds, bl)
+        assert filtered.metadata["excluded_addresses"] == 256
+        assert filtered.metadata["exclusion_ranges"] == 1
+        # Repeated exclusions accumulate.
+        twice = apply_exclusions(filtered,
+                                 Blocklist.from_cidrs(["0.0.1.0/24"]))
+        assert twice.metadata["excluded_addresses"] == 512
+
+    def test_analyses_work_after_exclusion(self):
+        ds = sample_campaign()
+        filtered = apply_exclusions(ds,
+                                    Blocklist.from_cidrs(["0.0.2.0/24"]))
+        cov = coverage_by_origin(filtered.trial_data("http", 0))
+        assert cov["A"] == pytest.approx(1.0)
+        assert cov["B"] == pytest.approx(1.0)  # B's miss was excluded
+
+    def test_excluded_host_count(self):
+        ds = sample_campaign()
+        bl = Blocklist.from_cidrs(["0.0.2.0/24"])
+        # Two hosts in each of two trials.
+        assert excluded_host_count(ds, bl) == 4

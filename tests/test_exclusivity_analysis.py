@@ -1,0 +1,173 @@
+"""Tests for exclusivity, per-AS, and per-country analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.by_as import (
+    counts_by_as,
+    exclusive_accessible_by_as,
+    longterm_as_concentration,
+    lost_as_counts,
+)
+from repro.core.countries import (
+    country_inaccessibility,
+    country_size_correlation,
+    counts_by_country,
+    exclusive_accessible_by_country,
+)
+from repro.core.exclusivity import (
+    exclusivity_report,
+    single_origin_longterm_share,
+)
+from tests.conftest import make_campaign, make_trial
+
+
+def exclusivity_campaign():
+    """Three origins with clearly attributable exclusive pools.
+
+    ip 10: everyone sees it.
+    ip 20: only A ever sees it → exclusively accessible from A, and
+           long-term inaccessible from both B and C.
+    ip 30: A never sees it, B and C do          → exclusively inacc. A.
+    ip 40: only C misses it in all trials       → exclusively inacc. C.
+    ip 50: only C sees it → exclusively accessible from C, long-term
+           inaccessible from A and B.
+    """
+    ips = [10, 20, 30, 40, 50]
+    l7 = {
+        "A": ["ok", "ok", "drop", "ok", "none"],
+        "B": ["ok", "none", "ok", "ok", "drop"],
+        "C": ["ok", "none", "ok", "drop", "ok"],
+    }
+    as_index = [0, 1, 1, 2, 3]
+    country = [0, 1, 1, 2, 0]
+    tables = [make_trial("http", t, ["A", "B", "C"], ips, l7=l7,
+                         as_index=as_index, country_index=country)
+              for t in range(3)]
+    return make_campaign(tables)
+
+
+class TestExclusivity:
+    def test_longterm_overlap_histogram(self):
+        report = exclusivity_report(exclusivity_campaign(), "http")
+        histogram = report.longterm_overlap_histogram()
+        # One-origin: ip30 (A), ip40 (C); two-origin: ip20 (B+C),
+        # ip50 (A+B).
+        assert histogram == {1: 2, 2: 2, 3: 0}
+
+    def test_histogram_exclusion(self):
+        report = exclusivity_report(exclusivity_campaign(), "http")
+        histogram = report.longterm_overlap_histogram(exclude=("C",))
+        # Without C: ip20 (B), ip30 (A), ip50 (A+B); ip40 drops out.
+        assert histogram == {1: 2, 2: 1}
+
+    def test_exclusively_inaccessible(self):
+        report = exclusivity_report(exclusivity_campaign(), "http")
+        assert list(report.ips[report.exclusively_inaccessible_mask("A")]) \
+            == [30]
+        assert list(report.ips[report.exclusively_inaccessible_mask("C")]) \
+            == [40]
+        assert list(report.ips[report.exclusively_inaccessible_mask("B")]) \
+            == []
+
+    def test_exclusively_accessible(self):
+        report = exclusivity_report(exclusivity_campaign(), "http")
+        assert list(report.ips[report.exclusively_accessible_mask("A")]) \
+            == [20]
+        assert list(report.ips[report.exclusively_accessible_mask("B")]) \
+            == []
+
+    def test_table1_shares_sum_to_one(self):
+        report = exclusivity_report(exclusivity_campaign(), "http")
+        table = report.table1()
+        assert sum(v["accessible"] for v in table.values()) \
+            == pytest.approx(1.0)
+        assert sum(v["inaccessible"] for v in table.values()) \
+            == pytest.approx(1.0)
+        assert table["A"]["accessible"] == pytest.approx(0.5)
+        assert table["C"]["accessible"] == pytest.approx(0.5)
+        assert table["A"]["inaccessible"] == pytest.approx(0.5)
+        assert table["C"]["inaccessible"] == pytest.approx(0.5)
+
+    def test_single_origin_share(self):
+        report = exclusivity_report(exclusivity_campaign(), "http")
+        assert single_origin_longterm_share(report, exclude=()) \
+            == pytest.approx(0.5)
+
+
+class TestByAS:
+    def test_counts_by_as(self):
+        as_index = np.array([0, 1, 1, 2, -1])
+        mask = np.array([True, True, True, False, True])
+        assert list(counts_by_as(as_index, mask)) == [1, 2, 0]
+
+    def test_longterm_concentration(self):
+        conc = longterm_as_concentration(exclusivity_campaign(), "http")
+        # A long-term misses ip30 (AS 1) and ip50 (AS 3).
+        a = conc["A"]
+        assert a.total_missing == 2
+        assert a.top_share(1) == pytest.approx(0.5)
+        assert a.top_share(2) == pytest.approx(1.0)
+        assert len(a.cumulative_shares(5)) == 5
+
+    def test_lost_as_counts(self):
+        counts = lost_as_counts(exclusivity_campaign(), "http",
+                                min_hosts=1)
+        # A loses 100% of AS 3 (its one host, ip 50)... but min_hosts=1
+        # allows single-host networks here.
+        assert counts["A"].fully >= 1
+        assert counts["B"].fully >= 1
+        # Thresholds are cumulative: fully ⊆ ≥75% ⊆ ≥50%.
+        for row in counts.values():
+            assert row.fully <= row.at_least_75 <= row.at_least_50
+
+    def test_min_hosts_filters_tiny_networks(self):
+        counts = lost_as_counts(exclusivity_campaign(), "http",
+                                min_hosts=2)
+        # Only AS 1 has ≥2 classifiable hosts; nobody loses all of it.
+        assert all(row.fully == 0 for row in counts.values())
+
+    def test_exclusive_accessible_by_as(self):
+        report = exclusivity_report(exclusivity_campaign(), "http")
+        ranked = exclusive_accessible_by_as(report, "A")
+        assert ranked == [(1, 1)]  # ip 20 in AS 1
+
+
+class TestCountries:
+    def test_counts_by_country(self):
+        geo = np.array([0, 1, 1, -1])
+        mask = np.array([True, True, False, True])
+        assert list(counts_by_country(geo, mask)) == [1, 1]
+
+    def test_country_inaccessibility(self):
+        report = country_inaccessibility(exclusivity_campaign(), "http")
+        a_row = report.for_origin("A")
+        # Country 1 has 2 hosts (ip20, ip30); A long-term misses ip30.
+        assert a_row[1] == pytest.approx(0.5)
+        # Country 0 has hosts ip10 + ip50; A misses ip50 long-term.
+        assert a_row[0] == pytest.approx(0.5)
+        assert report.concentration[0, 1] == 1
+
+    def test_worst_cases_sorted(self):
+        report = country_inaccessibility(exclusivity_campaign(), "http")
+        cases = report.worst_cases(top=5)
+        fractions = [f for _, _, f in cases]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_country_size_correlation_runs(self):
+        report = country_inaccessibility(exclusivity_campaign(), "http")
+        rho, p = country_size_correlation(report)
+        assert -1.0 <= rho <= 1.0 or np.isnan(rho)
+
+    def test_exclusive_by_country(self):
+        ds = exclusivity_campaign()
+        report = exclusivity_report(ds, "http")
+        totals = np.array([2, 2, 1])
+        by_country = exclusive_accessible_by_country(
+            report, totals, origin_country={"A": 1, "B": 0, "C": 2},
+            merge=(), exclude=())
+        # A's exclusive host ip20 is in country 1 — A's home country.
+        assert by_country.counts["A"][1] == 1
+        assert by_country.within_country_fraction["A"] \
+            == pytest.approx(0.5)
+        assert by_country.counts["B"].sum() == 0

@@ -1,0 +1,189 @@
+"""Tests for the host table, placement, and churn."""
+
+import numpy as np
+import pytest
+
+from repro.hosts.churn import ChurnModel, ChurnSpec
+from repro.hosts.population import populate
+from repro.hosts.table import HostTable
+from repro.rng import CounterRNG
+from repro.topology.asn import ASSpec
+from repro.topology.generator import build_topology
+from repro.topology.geo import Country
+
+
+def tiny_topology(http=40, https=25, ssh=10):
+    countries = [Country("US", "United States", "NA")]
+    specs = [ASSpec("A", "US", hosts={"http": http, "https": https,
+                                      "ssh": ssh}),
+             ASSpec("B", "US", hosts={"http": 15})]
+    return build_topology(specs, countries)
+
+
+class TestHostTable:
+    def _table(self):
+        return HostTable(
+            ip=np.array([30, 10, 20, 10], dtype=np.uint32),
+            protocol=np.array([0, 0, 1, 2], dtype=np.uint8),
+            as_index=np.array([1, 0, 0, 0], dtype=np.int64),
+            country_index=np.array([0, 0, 0, 0], dtype=np.int64))
+
+    def test_sorted_by_ip(self):
+        table = self._table()
+        assert list(table.ip) == [10, 10, 20, 30]
+
+    def test_views_align(self):
+        table = self._table()
+        view = table.for_protocol("http")
+        assert list(view.ip) == [10, 30]
+        assert list(view.as_index) == [0, 1]
+        assert len(table.for_protocol("https")) == 1
+        assert len(table.for_protocol("ssh")) == 1
+
+    def test_duplicate_service_rejected(self):
+        with pytest.raises(ValueError):
+            HostTable(
+                ip=np.array([10, 10], dtype=np.uint32),
+                protocol=np.array([0, 0], dtype=np.uint8),
+                as_index=np.zeros(2, dtype=np.int64),
+                country_index=np.zeros(2, dtype=np.int64))
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            HostTable(
+                ip=np.array([10], dtype=np.uint32),
+                protocol=np.array([0, 1], dtype=np.uint8),
+                as_index=np.zeros(1, dtype=np.int64),
+                country_index=np.zeros(1, dtype=np.int64))
+
+    def test_counts_and_describe(self):
+        table = self._table()
+        assert table.counts_by_protocol() == {"http": 2, "https": 1,
+                                              "ssh": 1}
+        text = table.describe()
+        assert "4 services" in text
+
+    def test_concatenate(self):
+        a = self._table()
+        b = HostTable(
+            ip=np.array([99], dtype=np.uint32),
+            protocol=np.array([0], dtype=np.uint8),
+            as_index=np.array([1], dtype=np.int64),
+            country_index=np.array([0], dtype=np.int64))
+        merged = HostTable.concatenate([a, b])
+        assert len(merged) == 5
+        with pytest.raises(ValueError):
+            HostTable.concatenate([])
+
+    def test_slash24_view(self):
+        table = self._table()
+        view = table.for_protocol("http")
+        assert list(view.slash24) == [0, 0]
+
+
+class TestPopulate:
+    def test_counts_match_specs(self):
+        topo = tiny_topology()
+        hosts = populate(topo, CounterRNG(1, "pop"))
+        assert hosts.counts_by_protocol() == {"http": 55, "https": 25,
+                                              "ssh": 10}
+
+    def test_ips_unique_within_protocol(self):
+        topo = tiny_topology()
+        hosts = populate(topo, CounterRNG(1, "pop"))
+        for protocol in ("http", "https", "ssh"):
+            view = hosts.for_protocol(protocol)
+            assert len(np.unique(view.ip)) == len(view)
+
+    def test_ips_inside_their_as(self):
+        topo = tiny_topology()
+        hosts = populate(topo, CounterRNG(1, "pop"))
+        view = hosts.for_protocol("http")
+        attributed = topo.routing.as_index_array(view.ip)
+        assert np.array_equal(attributed, view.as_index)
+
+    def test_protocol_overlap_exists(self):
+        """Some IPs serve multiple protocols (shared pool)."""
+        topo = tiny_topology(http=40, https=35, ssh=30)
+        hosts = populate(topo, CounterRNG(1, "pop"))
+        http_ips = set(hosts.for_protocol("http").ip.tolist())
+        ssh_ips = set(hosts.for_protocol("ssh").ip.tolist())
+        assert http_ips & ssh_ips
+
+    def test_deterministic(self):
+        topo = tiny_topology()
+        a = populate(topo, CounterRNG(1, "pop"))
+        b = populate(topo, CounterRNG(1, "pop"))
+        assert np.array_equal(a.ip, b.ip)
+        assert np.array_equal(a.protocol, b.protocol)
+
+    def test_offsets_avoid_network_and_broadcast(self):
+        topo = tiny_topology()
+        hosts = populate(topo, CounterRNG(1, "pop"))
+        offsets = hosts.ip & np.uint32(0xFF)
+        assert offsets.min() >= 1
+        assert offsets.max() <= 254
+
+    def test_empty_topology_rejected(self):
+        countries = [Country("US", "United States", "NA")]
+        topo = build_topology([ASSpec("E", "US", hosts={})], countries)
+        with pytest.raises(ValueError):
+            populate(topo, CounterRNG(1))
+
+
+class TestChurn:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ChurnSpec(stable_fraction=1.5)
+        with pytest.raises(ValueError):
+            ChurnSpec(churner_presence_prob=0.0)
+
+    def test_stable_hosts_present_in_every_trial(self):
+        model = ChurnModel(CounterRNG(3, "churn"),
+                           ChurnSpec(stable_fraction=0.8,
+                                     churner_presence_prob=0.5))
+        ips = np.arange(1, 5001, dtype=np.uint64)
+        churner = model.churner_mask(ips, "http")
+        for trial in range(3):
+            present = model.present_mask(ips, "http", trial)
+            assert present[~churner].all()
+
+    def test_stable_fraction_statistics(self):
+        model = ChurnModel(CounterRNG(3, "churn"),
+                           ChurnSpec(stable_fraction=0.8,
+                                     churner_presence_prob=0.5))
+        ips = np.arange(1, 20001, dtype=np.uint64)
+        churner_rate = model.churner_mask(ips, "http").mean()
+        assert abs(churner_rate - 0.2) < 0.02
+
+    def test_churner_presence_rate(self):
+        model = ChurnModel(CounterRNG(3, "churn"),
+                           ChurnSpec(stable_fraction=0.0,
+                                     churner_presence_prob=0.6))
+        ips = np.arange(1, 20001, dtype=np.uint64)
+        present = model.present_mask(ips, "http", 0)
+        assert abs(present.mean() - 0.6) < 0.02
+
+    def test_presence_varies_by_trial(self):
+        model = ChurnModel(CounterRNG(3, "churn"),
+                           ChurnSpec(stable_fraction=0.0,
+                                     churner_presence_prob=0.5))
+        ips = np.arange(1, 5001, dtype=np.uint64)
+        t0 = model.present_mask(ips, "http", 0)
+        t1 = model.present_mask(ips, "http", 1)
+        assert not np.array_equal(t0, t1)
+
+    def test_presence_varies_by_protocol(self):
+        model = ChurnModel(CounterRNG(3, "churn"),
+                           ChurnSpec(stable_fraction=0.5,
+                                     churner_presence_prob=0.5))
+        ips = np.arange(1, 5001, dtype=np.uint64)
+        assert not np.array_equal(model.present_mask(ips, "http", 0),
+                                  model.present_mask(ips, "ssh", 0))
+
+    def test_scalar_matches_vector(self):
+        model = ChurnModel(CounterRNG(3, "churn"), ChurnSpec())
+        ips = np.arange(1, 101, dtype=np.uint64)
+        vec = model.present_mask(ips, "ssh", 2)
+        for i, ip in enumerate(ips):
+            assert model.present_one(int(ip), "ssh", 2) == vec[i]

@@ -1,0 +1,132 @@
+"""Tests for ndjson/CSV round-trips and ASCII rendering."""
+
+import csv
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.io.csv import write_coverage_csv
+from repro.io.ndjson import load_campaign, save_campaign
+from repro.reporting.figures import (
+    render_bars,
+    render_cdf,
+    render_grouped_bars,
+    render_series,
+)
+from repro.reporting.tables import render_table
+from tests.conftest import make_campaign, make_trial
+
+
+def sample_campaign():
+    tables = [
+        make_trial("http", t, ["A", "B"], [10, 20, 300],
+                   l7={"A": ["ok", "drop", "none"],
+                       "B": ["ok", "ok", "rst"]},
+                   probe_mask={"A": [3, 1, 0], "B": [3, 3, 2]},
+                   time={"A": [1.0, 2.0, 3.0], "B": [1.5, 2.5, 3.5]},
+                   as_index=[0, 0, 1], country_index=[0, 0, 1],
+                   geo_index=[0, 0, 2])
+        for t in range(2)
+    ]
+    return make_campaign(tables, metadata={"seed": 9})
+
+
+class TestNdjsonRoundTrip:
+    def test_full_round_trip(self, tmp_path):
+        ds = sample_campaign()
+        save_campaign(ds, str(tmp_path))
+        loaded = load_campaign(str(tmp_path))
+        for protocol, trial in (("http", 0), ("http", 1)):
+            a = ds.trial_data(protocol, trial)
+            b = loaded.trial_data(protocol, trial)
+            assert a.origins == b.origins
+            assert np.array_equal(a.ip, b.ip)
+            assert np.array_equal(a.probe_mask, b.probe_mask)
+            assert np.array_equal(a.l7, b.l7)
+            assert np.array_equal(a.as_index, b.as_index)
+            assert np.array_equal(a.geo_index, b.geo_index)
+            assert np.allclose(a.time, b.time, atol=0.01)
+            assert a.n_probes == b.n_probes
+        assert loaded.metadata["seed"] == 9
+
+    def test_manifest_written(self, tmp_path):
+        save_campaign(sample_campaign(), str(tmp_path))
+        with open(tmp_path / "campaign.json") as handle:
+            manifest = json.load(handle)
+        assert len(manifest["trials"]) == 2
+        assert manifest["trials"][0]["protocol"] == "http"
+
+    def test_records_are_valid_ndjson(self, tmp_path):
+        save_campaign(sample_campaign(), str(tmp_path))
+        path = tmp_path / "http_trial0.ndjson"
+        with open(path) as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        assert len(records) == 6  # 2 origins × 3 hosts
+        assert {r["origin"] for r in records} == {"A", "B"}
+        assert all("." in r["ip"] for r in records)
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_campaign(str(tmp_path))
+
+
+class TestCoverageCsv:
+    def test_rows(self, tmp_path):
+        path = tmp_path / "coverage.csv"
+        write_coverage_csv(sample_campaign(), str(path))
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4  # 2 trials × 2 origins
+        first = rows[0]
+        assert first["protocol"] == "http"
+        assert 0.0 <= float(first["coverage"]) <= 1.0
+
+
+class TestRenderers:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"],
+                            [["alpha", 1], ["b", 22]], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        # All data lines are equally wide.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_render_table_validates_width(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "too many"]])
+
+    def test_render_bars(self):
+        text = render_bars({"AU": 0.9, "CEN": 0.45}, title="coverage")
+        assert "AU" in text and "#" in text
+        assert text.splitlines()[0] == "coverage"
+        # CEN's bar is about half of AU's.
+        au_line, cen_line = text.splitlines()[1:3]
+        assert au_line.count("#") > cen_line.count("#")
+
+    def test_render_bars_empty(self):
+        assert render_bars({}, title="t") == "t"
+
+    def test_render_grouped_bars(self):
+        text = render_grouped_bars(
+            {"AU": {"transient": 10, "long_term": 5},
+             "JP": {"transient": 7}})
+        assert "transient=10" in text
+        assert "transient=7" in text
+
+    def test_render_cdf(self):
+        values = np.linspace(0, 1, 101)
+        cdf = np.linspace(0, 1, 101)
+        text = render_cdf(values, cdf, title="spread")
+        assert "p50" in text
+
+    def test_render_cdf_empty(self):
+        assert "(empty)" in render_cdf(np.array([]), np.array([]))
+
+    def test_render_series(self):
+        text = render_series({"AU": np.array([0, 1, 2, 3]),
+                              "JP": np.array([])})
+        assert "|" in text
+        assert "(no data)" in text

@@ -1,0 +1,176 @@
+"""Tests for the IPv4 primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.ipv4 import (
+    IPv4Network,
+    format_ipv4,
+    parse_ipv4,
+    prefix_mask,
+    slash24,
+    slash24_array,
+    summarize_range,
+)
+
+
+class TestParseFormat:
+    def test_parse_known(self):
+        assert parse_ipv4("10.0.0.1") == 0x0A000001
+        assert parse_ipv4("255.255.255.255") == 0xFFFFFFFF
+        assert parse_ipv4("0.0.0.0") == 0
+
+    def test_format_known(self):
+        assert format_ipv4(0x0A000001) == "10.0.0.1"
+        assert format_ipv4(0xFFFFFFFF) == "255.255.255.255"
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip(self, value):
+        assert parse_ipv4(format_ipv4(value)) == value
+
+    @pytest.mark.parametrize("bad", [
+        "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1.2.3.04",
+        "", "1..2.3", "-1.2.3.4",
+    ])
+    def test_parse_rejects_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_ipv4(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ipv4(1 << 32)
+        with pytest.raises(ValueError):
+            format_ipv4(-1)
+
+
+class TestPrefixMask:
+    def test_known_masks(self):
+        assert prefix_mask(0) == 0
+        assert prefix_mask(8) == 0xFF000000
+        assert prefix_mask(24) == 0xFFFFFF00
+        assert prefix_mask(32) == 0xFFFFFFFF
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            prefix_mask(33)
+        with pytest.raises(ValueError):
+            prefix_mask(-1)
+
+
+class TestSlash24:
+    def test_scalar(self):
+        assert slash24(parse_ipv4("192.0.2.77")) == parse_ipv4("192.0.2.0")
+
+    def test_vectorized_matches_scalar(self):
+        ips = np.array([parse_ipv4("192.0.2.77"), parse_ipv4("10.1.2.3")],
+                       dtype=np.uint32)
+        blocks = slash24_array(ips)
+        assert list(blocks) == [slash24(int(ip)) for ip in ips]
+
+
+class TestIPv4Network:
+    def test_from_cidr_masks_address(self):
+        net = IPv4Network.from_cidr("10.1.2.3/8")
+        assert net.address == parse_ipv4("10.0.0.0")
+
+    def test_equality_after_masking(self):
+        assert IPv4Network.from_cidr("10.5.0.0/8") \
+            == IPv4Network.from_cidr("10.9.1.2/8")
+
+    def test_from_cidr_requires_length(self):
+        with pytest.raises(ValueError):
+            IPv4Network.from_cidr("10.0.0.0")
+
+    def test_broadcast_and_size(self):
+        net = IPv4Network.from_cidr("192.0.2.0/24")
+        assert net.broadcast == parse_ipv4("192.0.2.255")
+        assert net.num_addresses == 256
+
+    def test_contains(self):
+        net = IPv4Network.from_cidr("192.0.2.0/24")
+        assert net.contains(parse_ipv4("192.0.2.1"))
+        assert not net.contains(parse_ipv4("192.0.3.1"))
+        assert parse_ipv4("192.0.2.200") in net
+
+    def test_contains_array(self):
+        net = IPv4Network.from_cidr("192.0.2.0/24")
+        ips = np.array([parse_ipv4("192.0.2.1"), parse_ipv4("192.0.3.1")],
+                       dtype=np.uint32)
+        assert list(net.contains_array(ips)) == [True, False]
+
+    def test_contains_network(self):
+        outer = IPv4Network.from_cidr("10.0.0.0/8")
+        inner = IPv4Network.from_cidr("10.1.0.0/16")
+        assert outer.contains_network(inner)
+        assert not inner.contains_network(outer)
+
+    def test_overlaps(self):
+        a = IPv4Network.from_cidr("10.0.0.0/8")
+        b = IPv4Network.from_cidr("10.1.0.0/16")
+        c = IPv4Network.from_cidr("11.0.0.0/8")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_subnets(self):
+        net = IPv4Network.from_cidr("192.0.2.0/24")
+        subs = list(net.subnets(26))
+        assert len(subs) == 4
+        assert subs[0].address == net.address
+        assert all(net.contains_network(s) for s in subs)
+
+    def test_subnets_invalid(self):
+        with pytest.raises(ValueError):
+            list(IPv4Network.from_cidr("10.0.0.0/16").subnets(8))
+
+    def test_supernet(self):
+        net = IPv4Network.from_cidr("10.128.0.0/9")
+        assert net.supernet() == IPv4Network.from_cidr("10.0.0.0/8")
+        with pytest.raises(ValueError):
+            IPv4Network(0, 0).supernet()
+
+    def test_iter_and_hosts_array(self):
+        net = IPv4Network.from_cidr("192.0.2.0/30")
+        assert list(net) == list(range(net.address, net.address + 4))
+        assert list(net.hosts_array()) == list(net)
+
+    def test_str(self):
+        assert str(IPv4Network.from_cidr("10.0.0.0/8")) == "10.0.0.0/8"
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 32))
+    @settings(max_examples=100, deadline=None)
+    def test_network_contains_its_own_range(self, addr, prefix_len):
+        net = IPv4Network(addr, prefix_len)
+        assert net.contains(net.address)
+        assert net.contains(net.broadcast)
+
+
+class TestSummarizeRange:
+    def test_single_address(self):
+        nets = list(summarize_range(5, 5))
+        assert nets == [IPv4Network(5, 32)]
+
+    def test_aligned_block(self):
+        nets = list(summarize_range(256, 511))
+        assert nets == [IPv4Network(256, 24)]
+
+    def test_unaligned_range(self):
+        nets = list(summarize_range(1, 6))
+        covered = sorted(ip for net in nets for ip in net)
+        assert covered == list(range(1, 7))
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            list(summarize_range(10, 5))
+
+    @given(st.integers(0, 2**20), st.integers(0, 2**10))
+    @settings(max_examples=60, deadline=None)
+    def test_covers_exactly(self, first, span):
+        last = first + span
+        nets = list(summarize_range(first, last))
+        covered = sorted(ip for net in nets for ip in net)
+        assert covered == list(range(first, last + 1))
+        # Minimality: blocks are disjoint.
+        assert len(covered) == len(set(covered))

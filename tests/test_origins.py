@@ -1,0 +1,80 @@
+"""Tests for origin definitions."""
+
+import pytest
+
+from repro.origins import Origin, followup_origins, paper_origins
+
+
+class TestOrigin:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Origin("X", "US", "NA", n_source_ips=0)
+        with pytest.raises(ValueError):
+            Origin("X", "US", "NA", pps=0)
+        with pytest.raises(ValueError):
+            Origin("X", "US", "NA", drift=-0.1)
+
+    def test_per_ip_pps(self):
+        origin = Origin("US64", "US", "NA", n_source_ips=64,
+                        pps=100_000.0)
+        assert origin.per_ip_pps == pytest.approx(100_000.0 / 64)
+
+    def test_participates(self):
+        always = Origin("A", "US", "NA")
+        only_first = Origin("C", "US", "NA", trials=(0,))
+        assert always.participates(0) and always.participates(5)
+        assert only_first.participates(0)
+        assert not only_first.participates(1)
+
+    def test_state_group_defaults_to_name(self):
+        assert Origin("A", "US", "NA").state_group == "A"
+        assert Origin("A", "US", "NA",
+                      path_group="dc1").state_group == "dc1"
+
+
+class TestPaperOrigins:
+    def test_seven_plus_carinet(self):
+        origins = paper_origins()
+        names = [o.name for o in origins]
+        assert names == ["AU", "BR", "DE", "JP", "US1", "US64", "CEN",
+                         "CARINET"]
+
+    def test_carinet_only_trial_one(self):
+        carinet = next(o for o in paper_origins() if o.name == "CARINET")
+        assert carinet.trials == (0,)
+
+    def test_us64_has_64_ips(self):
+        us64 = next(o for o in paper_origins() if o.name == "US64")
+        assert us64.n_source_ips == 64
+
+    def test_stanford_origins_colocated(self):
+        origins = {o.name: o for o in paper_origins()}
+        assert origins["US1"].state_group == origins["US64"].state_group
+
+    def test_censys_has_heaviest_reputation(self):
+        origins = paper_origins()
+        censys = next(o for o in origins if o.name == "CEN")
+        assert censys.reputation == max(o.reputation for o in origins)
+
+    def test_fresh_origins_have_no_reputation(self):
+        origins = {o.name: o for o in paper_origins()}
+        assert origins["JP"].reputation == 0.0
+        assert origins["BR"].reputation == 0.0
+
+    def test_continents_diverse(self):
+        continents = {o.continent for o in paper_origins()}
+        assert {"OC", "SA", "EU", "AS", "NA"} <= continents
+
+
+class TestFollowupOrigins:
+    def test_tier1_triad_colocated(self):
+        origins = {o.name: o for o in followup_origins()}
+        groups = {origins[n].state_group for n in ("HE", "NTT", "TELIA")}
+        assert len(groups) == 1
+
+    def test_censys_reputation_reset(self):
+        followup_cen = next(o for o in followup_origins()
+                            if o.name == "CEN")
+        original_cen = next(o for o in paper_origins()
+                            if o.name == "CEN")
+        assert followup_cen.reputation < original_cen.reputation

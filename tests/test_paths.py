@@ -1,0 +1,81 @@
+"""Tests for the AS-level graph and distance analysis."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.origins import paper_origins
+from repro.topology.paths import (
+    TIER1_REGIONS,
+    build_as_graph,
+    distance_vs_transient,
+)
+
+
+@pytest.fixture(scope="module")
+def as_graph(small_world):
+    world, origins, _ = small_world
+    return build_as_graph(world.topology, origins, seed=3)
+
+
+class TestBuildGraph:
+    def test_connected(self, as_graph):
+        assert nx.is_connected(as_graph.graph)
+
+    def test_every_as_present(self, as_graph, small_world):
+        world, _, _ = small_world
+        assert len(as_graph.as_node) == len(world.topology.ases)
+
+    def test_every_origin_present(self, as_graph, small_world):
+        _, origins, _ = small_world
+        assert set(as_graph.origin_node) == {o.name for o in origins}
+
+    def test_tier1_mesh(self, as_graph):
+        tier1 = list(TIER1_REGIONS)
+        for i, a in enumerate(tier1):
+            for b in tier1[i + 1:]:
+                assert as_graph.graph.has_edge(a, b)
+
+    def test_distances_small_world(self, as_graph, small_world):
+        """Everything is ≤4 hops: origin → T1 (→ T1) → AS."""
+        world, origins, _ = small_world
+        for origin in origins[:3]:
+            lengths = as_graph.distances_from(origin.name)
+            assert max(lengths.values()) <= 4
+            assert min(lengths.values()) >= 1
+
+    def test_deterministic(self, small_world):
+        world, origins, _ = small_world
+        a = build_as_graph(world.topology, origins, seed=3)
+        b = build_as_graph(world.topology, origins, seed=3)
+        assert set(a.graph.edges) == set(b.graph.edges)
+
+    def test_seed_changes_homing(self, small_world):
+        world, origins, _ = small_world
+        a = build_as_graph(world.topology, origins, seed=3)
+        b = build_as_graph(world.topology, origins, seed=4)
+        assert set(a.graph.edges) != set(b.graph.edges)
+
+    def test_origin_attaches_locally(self, as_graph):
+        """AU's origin node hangs off the Oceania Tier-1."""
+        assert as_graph.graph.has_edge("ORIGIN-AU", "T1-OC-1")
+
+    def test_scalar_distance(self, as_graph, small_world):
+        world, _, _ = small_world
+        system = world.topology.ases.by_index(0)
+        d = as_graph.distance("AU", system.index)
+        assert d >= 1
+
+
+class TestDistanceAnalysis:
+    def test_no_distance_correlation(self, small_world, http_campaign):
+        """§5/§7: hop count does not predict transient loss."""
+        from repro.core.transient import transient_rates
+        world, origins, _ = small_world
+        graph = build_as_graph(world.topology, origins, seed=3)
+        rates = transient_rates(http_campaign, "http")
+        correlations = distance_vs_transient(graph, rates, min_hosts=5)
+        assert correlations
+        for origin, (rho, _) in correlations.items():
+            if not np.isnan(rho):
+                assert abs(rho) < 0.5, (origin, rho)

@@ -1,0 +1,163 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These pin the invariants the rest of the system leans on: serialization
+round-trips, the world's wire-consistency rules, and classification's
+partition property.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classification import MissCategory, classify_misses
+from repro.core.dataset import CampaignDataset, TrialData
+from repro.core.records import L7Status
+from repro.io.ndjson import load_campaign, save_campaign
+from tests.conftest import make_campaign, make_trial
+
+STATUSES = [int(s) for s in L7Status]
+
+
+@st.composite
+def trial_data(draw):
+    """A random, internally consistent TrialData."""
+    n = draw(st.integers(1, 25))
+    o = draw(st.integers(1, 4))
+    ips = draw(st.lists(st.integers(1, 2**32 - 1), min_size=n, max_size=n,
+                        unique=True))
+    ips = np.array(sorted(ips), dtype=np.uint32)
+    origins = [f"O{i}" for i in range(o)]
+
+    l7 = np.array(draw(st.lists(
+        st.lists(st.sampled_from(STATUSES), min_size=n, max_size=n),
+        min_size=o, max_size=o)), dtype=np.uint8)
+    # Wire consistency: NO_L4 rows answered no probe; others ≥1 probe.
+    probe_mask = np.zeros((o, n), dtype=np.uint8)
+    for oi in range(o):
+        for i in range(n):
+            if l7[oi, i] == int(L7Status.NO_L4):
+                probe_mask[oi, i] = 0
+            else:
+                probe_mask[oi, i] = draw(st.integers(1, 3))
+    time = np.array(draw(st.lists(
+        st.lists(st.floats(0, 86400, allow_nan=False), min_size=n,
+                 max_size=n),
+        min_size=o, max_size=o)), dtype=np.float32)
+    # Keep serialized precision lossless (the writer rounds to 1 ms).
+    time = np.round(time, 3).astype(np.float32)
+
+    return TrialData(
+        protocol="http", trial=draw(st.integers(0, 3)),
+        origins=origins, ip=ips,
+        as_index=np.array(draw(st.lists(st.integers(-1, 5), min_size=n,
+                                        max_size=n)), dtype=np.int64),
+        country_index=np.array(draw(st.lists(st.integers(-1, 5),
+                                             min_size=n, max_size=n)),
+                               dtype=np.int64),
+        geo_index=np.array(draw(st.lists(st.integers(-1, 5), min_size=n,
+                                         max_size=n)), dtype=np.int64),
+        probe_mask=probe_mask, l7=l7, time=time)
+
+
+class TestNdjsonRoundTripProperty:
+    @given(trial_data())
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_lossless(self, td):
+        import tempfile
+        ds = CampaignDataset([td])
+        with tempfile.TemporaryDirectory() as directory:
+            save_campaign(ds, directory)
+            loaded = load_campaign(directory)
+        back = loaded.trial_data(td.protocol, td.trial)
+        assert back.origins == td.origins
+        assert np.array_equal(back.ip, td.ip)
+        assert np.array_equal(back.probe_mask, td.probe_mask)
+        assert np.array_equal(back.l7, td.l7)
+        assert np.array_equal(back.as_index, td.as_index)
+        assert np.array_equal(back.country_index, td.country_index)
+        assert np.array_equal(back.geo_index, td.geo_index)
+        assert np.allclose(back.time, td.time, atol=2e-3)
+
+
+@st.composite
+def seen_matrix(draw):
+    """Random (origins × trials × hosts) visibility for classification."""
+    n = draw(st.integers(1, 12))
+    trials = draw(st.integers(2, 4))
+    seen = draw(st.lists(
+        st.lists(st.lists(st.booleans(), min_size=n, max_size=n),
+                 min_size=trials, max_size=trials),
+        min_size=2, max_size=3))
+    return np.array(seen, dtype=bool)  # (o, t, n)
+
+
+class TestClassificationProperties:
+    @given(seen_matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_categories_partition_presence(self, seen):
+        o, t, n = seen.shape
+        ips = list(range(10, 10 + n))
+        origins = [f"O{i}" for i in range(o)]
+        tables = []
+        for ti in range(t):
+            l7 = {origins[oi]: ["ok" if seen[oi, ti, i] else "drop"
+                                for i in range(n)]
+                  for oi in range(o)}
+            tables.append(make_trial("http", ti, origins, ips, l7=l7))
+        ds = make_campaign(tables)
+
+        for origin in origins:
+            cls = classify_misses(ds, "http", origin)
+            present_any = seen.any(axis=0)  # (t, n) ground truth
+            for ti in range(t):
+                for i, ip in enumerate(cls.ips):
+                    host = ips.index(int(ip))
+                    category = MissCategory(cls.category[ti, i])
+                    if not present_any[ti, host]:
+                        assert category == MissCategory.NOT_PRESENT
+                    else:
+                        assert category != MissCategory.NOT_PRESENT
+
+    @given(seen_matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_long_term_means_never_seen(self, seen):
+        o, t, n = seen.shape
+        ips = list(range(10, 10 + n))
+        origins = [f"O{i}" for i in range(o)]
+        tables = []
+        for ti in range(t):
+            l7 = {origins[oi]: ["ok" if seen[oi, ti, i] else "none"
+                                for i in range(n)]
+                  for oi in range(o)}
+            tables.append(make_trial("http", ti, origins, ips, l7=l7))
+        ds = make_campaign(tables)
+
+        for oi, origin in enumerate(origins):
+            cls = classify_misses(ds, "http", origin)
+            long_term = cls.long_term_mask()
+            for i, ip in enumerate(cls.ips):
+                host = ips.index(int(ip))
+                if long_term[i]:
+                    # Long-term ⇒ this origin saw the host in no trial
+                    # and the host was in ground truth ≥2 times.
+                    assert not seen[oi, :, host].any()
+                    assert seen.any(axis=0)[:, host].sum() >= 2
+                elif cls.ever_category(MissCategory.TRANSIENT)[i]:
+                    # Transient ⇒ the origin saw the host somewhere.
+                    assert seen[oi, :, host].any()
+
+
+class TestWorldWireProperty:
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_wire_consistency_random_worlds(self, seed):
+        from repro.scanner.zmap import ZMapScanner
+        from repro.sim.scenario import paper_scenario
+        world, origins, config = paper_scenario(seed=seed, scale=0.03)
+        scanner = ZMapScanner(config)
+        names = tuple(o.name for o in origins)
+        for origin in origins[:3]:
+            obs = world.observe("ssh", 0, origin, scanner, names)
+            no_l4 = obs.l7 == int(L7Status.NO_L4)
+            assert (obs.probe_mask[no_l4] == 0).all()
+            assert (obs.probe_mask[~no_l4] > 0).all()

@@ -1,0 +1,220 @@
+"""Tests for permutations, the ZMap analog, ZGrab specs, and baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.blocklist import Blocklist
+from repro.origins import Origin
+from repro.scanner.masscan import MASSCAN_RETRY_SPACING_S, masscan_config
+from repro.scanner.permutation import (
+    AffinePermutation,
+    CyclicGroupPermutation,
+    _find_primitive_root,
+    _is_prime,
+)
+from repro.scanner.zgrab import HANDSHAKES, port_for, protocol_for_port
+from repro.scanner.zmap import BACK_TO_BACK_SPACING_S, ZMapConfig, ZMapScanner
+from repro.rng import CounterRNG
+
+
+class TestAffinePermutation:
+    def test_full_cycle_small_domain(self):
+        perm = AffinePermutation(domain_bits=10, seed=3)
+        visited = list(perm)
+        assert sorted(visited) == list(range(1024))
+
+    def test_inverse(self):
+        perm = AffinePermutation(domain_bits=16, seed=7)
+        for position in (0, 1, 12345, 65535):
+            assert perm.position_of(perm.address_at(position)) == position
+
+    def test_vectorized_inverse(self):
+        perm = AffinePermutation(domain_bits=20, seed=1)
+        addrs = np.array([perm.address_at(p) for p in range(0, 5000, 37)],
+                         dtype=np.uint64)
+        positions = perm.position_of_array(addrs)
+        assert list(positions) == list(range(0, 5000, 37))
+
+    def test_32_bit_domain(self):
+        perm = AffinePermutation(domain_bits=32, seed=9)
+        addr = perm.address_at(123_456_789)
+        assert 0 <= addr < 2**32
+        assert perm.position_of(addr) == 123_456_789
+
+    def test_seed_changes_order(self):
+        a = AffinePermutation(10, seed=1)
+        b = AffinePermutation(10, seed=2)
+        assert [a.address_at(i) for i in range(20)] \
+            != [b.address_at(i) for i in range(20)]
+
+    def test_not_identity(self):
+        perm = AffinePermutation(16, seed=5)
+        head = [perm.address_at(i) for i in range(10)]
+        assert head != list(range(10))
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            AffinePermutation(0, seed=1)
+        with pytest.raises(ValueError):
+            AffinePermutation(65, seed=1)
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 1000))
+    @settings(max_examples=80, deadline=None)
+    def test_bijection_property(self, position, seed):
+        perm = AffinePermutation(16, seed=seed)
+        assert perm.position_of(perm.address_at(position)) == position
+
+
+class TestCyclicGroupPermutation:
+    def test_visits_every_address_once(self):
+        perm = CyclicGroupPermutation(p=257, seed=1, domain_size=256)
+        visited = list(perm)
+        assert sorted(visited) == list(range(256))
+
+    def test_skips_addresses_beyond_domain(self):
+        perm = CyclicGroupPermutation(p=257, seed=1, domain_size=200)
+        visited = list(perm)
+        assert sorted(visited) == list(range(200))
+
+    def test_position_of_matches_iteration(self):
+        perm = CyclicGroupPermutation(p=101, seed=2)
+        x = perm.start
+        for position in range(40):
+            assert perm.position_of(x - 1) == position
+            x = (x * perm.generator) % perm.p
+
+    def test_address_at_round_trip(self):
+        perm = CyclicGroupPermutation(p=1009, seed=5)
+        for position in (0, 1, 500, 1007):
+            assert perm.position_of(perm.address_at(position)) == position
+
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            CyclicGroupPermutation(p=100, seed=1)
+
+    def test_zmap_prime(self):
+        """ZMap's actual modulus 2^32 + 15 is prime."""
+        assert _is_prime(2**32 + 15)
+
+    def test_is_prime_known_values(self):
+        primes = [2, 3, 5, 7, 101, 257, 65537]
+        composites = [1, 4, 100, 65536, 2**32]
+        assert all(_is_prime(p) for p in primes)
+        assert not any(_is_prime(c) for c in composites)
+
+    def test_primitive_root_generates_group(self):
+        p = 101
+        root = _find_primitive_root(p, CounterRNG(3))
+        values = {pow(root, k, p) for k in range(p - 1)}
+        assert len(values) == p - 1
+
+
+class TestZMapConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZMapConfig(n_probes=0)
+        with pytest.raises(ValueError):
+            ZMapConfig(pps=0)
+        with pytest.raises(ValueError):
+            ZMapConfig(probe_spacing_s=-1)
+        with pytest.raises(ValueError):
+            ZMapConfig(domain_size=1000)  # not a power of two
+
+    def test_scan_duration(self):
+        config = ZMapConfig(pps=1000.0, n_probes=2, domain_size=2**20)
+        assert config.scan_duration_s == 2**20 * 2 / 1000.0
+
+
+class TestZMapScanner:
+    def _scanner(self, **kwargs):
+        defaults = dict(seed=3, pps=10_000.0, domain_size=2**24)
+        defaults.update(kwargs)
+        return ZMapScanner(ZMapConfig(**defaults))
+
+    def test_times_span_scan(self):
+        scanner = self._scanner()
+        ips = np.arange(100, 200, dtype=np.uint32)
+        times = scanner.first_probe_times(ips)
+        assert times.min() >= 0.0
+        assert times.max() <= scanner.config.scan_duration_s
+
+    def test_same_seed_same_schedule(self):
+        a = self._scanner()
+        b = self._scanner()
+        ips = np.arange(1000, dtype=np.uint32)
+        assert np.array_equal(a.first_probe_times(ips),
+                              b.first_probe_times(ips))
+
+    def test_different_seed_different_schedule(self):
+        a = self._scanner(seed=1)
+        b = self._scanner(seed=2)
+        ips = np.arange(1000, dtype=np.uint32)
+        assert not np.array_equal(a.first_probe_times(ips),
+                                  b.first_probe_times(ips))
+
+    def test_drift_stretches_schedule(self):
+        scanner = self._scanner()
+        laggard = Origin("AU", "AU", "OC", drift=0.05)
+        ips = np.arange(100, dtype=np.uint32)
+        base = scanner.first_probe_times(ips)
+        stretched = scanner.first_probe_times(ips, laggard)
+        assert np.allclose(stretched, base * 1.05)
+
+    def test_probe_times_spacing(self):
+        scanner = self._scanner()
+        ips = np.arange(10, dtype=np.uint32)
+        matrix = scanner.probe_times(ips)
+        assert matrix.shape == (2, 10)
+        assert np.allclose(matrix[1] - matrix[0], BACK_TO_BACK_SPACING_S)
+
+    def test_blocklist_excludes(self):
+        blocklist = Blocklist.from_cidrs(["0.0.0.64/26"])
+        scanner = self._scanner(blocklist=blocklist)
+        ips = np.arange(128, dtype=np.uint32)
+        mask = scanner.eligible_mask(ips)
+        assert mask[:64].all()
+        assert not mask[64:128].any()
+
+    def test_as_probe_rate_scales_with_size_and_ips(self):
+        scanner = self._scanner()
+        single = Origin("US1", "US", "NA")
+        multi = Origin("US64", "US", "NA", n_source_ips=64)
+        rate_single = scanner.probes_into_as_per_second(2**16, single)
+        rate_multi = scanner.probes_into_as_per_second(2**16, multi)
+        assert rate_single == pytest.approx(rate_multi * 64)
+        bigger = scanner.probes_into_as_per_second(2**18, single)
+        assert bigger == pytest.approx(rate_single * 4)
+
+    def test_scan_duration_for_drift(self):
+        scanner = self._scanner()
+        origin = Origin("BR", "BR", "SA", drift=0.02)
+        assert scanner.scan_duration_for(origin) \
+            == pytest.approx(scanner.config.scan_duration_s * 1.02)
+
+
+class TestMasscan:
+    def test_delayed_retransmit(self):
+        config = masscan_config(seed=1, domain_size=2**20)
+        assert config.probe_spacing_s == MASSCAN_RETRY_SPACING_S
+        assert config.probe_spacing_s > BACK_TO_BACK_SPACING_S * 100
+
+
+class TestZGrab:
+    def test_studied_protocols_present(self):
+        assert set(HANDSHAKES) == {"http", "https", "ssh"}
+
+    def test_ports(self):
+        assert port_for("http") == 80
+        assert port_for("https") == 443
+        assert port_for("ssh") == 22
+
+    def test_port_round_trip(self):
+        for protocol in HANDSHAKES:
+            assert protocol_for_port(port_for(protocol)) == protocol
+        with pytest.raises(KeyError):
+            protocol_for_port(8080)
+
+    def test_ssh_is_partial_handshake(self):
+        assert HANDSHAKES["ssh"].phases[-1] == "version_exchange"

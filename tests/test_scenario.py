@@ -1,0 +1,123 @@
+"""Invariant tests for the paper scenario itself.
+
+The scenario file is data-heavy; these tests pin the structural claims
+the analyses depend on so future edits can't silently break them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.scenario import (
+    COUNTRY_SHARES,
+    PROTOCOL_TOTALS,
+    followup_scenario,
+    paper_scenario,
+    small_scenario,
+)
+
+#: Networks §4–§6 names explicitly; each must exist with its behaviour.
+NAMED_BEHAVIOURS = {
+    "DXTL Tseung Kwan O Service": "reputation_firewall",
+    "EGI Hosting": "reputation_firewall",
+    "Enzu": "reputation_firewall",
+    "Telecom Italia": "path_loss",
+    "Telecom Italia Sparkle": "path_loss",
+    "Akamai": "path_loss",
+    "ABCDE Group": "static_block",
+    "Alibaba CN": "temporal_rst",
+    "HZ Alibaba Advanced": "temporal_rst",
+    "Psychz Networks": "maxstartups",
+    "Ruhr-Universitaet Bochum": "rate_ids",
+    "SK Broadband": "rate_ids",
+    "Bekkoame Internet": "regional_policy",
+    "NTT Communications": "regional_policy",
+    "Gateway Inc": "regional_policy",
+    "WebCentral": "regional_policy",
+    "WA K-20 Telecommunications": "regional_policy",
+    "SantaPlus": "regional_policy",
+    "Jack in the Box": "static_block",
+    "Kazakhtelecom": "path_loss",
+}
+
+
+@pytest.fixture(scope="module")
+def world():
+    return paper_scenario(seed=0)[0]
+
+
+class TestPaperScenario:
+    def test_host_totals_near_targets(self, world):
+        counts = world.hosts.counts_by_protocol()
+        for protocol, target in PROTOCOL_TOTALS.items():
+            assert abs(counts[protocol] - target) / target < 0.03
+
+    def test_named_networks_present_with_behaviour(self, world):
+        for name, field in NAMED_BEHAVIOURS.items():
+            system = world.topology.ases.by_name(name)
+            assert getattr(system.spec, field) is not None, name
+
+    def test_known_asns(self, world):
+        assert world.topology.ases.by_name("Telecom Italia").asn == 3269
+        assert world.topology.ases.by_name("ABCDE Group").asn == 133201
+        assert world.topology.ases.by_name("WebCentral").asn == 7496
+        assert world.topology.ases.by_name("SK Broadband").asn == 9318
+
+    def test_country_shares_cover_paper_tables(self):
+        needed = {"US", "CN", "HK", "IT", "BD", "ZA", "EE", "BF", "MW",
+                  "LY", "SD", "AM", "MN", "KZ", "AL", "AT", "VE", "EC"}
+        assert needed <= set(COUNTRY_SHARES)
+
+    def test_us_is_largest_country(self, world):
+        view = world.hosts.for_protocol("http")
+        counts = np.bincount(view.country_index)
+        us = world.topology.countries.index_of("US")
+        assert int(np.argmax(counts)) == us
+
+    def test_anycast_misattribution_wired(self, world):
+        system = world.topology.ases.by_name("Cloudflare Anycast AU-US")
+        ip = int(world.topology.populated_slash24s[system.index][0]) + 1
+        assert world.topology.geoip.true_country(ip).code == "AU"
+        assert world.topology.geoip.geolocate(ip).code == "US"
+
+    def test_scale_parameter(self):
+        small = paper_scenario(seed=0, scale=0.1)[0]
+        full_counts = PROTOCOL_TOTALS["http"]
+        small_counts = small.hosts.counts_by_protocol()["http"]
+        assert abs(small_counts - full_counts * 0.1) / (full_counts * 0.1) \
+            < 0.15
+
+    def test_deterministic_construction(self):
+        a = paper_scenario(seed=4, scale=0.05)[0]
+        b = paper_scenario(seed=4, scale=0.05)[0]
+        assert np.array_equal(a.hosts.ip, b.hosts.ip)
+        assert a.topology.ases.names() == b.topology.ases.names()
+
+    def test_config_matches_paper(self):
+        _, origins, config = paper_scenario(seed=0, scale=0.05)
+        assert config.pps == 100_000.0
+        assert config.n_probes == 2
+        # ~21h scan as in §2 (2^32 × 2 probes / 100 kpps ≈ 23.9 h).
+        assert 20 * 3600 < config.scan_duration_s < 26 * 3600
+        assert len(origins) == 8
+
+
+class TestFollowupScenario:
+    def test_origin_set(self):
+        _, origins, _ = followup_scenario(seed=0, scale=0.05)
+        names = {o.name for o in origins}
+        assert {"HE", "NTT", "TELIA", "CEN", "US1"} <= names
+        assert "US64" not in names
+        assert "BR" not in names
+
+    def test_different_world_than_main(self):
+        main_world = paper_scenario(seed=0, scale=0.05)[0]
+        follow_world = followup_scenario(seed=0, scale=0.05)[0]
+        # Eleven months of drift: the host populations differ.
+        assert not np.array_equal(main_world.hosts.ip,
+                                  follow_world.hosts.ip)
+
+
+class TestSmallScenario:
+    def test_size(self):
+        world, _, _ = small_scenario(seed=0)
+        assert 1_000 < len(world.hosts) < 10_000

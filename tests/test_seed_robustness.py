@@ -1,0 +1,80 @@
+"""Seed-robustness: the paper's qualitative findings are not seed-luck.
+
+The benchmarks run at seed 1; these tests re-check the headline shapes on
+different seeds (at reduced scale, so they stay fast).  A finding that
+only holds at one seed would be an artifact of calibration, not a
+property of the mechanisms.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core as core
+from repro.sim.campaign import run_campaign
+from repro.sim.scenario import paper_scenario
+
+SCALE = 0.2
+
+
+@pytest.fixture(scope="module", params=[2, 5])
+def seeded_campaign(request):
+    world, origins, config = paper_scenario(seed=request.param,
+                                            scale=SCALE)
+    ds = run_campaign(world, origins, config,
+                      protocols=("http", "ssh"), n_trials=3)
+    return world, ds
+
+
+class TestHeadlineShapesAcrossSeeds:
+    def test_censys_last_on_http(self, seeded_campaign):
+        _, ds = seeded_campaign
+        table = core.coverage_table(ds, "http")
+        means = {o: table.mean_coverage(o) for o in table.origins}
+        assert min(means, key=means.get) == "CEN"
+
+    def test_ssh_below_http(self, seeded_campaign):
+        _, ds = seeded_campaign
+        http = core.coverage_table(ds, "http")
+        ssh = core.coverage_table(ds, "ssh")
+        for origin in http.origins:
+            assert ssh.mean_coverage(origin) \
+                < http.mean_coverage(origin) - 0.02
+
+    def test_us64_best_on_ssh(self, seeded_campaign):
+        _, ds = seeded_campaign
+        ssh = core.coverage_table(ds, "ssh")
+        means = {o: ssh.mean_coverage(o) for o in ssh.origins}
+        assert max(means, key=means.get) == "US64"
+
+    def test_multi_origin_monotone(self, seeded_campaign):
+        _, ds = seeded_campaign
+        table = core.multi_origin_table(ds, "http", max_k=3,
+                                        single_probe=True)
+        assert table[1].median < table[2].median < table[3].median
+        assert table[3].median > 0.98
+
+    def test_transient_dominates_for_academics(self, seeded_campaign):
+        _, ds = seeded_campaign
+        rows = core.figure2_rows(ds, "http")
+        for origin in ("AU", "JP", "US1"):
+            o_rows = [r for r in rows if r["origin"] == origin]
+            transient = sum(r["transient_host"] + r["transient_network"]
+                            for r in o_rows)
+            long_term = sum(r["long_term_host"] + r["long_term_network"]
+                            for r in o_rows)
+            assert transient > long_term
+
+    def test_censys_top3_concentration(self, seeded_campaign):
+        world, ds = seeded_campaign
+        conc = core.longterm_as_concentration(ds, "http")["CEN"]
+        names = {world.topology.ases.by_index(i).name
+                 for i, _ in conc.ranked[:4]}
+        assert names & {"DXTL Tseung Kwan O Service", "EGI Hosting",
+                        "Enzu"}
+
+    def test_probabilistic_blocking_everywhere(self, seeded_campaign):
+        _, ds = seeded_campaign
+        breakdown = core.ssh_breakdown(ds)
+        for origin in breakdown.origins:
+            totals = breakdown.totals(origin)
+            assert totals["probabilistic"] > 0

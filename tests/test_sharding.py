@@ -1,0 +1,85 @@
+"""Tests for ZMap-style scan sharding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scanner.zmap import ZMapConfig, ZMapScanner
+
+
+def scanner(shard, n_shards, **kwargs):
+    defaults = dict(seed=4, pps=1000.0, domain_size=2**16)
+    defaults.update(kwargs)
+    return ZMapScanner(ZMapConfig(shard=shard, n_shards=n_shards,
+                                  **defaults))
+
+
+class TestShardConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZMapConfig(n_shards=0)
+        with pytest.raises(ValueError):
+            ZMapConfig(shard=2, n_shards=2)
+        with pytest.raises(ValueError):
+            ZMapConfig(shard=-1, n_shards=2)
+
+    def test_duration_divides(self):
+        full = ZMapConfig(pps=1000.0, domain_size=2**16)
+        quarter = ZMapConfig(pps=1000.0, domain_size=2**16, n_shards=4)
+        assert quarter.scan_duration_s == full.scan_duration_s / 4
+
+
+class TestShardPartition:
+    def test_shards_partition_address_space(self):
+        ips = np.arange(2**16, dtype=np.uint32)
+        owned = np.zeros(2**16, dtype=int)
+        for shard in range(4):
+            owned += scanner(shard, 4).shard_mask(ips)
+        assert (owned == 1).all()
+
+    def test_shard_sizes_balanced(self):
+        ips = np.arange(2**16, dtype=np.uint32)
+        sizes = [scanner(s, 3).shard_mask(ips).sum() for s in range(3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_eligible_mask_respects_shard(self):
+        ips = np.arange(1000, dtype=np.uint32)
+        s = scanner(1, 4)
+        eligible = s.eligible_mask(ips)
+        assert np.array_equal(eligible, s.shard_mask(ips))
+
+    def test_single_shard_covers_everything(self):
+        ips = np.arange(1000, dtype=np.uint32)
+        assert scanner(0, 1).eligible_mask(ips).all()
+
+    @given(st.integers(1, 8), st.integers(0, 2**16 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_exactly_one_owner(self, n_shards, ip):
+        owners = [s for s in range(n_shards)
+                  if scanner(s, n_shards).shard_mask(
+                      np.array([ip], dtype=np.uint32))[0]]
+        assert len(owners) == 1
+
+
+class TestShardTiming:
+    def test_times_compressed_within_shard(self):
+        """A shard finishes in 1/n of the time of a full scan."""
+        full = scanner(0, 1)
+        quarter = scanner(0, 4)
+        ips = np.arange(2**16, dtype=np.uint32)
+        owned = quarter.shard_mask(ips)
+        times = quarter.first_probe_times(ips[owned])
+        assert times.max() <= quarter.config.scan_duration_s
+        assert times.max() < full.config.scan_duration_s / 3
+
+    def test_shard_preserves_relative_order(self):
+        """Within a shard, permutation order is preserved."""
+        s = scanner(2, 4)
+        ips = np.arange(2**16, dtype=np.uint32)
+        owned = ips[s.shard_mask(ips)]
+        positions = s.permutation.position_of_array(
+            owned.astype(np.uint64))
+        times = s.first_probe_times(owned)
+        order_by_pos = np.argsort(positions)
+        assert np.all(np.diff(times[order_by_pos]) >= 0)

@@ -1,0 +1,130 @@
+"""Tests for McNemar, Bonferroni, and Spearman implementations."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.core.stats import (
+    _average_ranks,
+    all_pairs_significant,
+    bonferroni,
+    mcnemar,
+    mcnemar_exact,
+    pairwise_origin_tests,
+    spearman,
+)
+from tests.conftest import make_campaign, make_trial
+
+
+class TestMcNemar:
+    def test_no_discordance(self):
+        statistic, p = mcnemar(0, 0)
+        assert statistic == 0.0
+        assert p == 1.0
+
+    def test_symmetric(self):
+        assert mcnemar(30, 10) == mcnemar(10, 30)
+
+    def test_known_value(self):
+        # (|30-10|-1)^2 / 40 = 361/40 = 9.025 → p ≈ 0.00266
+        statistic, p = mcnemar(30, 10)
+        assert statistic == pytest.approx(9.025)
+        assert p == pytest.approx(0.002665, abs=1e-4)
+
+    def test_large_difference_significant(self):
+        _, p = mcnemar(500, 100)
+        assert p < 1e-10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mcnemar(-1, 5)
+
+    def test_exact_small_counts(self):
+        assert mcnemar_exact(0, 0) == 1.0
+        # 5 vs 0 discordant: p = 2 * 0.5^5 = 0.0625
+        assert mcnemar_exact(5, 0) == pytest.approx(0.0625)
+
+    def test_pairwise_tests(self):
+        td = make_trial("http", 0, ["A", "B", "C"],
+                        list(range(1, 41)),
+                        l7={"A": ["ok"] * 40,
+                            "B": ["ok"] * 20 + ["drop"] * 20,
+                            "C": ["ok"] * 40})
+        results = pairwise_origin_tests(td)
+        assert len(results) == 3
+        ab = next(r for r in results
+                  if {r.origin_a, r.origin_b} == {"A", "B"})
+        assert ab.b == 20 and ab.c == 0
+        assert ab.significant()
+        ac = next(r for r in results
+                  if {r.origin_a, r.origin_b} == {"A", "C"})
+        assert not ac.significant()
+
+
+class TestBonferroni:
+    def test_scaling_and_clamping(self):
+        assert bonferroni([0.01, 0.2]) == [0.02, 0.4]
+        assert bonferroni([0.5, 0.9]) == [1.0, 1.0]
+        assert bonferroni([]) == []
+
+    def test_all_pairs_significant(self):
+        n = 400
+        tables = []
+        for t in range(2):
+            tables.append(make_trial(
+                "http", t, ["A", "B"], list(range(1, n + 1)),
+                l7={"A": ["ok"] * n,
+                    "B": ["ok"] * (n - 60) + ["drop"] * 60}))
+        ds = make_campaign(tables)
+        assert all_pairs_significant(ds, "http")
+
+    def test_identical_origins_not_significant(self):
+        n = 50
+        tables = [make_trial("http", 0, ["A", "B"],
+                             list(range(1, n + 1)),
+                             l7={"A": ["ok"] * n, "B": ["ok"] * n})]
+        ds = make_campaign(tables)
+        assert not all_pairs_significant(ds, "http")
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        rho, p = spearman(x, x ** 3)
+        assert rho == pytest.approx(1.0)
+        assert p < 0.05
+
+    def test_perfect_inverse(self):
+        x = np.arange(10.0)
+        rho, _ = spearman(x, -x)
+        assert rho == pytest.approx(-1.0)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=200)
+        y = 0.5 * x + rng.normal(size=200)
+        rho, p = spearman(x, y)
+        expected_rho, expected_p = scipy_stats.spearmanr(x, y)
+        assert rho == pytest.approx(expected_rho, abs=1e-10)
+        assert p == pytest.approx(expected_p, rel=0.05)
+
+    def test_matches_scipy_with_ties(self):
+        x = np.array([1, 2, 2, 3, 3, 3, 4, 5, 5, 6], dtype=float)
+        y = np.array([2, 1, 3, 3, 5, 4, 4, 6, 7, 7], dtype=float)
+        rho, _ = spearman(x, y)
+        expected_rho, _ = scipy_stats.spearmanr(x, y)
+        assert rho == pytest.approx(expected_rho, abs=1e-10)
+
+    def test_degenerate_inputs(self):
+        rho, p = spearman(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        assert np.isnan(rho)
+        rho, _ = spearman(np.ones(10), np.arange(10.0))
+        assert np.isnan(rho)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman(np.arange(3.0), np.arange(4.0))
+
+    def test_average_ranks(self):
+        ranks = _average_ranks(np.array([10.0, 20.0, 20.0, 30.0]))
+        assert list(ranks) == [1.0, 2.5, 2.5, 4.0]

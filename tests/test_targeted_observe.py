@@ -1,0 +1,63 @@
+"""Targeted re-scan parity: subset observations equal full-scan rows."""
+
+import numpy as np
+import pytest
+
+from repro.scanner.zmap import ZMapScanner
+from repro.sim.scenario import small_scenario
+
+
+@pytest.fixture(scope="module")
+def setup():
+    world, origins, config = small_scenario(seed=13)
+    scanner = ZMapScanner(config)
+    names = tuple(o.name for o in origins)
+    return world, origins, scanner, names
+
+
+class TestTargetedObserve:
+    def test_subset_matches_full_scan(self, setup):
+        world, origins, scanner, names = setup
+        au = origins[0]
+        full = world.observe("http", 1, au, scanner, names)
+
+        rng = np.random.default_rng(5)
+        chosen = rng.choice(full.ip, size=200, replace=False)
+        targeted = world.observe("http", 1, au, scanner, names,
+                                 targets=chosen)
+
+        assert np.array_equal(targeted.ip, np.sort(chosen))
+        pos = np.searchsorted(full.ip, targeted.ip)
+        assert np.array_equal(targeted.l7, full.l7[pos])
+        assert np.array_equal(targeted.probe_mask, full.probe_mask[pos])
+        assert np.allclose(targeted.time, full.time[pos])
+        assert np.array_equal(targeted.as_index, full.as_index[pos])
+
+    def test_subset_of_one_as(self, setup):
+        world, origins, scanner, names = setup
+        jp = next(o for o in origins if o.name == "JP")
+        psychz = world.topology.ases.by_name("Psychz Networks")
+        view = world.hosts.for_protocol("ssh")
+        ips = view.ip[view.as_index == psychz.index]
+        obs = world.observe("ssh", 0, jp, scanner, names, targets=ips)
+        assert len(obs) > 0
+        assert (obs.as_index == psychz.index).all()
+
+    def test_absent_targets_yield_nothing(self, setup):
+        world, origins, scanner, names = setup
+        obs = world.observe("http", 0, origins[0], scanner, names,
+                            targets=np.array([1, 2, 3],
+                                             dtype=np.uint32))
+        assert len(obs) == 0
+
+    def test_targets_respect_churn(self, setup):
+        """A target absent from the trial stays absent."""
+        world, origins, scanner, names = setup
+        view = world.hosts.for_protocol("http")
+        present = world.churn.present_mask(view.ip, "http", 0)
+        gone = view.ip[~present]
+        if len(gone) == 0:
+            pytest.skip("no churned-out hosts at this seed")
+        obs = world.observe("http", 0, origins[0], scanner, names,
+                            targets=gone[:50])
+        assert len(obs) == 0

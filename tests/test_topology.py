@@ -1,0 +1,206 @@
+"""Tests for countries, geolocation, AS registry, routing, and generation."""
+
+import numpy as np
+import pytest
+
+from repro.net.ipv4 import IPv4Network, parse_ipv4
+from repro.topology.asn import ASKind, ASRegistry, ASSpec
+from repro.topology.generator import build_topology
+from repro.topology.geo import (
+    Country,
+    CountryRegistry,
+    GeoIPDatabase,
+    default_countries,
+)
+
+
+def spec(name, country="US", http=10, **kwargs):
+    return ASSpec(name, country, hosts={"http": http}, **kwargs)
+
+
+class TestCountry:
+    def test_valid(self):
+        c = Country("JP", "Japan", "AS")
+        assert c.code == "JP"
+
+    def test_invalid_code(self):
+        with pytest.raises(ValueError):
+            Country("jp", "Japan", "AS")
+        with pytest.raises(ValueError):
+            Country("JPN", "Japan", "AS")
+
+    def test_invalid_continent(self):
+        with pytest.raises(ValueError):
+            Country("JP", "Japan", "XX")
+
+    def test_default_countries_unique_and_valid(self):
+        countries = default_countries()
+        codes = [c.code for c in countries]
+        assert len(codes) == len(set(codes))
+        assert {"US", "CN", "JP", "DE", "BR", "AU"} <= set(codes)
+
+
+class TestCountryRegistry:
+    def test_add_and_lookup(self):
+        reg = CountryRegistry()
+        idx = reg.add(Country("US", "United States", "NA"))
+        assert reg.index_of("US") == idx
+        assert reg.get("US").name == "United States"
+        assert reg.by_index(idx).code == "US"
+        assert "US" in reg and "XX" not in reg
+
+    def test_add_idempotent(self):
+        reg = CountryRegistry()
+        a = reg.add(Country("US", "United States", "NA"))
+        b = reg.add(Country("US", "United States", "NA"))
+        assert a == b
+        assert len(reg) == 1
+
+
+class TestGeoIP:
+    def _registry(self):
+        reg = CountryRegistry()
+        reg.add(Country("US", "United States", "NA"))
+        reg.add(Country("AU", "Australia", "OC"))
+        return reg
+
+    def test_truthful_geolocation(self):
+        reg = self._registry()
+        geo = GeoIPDatabase(reg)
+        geo.add_prefix(IPv4Network.from_cidr("10.0.0.0/8"), "AU")
+        ip = parse_ipv4("10.1.2.3")
+        assert geo.true_country(ip).code == "AU"
+        assert geo.geolocate(ip).code == "AU"
+
+    def test_anycast_misattribution(self):
+        reg = self._registry()
+        geo = GeoIPDatabase(reg)
+        geo.add_prefix(IPv4Network.from_cidr("10.0.0.0/8"), "AU",
+                       geolocates_to="US")
+        ip = parse_ipv4("10.1.2.3")
+        assert geo.true_country(ip).code == "AU"
+        assert geo.geolocate(ip).code == "US"
+
+    def test_unknown_ip(self):
+        geo = GeoIPDatabase(self._registry())
+        assert geo.geolocate(parse_ipv4("8.8.8.8")) is None
+        assert geo.true_country(parse_ipv4("8.8.8.8")) is None
+
+    def test_vectorized_lookups(self):
+        reg = self._registry()
+        geo = GeoIPDatabase(reg)
+        geo.add_prefix(IPv4Network.from_cidr("10.0.0.0/8"), "AU",
+                       geolocates_to="US")
+        ips = np.array([parse_ipv4("10.0.0.1"), parse_ipv4("9.0.0.1")],
+                       dtype=np.uint32)
+        assert list(geo.geolocate_index_array(ips)) \
+            == [reg.index_of("US"), -1]
+        assert list(geo.true_index_array(ips)) \
+            == [reg.index_of("AU"), -1]
+
+
+class TestASRegistry:
+    def test_add_assigns_indices_and_asns(self):
+        reg = ASRegistry()
+        a = reg.add(spec("A"))
+        b = reg.add(spec("B"))
+        assert (a.index, b.index) == (0, 1)
+        assert a.asn != b.asn
+        assert reg.by_name("A") is a
+        assert reg.by_asn(b.asn) is b
+        assert reg.names() == ["A", "B"]
+
+    def test_explicit_asn_respected(self):
+        reg = ASRegistry()
+        system = reg.add(spec("TI", asn=3269))
+        assert system.asn == 3269
+
+    def test_duplicate_asn_rejected(self):
+        reg = ASRegistry()
+        reg.add(spec("A", asn=100))
+        with pytest.raises(ValueError):
+            reg.add(spec("B", asn=100))
+
+    def test_duplicate_name_rejected(self):
+        reg = ASRegistry()
+        reg.add(spec("A"))
+        with pytest.raises(ValueError):
+            reg.add(spec("A"))
+
+    def test_auto_asn_skips_taken(self):
+        reg = ASRegistry()
+        reg.add(spec("X", asn=64512))
+        auto = reg.add(spec("Y"))
+        assert auto.asn != 64512
+
+    def test_spec_helpers(self):
+        s = ASSpec("X", "US", hosts={"http": 5, "ssh": 2})
+        assert s.total_hosts() == 7
+        assert s.hosts_for("http") == 5
+        assert s.hosts_for("https") == 0
+
+
+class TestBuildTopology:
+    def _countries(self):
+        return [Country("US", "United States", "NA"),
+                Country("JP", "Japan", "AS")]
+
+    def test_prefixes_disjoint_and_aligned(self):
+        specs = [spec(f"AS{i}", http=50 + i * 37) for i in range(8)]
+        topo = build_topology(specs, self._countries())
+        prefixes = [system.prefixes[0] for system in topo.ases]
+        for i, a in enumerate(prefixes):
+            assert a.address % a.num_addresses == 0
+            for b in prefixes[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_routing_attribution(self):
+        specs = [spec("A"), spec("B")]
+        topo = build_topology(specs, self._countries())
+        for system in topo.ases:
+            blocks = topo.populated_slash24s[system.index]
+            assert topo.routing.lookup(int(blocks[0]) + 1) is system
+
+    def test_populated_slash24s_inside_prefix(self):
+        specs = [spec("A", http=1000)]
+        topo = build_topology(specs, self._countries())
+        system = topo.ases.by_name("A")
+        prefix = system.prefixes[0]
+        for base in topo.populated_slash24s[system.index]:
+            assert prefix.contains(int(base))
+            assert int(base) % 256 == 0
+
+    def test_unknown_country_rejected(self):
+        with pytest.raises(ValueError):
+            build_topology([spec("A", country="XX")], self._countries())
+
+    def test_unknown_geolocates_to_rejected(self):
+        bad = ASSpec("A", "US", hosts={"http": 5}, geolocates_to="XX")
+        with pytest.raises(ValueError):
+            build_topology([bad], self._countries())
+
+    def test_geoip_uses_misattribution(self):
+        specs = [ASSpec("Anycast", "JP", hosts={"http": 5},
+                        geolocates_to="US")]
+        topo = build_topology(specs, self._countries())
+        ip = int(topo.populated_slash24s[0][0]) + 1
+        assert topo.geoip.true_country(ip).code == "JP"
+        assert topo.geoip.geolocate(ip).code == "US"
+
+    def test_empty_hosts_still_allocates(self):
+        specs = [ASSpec("Empty", "US", hosts={})]
+        topo = build_topology(specs, self._countries())
+        assert len(topo.ases.by_name("Empty").prefixes) == 1
+
+    def test_first_prefix_above_reserved_space(self):
+        topo = build_topology([spec("A")], self._countries())
+        assert topo.ases.by_name("A").prefixes[0].address >= (1 << 24)
+
+    def test_guard_space_between_ases(self):
+        """Populated /24 count is below prefix capacity (guard space)."""
+        specs = [spec("A", http=1000)]
+        topo = build_topology(specs, self._countries())
+        system = topo.ases.by_name("A")
+        populated = len(topo.populated_slash24s[system.index])
+        capacity = system.prefixes[0].num_addresses // 256
+        assert populated < capacity

@@ -1,0 +1,203 @@
+"""Tests for transient-rate, best/worst-stability, and packet-loss analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.best_worst import stability_report
+from repro.core.packet_loss import (
+    both_probe_loss_fraction,
+    drop_summary,
+    estimate_drop_rate,
+    origin_drop_rate,
+    per_as_drop_rates,
+)
+from repro.core.transient import (
+    largest_range_ases,
+    loss_spread_cdf,
+    transient_overlap_histogram,
+    transient_rates,
+)
+from repro.rng import CounterRNG
+from tests.conftest import make_campaign, make_trial
+
+
+def transient_campaign():
+    """Two origins; origin A transiently misses AS-0 hosts in trial 1.
+
+    Hosts 10, 11 are in AS 0; hosts 20, 21 in AS 1.  All exist in every
+    trial; A misses both AS-0 hosts in trial 1 only.
+    """
+    ips = [10, 11, 20, 21]
+    as_index = [0, 0, 1, 1]
+    tables = [
+        make_trial("http", 0, ["A", "B"], ips,
+                   l7={"A": ["ok"] * 4, "B": ["ok"] * 4},
+                   as_index=as_index),
+        make_trial("http", 1, ["A", "B"], ips,
+                   l7={"A": ["none", "none", "ok", "ok"],
+                       "B": ["ok"] * 4},
+                   as_index=as_index),
+        make_trial("http", 2, ["A", "B"], ips,
+                   l7={"A": ["ok"] * 4, "B": ["ok"] * 4},
+                   as_index=as_index),
+    ]
+    return make_campaign(tables)
+
+
+class TestTransientRates:
+    def test_rates_cube(self):
+        rates = transient_rates(transient_campaign(), "http")
+        a = rates.origins.index("A")
+        assert rates.rates[a, 1, 0] == pytest.approx(1.0)
+        assert rates.rates[a, 0, 0] == 0.0
+        assert rates.rates[a, 1, 1] == 0.0
+        b = rates.origins.index("B")
+        assert rates.rates[b].sum() == 0.0
+
+    def test_present_counts(self):
+        rates = transient_rates(transient_campaign(), "http")
+        assert rates.present[0, 0] == 2
+        assert rates.present[1, 1] == 2
+
+    def test_mean_and_spread(self):
+        rates = transient_rates(transient_campaign(), "http")
+        spread = rates.as_spread(min_hosts=1)
+        assert spread[0] == pytest.approx(1 / 3)
+        assert spread[1] == 0.0
+
+    def test_overlap_histogram(self):
+        histogram = transient_overlap_histogram(transient_campaign(),
+                                                "http")
+        assert histogram == {1: 2, 2: 0}
+
+    def test_loss_spread_cdf(self):
+        rates = transient_rates(transient_campaign(), "http")
+        spread, cdf, weighted = loss_spread_cdf(rates, min_hosts=1)
+        assert len(spread) == 2
+        assert cdf[-1] == pytest.approx(1.0)
+        assert weighted[-1] == pytest.approx(1.0)
+        assert list(spread) == sorted(spread)
+
+    def test_largest_range(self):
+        rates = transient_rates(transient_campaign(), "http")
+        rows = largest_range_ases(rates, min_hosts=1)
+        assert rows[0].as_index == 0
+        assert rows[0].delta == pytest.approx(100 / 3)
+        assert rows[0].ratio == float("inf")  # B never misses AS 0
+
+
+class TestStability:
+    def _rates(self, cube, present=None):
+        """Wrap a raw (o, t, a) rate cube in a TransientRates."""
+        from repro.core.transient import TransientRates
+        cube = np.asarray(cube, dtype=np.float64)
+        o, t, a = cube.shape
+        present_arr = np.full((t, a), 100.0) if present is None \
+            else np.asarray(present)
+        return TransientRates(protocol="http",
+                              origins=[f"O{i}" for i in range(o)],
+                              n_trials=t, rates=cube,
+                              present=present_arr,
+                              missing=cube * 100.0)
+
+    def test_consistent_best_and_worst(self):
+        # Origin 0 always best, origin 2 always worst in AS 0.
+        cube = np.zeros((3, 3, 1))
+        cube[0, :, 0] = 0.01
+        cube[1, :, 0] = 0.05
+        cube[2, :, 0] = 0.20
+        report = stability_report(self._rates(cube), min_hosts=1)
+        assert report.consistent_best == {0: "O0"}
+        assert report.consistent_worst == {0: "O2"}
+        assert report.flip_ases == []
+        assert report.dominant_worst_origin() == "O2"
+
+    def test_flip_detection(self):
+        # Origin 0 best in trial 0, worst in trial 1.
+        cube = np.zeros((2, 2, 1))
+        cube[0, 0, 0] = 0.0
+        cube[1, 0, 0] = 0.5
+        cube[0, 1, 0] = 0.5
+        cube[1, 1, 0] = 0.0
+        report = stability_report(self._rates(cube), min_hosts=1)
+        assert report.flip_ases == [0]
+        assert report.consistent_best == {}
+
+    def test_ties_disqualify(self):
+        cube = np.zeros((2, 2, 1))  # all-zero: ties everywhere
+        report = stability_report(self._rates(cube), min_hosts=1)
+        assert report.consistent_best == {}
+        assert report.consistent_worst == {}
+
+    def test_min_hosts_filters(self):
+        cube = np.zeros((2, 1, 1))
+        cube[0, 0, 0] = 0.5
+        small = self._rates(cube, present=np.full((1, 1), 3.0))
+        report = stability_report(small, min_hosts=20)
+        assert report.n_eligible == 0
+
+    def test_fractions(self):
+        cube = np.zeros((2, 2, 4))
+        cube[0, :, 0] = 0.5  # AS0: consistent worst O0
+        report = stability_report(self._rates(cube), min_hosts=1)
+        assert report.consistent_worst_fraction() == pytest.approx(0.25)
+        assert report.worst_origin_histogram() == {"O0": 1, "O1": 0}
+
+
+class TestPacketLoss:
+    def test_estimator_identity(self):
+        assert estimate_drop_rate(0, 100) == 0.0
+        assert estimate_drop_rate(0, 0) == 0.0
+        # 2q(1-q) vs (1-q)^2 at q=0.2 → n1/n2 = 0.5
+        assert estimate_drop_rate(50, 100) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            estimate_drop_rate(-1, 0)
+
+    def test_estimator_recovers_independent_drop(self):
+        """On truly independent per-probe drop the estimator is unbiased."""
+        rng = CounterRNG(3, "est")
+        q = 0.12
+        n = 200_000
+        first = rng.bernoulli_array(1 - q, np.arange(n), 1)
+        second = rng.bernoulli_array(1 - q, np.arange(n), 2)
+        n1 = int((first ^ second).sum())
+        n2 = int((first & second).sum())
+        assert estimate_drop_rate(n1, n2) == pytest.approx(q, abs=0.004)
+
+    def test_origin_drop_rate(self):
+        td = make_trial("http", 0, ["A", "B"], [10, 20, 30],
+                        l7={"A": ["ok", "ok", "none"],
+                            "B": ["ok", "ok", "ok"]},
+                        probe_mask={"A": [3, 1, 0], "B": [3, 3, 3]})
+        # Among GT hosts (all 3): A has n1=1, n2=1 → 1/(1+2) = 1/3.
+        assert origin_drop_rate(td, "A") == pytest.approx(1 / 3)
+        assert origin_drop_rate(td, "B") == 0.0
+
+    def test_per_as_drop_rates(self):
+        td = make_trial("http", 0, ["A"], [10, 20],
+                        l7={"A": ["ok", "ok"]},
+                        probe_mask={"A": [1, 3]},
+                        as_index=[0, 1])
+        rates = per_as_drop_rates(td, "A")
+        assert rates[0] == pytest.approx(1.0)
+        assert rates[1] == 0.0
+
+    def test_drop_summary(self):
+        ds = transient_campaign()
+        summary = drop_summary(ds, "http")
+        assert summary.rates.shape == (2, 3)
+        lo, hi = summary.range_global()
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_both_probe_loss_fraction(self):
+        td = make_trial("http", 0, ["A", "B"], [10, 20, 30, 40],
+                        l7={"A": ["ok", "ok", "none", "none"],
+                            "B": ["ok", "ok", "ok", "ok"]},
+                        probe_mask={"A": [3, 1, 0, 0],
+                                    "B": [3, 3, 3, 3]})
+        # Losses: ip20 lost one probe; ip30, ip40 lost both → 2/3.
+        assert both_probe_loss_fraction(td, "A") == pytest.approx(2 / 3)
+
+    def test_both_probe_loss_no_losses(self):
+        td = make_trial("http", 0, ["A"], [10], l7={"A": ["ok"]})
+        assert np.isnan(both_probe_loss_fraction(td, "A"))

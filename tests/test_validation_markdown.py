@@ -1,0 +1,66 @@
+"""Tests for the §2 rate-validation procedure and markdown rendering."""
+
+import pytest
+
+from repro.reporting.markdown import markdown_bars, markdown_table
+from repro.scanner.zmap import ZMapConfig
+from repro.sim.validation import validate_scan_rates
+
+
+class TestRateValidation:
+    @pytest.fixture(scope="class")
+    def validation(self, small_world):
+        world, origins, config = small_world
+        return validate_scan_rates(
+            world, origins[:3], config,
+            rates_pps=(1_000.0, 100_000.0), sample_fraction=0.25)
+
+    def test_covers_all_origins_and_rates(self, validation, small_world):
+        _, origins, _ = small_world
+        assert set(validation.drop) == {o.name for o in origins[:3]}
+        for series in validation.drop.values():
+            assert set(series) == {1_000.0, 100_000.0}
+
+    def test_drop_rates_plausible(self, validation):
+        for series in validation.drop.values():
+            for value in series.values():
+                assert 0.0 <= value < 0.1
+
+    def test_no_rate_dependent_drop(self, validation):
+        """The paper's go/no-go check passes: drop at 100 kpps ≈ 1 kpps."""
+        assert validation.all_safe(tolerance=0.01)
+
+    def test_sample_fraction_validation(self, small_world):
+        world, origins, config = small_world
+        with pytest.raises(ValueError):
+            validate_scan_rates(world, origins[:1], config,
+                                sample_fraction=0.0)
+
+    def test_small_sample_is_subset(self, small_world):
+        """A smaller sample fraction uses fewer hosts (noisier but
+        cheaper), and still produces estimates."""
+        world, origins, config = small_world
+        small = validate_scan_rates(world, origins[:1], config,
+                                    rates_pps=(1_000.0,),
+                                    sample_fraction=0.05)
+        assert small.drop[origins[0].name][1_000.0] >= 0.0
+
+
+class TestMarkdown:
+    def test_table(self):
+        text = markdown_table(["a", "b"], [["x", 1], ["y", 2]],
+                              title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "### demo"
+        assert lines[2] == "| a | b |"
+        assert lines[3] == "|---|---|"
+        assert lines[4] == "| x | 1 |"
+
+    def test_table_validates_width(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a"], [["x", "extra"]])
+
+    def test_bars(self):
+        text = markdown_bars({"AU": 0.967}, title="coverage")
+        assert "| AU | 96.7% |" in text
+        assert text.startswith("### coverage")

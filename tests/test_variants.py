@@ -1,0 +1,75 @@
+"""Unit tests for the world-variant builders."""
+
+import numpy as np
+import pytest
+
+from repro.sim.scenario import paper_scenario, paper_specs
+from repro.sim.variants import no_blocking_world, uniform_loss_world
+
+SCALE = 0.04
+
+
+class TestSpecList:
+    def test_paper_specs_match_scenario_world(self):
+        specs = paper_specs(seed=2, scale=SCALE)
+        world, _, _ = paper_scenario(seed=2, scale=SCALE)
+        assert len(specs) == len(world.topology.ases)
+        assert [s.name for s in specs] \
+            == world.topology.ases.names()
+
+
+class TestNoBlockingWorld:
+    def test_all_blocking_removed(self):
+        world, _, _ = no_blocking_world(seed=2, scale=SCALE)
+        for system in world.topology.ases:
+            spec = system.spec
+            assert spec.reputation_firewall is None
+            assert spec.static_block is None
+            assert spec.regional_policy is None
+            assert spec.rate_ids is None
+            assert spec.temporal_rst is None
+            assert spec.maxstartups is None
+        assert world.defaults.maxstartups.fraction == 0.0
+
+    def test_same_population_as_paper_world(self):
+        base, _, _ = paper_scenario(seed=2, scale=SCALE)
+        variant, _, _ = no_blocking_world(seed=2, scale=SCALE)
+        assert np.array_equal(base.hosts.ip, variant.hosts.ip)
+        assert np.array_equal(base.hosts.protocol, variant.hosts.protocol)
+
+    def test_loss_untouched(self):
+        base, _, _ = paper_scenario(seed=2, scale=SCALE)
+        variant, _, _ = no_blocking_world(seed=2, scale=SCALE)
+        ti_base = base.topology.ases.by_name("Telecom Italia").spec
+        ti_variant = variant.topology.ases.by_name("Telecom Italia").spec
+        assert ti_variant.path_loss == ti_base.path_loss
+
+
+class TestUniformLossWorld:
+    def test_loss_flattened(self):
+        world, _, _ = uniform_loss_world(seed=2, scale=SCALE)
+        for system in world.topology.ases:
+            loss = system.spec.path_loss or world.defaults.path_loss
+            for draw in [loss.default] + list(loss.per_origin.values()):
+                assert draw.epoch_rate == 0.0
+                assert draw.persistent_fraction == 0.0
+
+    def test_total_rate_preserved(self):
+        base, _, _ = paper_scenario(seed=2, scale=SCALE)
+        variant, _, _ = uniform_loss_world(seed=2, scale=SCALE)
+        ti_base = base.topology.ases.by_name("Telecom Italia") \
+            .spec.path_loss.for_origin("JP")
+        ti_variant = variant.topology.ases.by_name("Telecom Italia") \
+            .spec.path_loss.for_origin("JP")
+        assert ti_variant.random_rate == pytest.approx(
+            ti_base.epoch_rate + ti_base.random_rate)
+
+    def test_bursts_and_wobble_off(self):
+        world, _, _ = uniform_loss_world(seed=2, scale=SCALE)
+        assert world.defaults.burst_outages.events_per_origin_trial == 0.0
+        assert world.defaults.churner_wobble == 0.0
+
+    def test_blocking_kept(self):
+        world, _, _ = uniform_loss_world(seed=2, scale=SCALE)
+        dxtl = world.topology.ases.by_name("DXTL Tseung Kwan O Service")
+        assert dxtl.spec.reputation_firewall is not None

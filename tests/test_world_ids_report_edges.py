@@ -1,0 +1,105 @@
+"""IDS end-to-end behaviour plus report/analysis edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.multi_origin import combo_coverages, k_origin_summary
+from repro.core.records import L7Status
+from repro.core.report import full_report
+from repro.scanner.zmap import ZMapScanner
+from repro.sim.campaign import run_campaign
+from repro.sim.scenario import small_scenario
+from tests.conftest import make_campaign, make_trial
+
+
+@pytest.fixture(scope="module")
+def setup():
+    world, origins, config = small_scenario(seed=41)
+    scanner = ZMapScanner(config)
+    names = tuple(o.name for o in origins)
+    by_name = {o.name: o for o in origins}
+    return world, scanner, names, by_name
+
+
+class TestRateIDSEndToEnd:
+    def _visibility(self, setup, origin_name, trial, first_trial=0):
+        world, scanner, names, by_name = setup
+        obs = world.observe("http", trial, by_name[origin_name], scanner,
+                            names, first_trial=first_trial)
+        rub = world.topology.ases.by_name("Ruhr-Universitaet Bochum")
+        members = obs.as_index == rub.index
+        ok = obs.l7[members] == int(L7Status.SUCCESS)
+        return float(ok.mean()) if members.any() else float("nan")
+
+    def test_single_ip_loses_after_first_trial(self, setup):
+        t0 = self._visibility(setup, "US1", 0)
+        t1 = self._visibility(setup, "US1", 1)
+        t2 = self._visibility(setup, "US1", 2)
+        # Partial visibility in trial 1 (pre-detection slice), none later.
+        assert t1 == 0.0
+        assert t2 == 0.0
+        assert t0 >= 0.0  # whatever was scanned before detection
+
+    def test_us64_keeps_visibility(self, setup):
+        for trial in range(3):
+            assert self._visibility(setup, "US64", trial) > 0.7
+
+    def test_detection_persists_from_first_trial(self, setup):
+        """An origin that first scans in trial 1 is blocked from its own
+        detection moment, not trial 0's."""
+        world, scanner, names, by_name = setup
+        late = self._visibility(setup, "JP", 1, first_trial=1)
+        blocked = self._visibility(setup, "JP", 2, first_trial=1)
+        assert blocked == 0.0
+        assert late >= 0.0
+
+
+class TestReportEdges:
+    def test_report_without_ssh(self, setup):
+        world, _, _, by_name = setup
+        from repro.sim.scenario import small_scenario
+        w, origins, config = small_scenario(seed=41)
+        ds = run_campaign(w, origins, config, protocols=("http",),
+                          n_trials=2)
+        text = full_report(ds)
+        assert "[coverage] http" in text
+        assert "[ssh mechanisms" not in text
+
+    def test_report_without_duration_metadata(self):
+        """The burst detector falls back to the observed time span."""
+        n = 30
+        ips = list(range(1, n + 1))
+        times = {o: [i * 1000.0 for i in range(n)] for o in ("A", "B")}
+        tables = [make_trial("http", t, ["A", "B"], ips,
+                             l7={"A": ["ok"] * n, "B": ["ok"] * n},
+                             time=times)
+                  for t in range(2)]
+        ds = make_campaign(tables, metadata={})
+        text = full_report(ds)
+        assert "[bursts] http" in text
+
+
+class TestMultiOriginEdges:
+    def test_combo_skips_absent_origins(self):
+        """Carinet-style origins absent from a trial are skipped."""
+        t0 = make_trial("http", 0, ["A", "B", "C"], [1, 2],
+                        l7={"A": ["ok", "none"], "B": ["none", "ok"],
+                            "C": ["ok", "ok"]})
+        t1 = make_trial("http", 1, ["A", "B"], [1, 2],
+                        l7={"A": ["ok", "none"], "B": ["none", "ok"]})
+        ds = make_campaign([t0, t1])
+        # Pooling across trials with origins=["A","B","C"]: trial 1 only
+        # yields A/B combos.
+        summary = k_origin_summary(ds, "http", 1,
+                                   origins=["A", "B", "C"])
+        combos_t1 = [s.combo for s in summary.samples if s.trial == 1]
+        assert ("C",) not in combos_t1
+        combos_t0 = [s.combo for s in summary.samples if s.trial == 0]
+        assert ("C",) in combos_t0
+
+    def test_single_origin_universe(self):
+        td = make_trial("http", 0, ["A"], [1, 2],
+                        l7={"A": ["ok", "ok"]})
+        out = combo_coverages(td, 1)
+        assert len(out) == 1
+        assert out[0].coverage == pytest.approx(1.0)

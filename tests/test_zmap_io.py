@@ -1,0 +1,131 @@
+"""Tests for the raw ZMap/ZGrab loaders."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import L7Status
+from repro.io.zmap import (
+    assemble_trial,
+    read_zgrab_ndjson,
+    read_zmap_csv,
+)
+from repro.net.ipv4 import parse_ipv4
+from repro.topology.asn import ASSpec
+from repro.topology.generator import build_topology
+from repro.topology.geo import Country
+
+ZMAP_CSV = """saddr,timestamp_ts,probe
+192.0.2.1,100.5,0
+192.0.2.1,100.6,1
+192.0.2.2,200.0,0
+198.51.100.9,300.0,1
+"""
+
+ZMAP_CSV_NO_PROBE = """saddr,timestamp_ts
+192.0.2.1,100.5
+192.0.2.1,100.6
+192.0.2.2,200.0
+"""
+
+ZGRAB = """
+{"ip": "192.0.2.1", "success": true}
+{"ip": "192.0.2.2", "error": "connection reset by peer"}
+{"ip": "198.51.100.9", "error": "i/o timeout"}
+"""
+
+
+class TestReadZmap:
+    def test_probe_column(self):
+        table = read_zmap_csv(ZMAP_CSV)
+        ip1 = parse_ipv4("192.0.2.1")
+        assert table[ip1][0] == 0b11
+        assert table[ip1][1] == pytest.approx(100.5)
+        assert table[parse_ipv4("192.0.2.2")][0] == 0b01
+        assert table[parse_ipv4("198.51.100.9")][0] == 0b10
+
+    def test_duplicate_rows_without_probe_column(self):
+        table = read_zmap_csv(ZMAP_CSV_NO_PROBE)
+        assert table[parse_ipv4("192.0.2.1")][0] == 0b11
+        assert table[parse_ipv4("192.0.2.2")][0] == 0b01
+
+    def test_empty_and_invalid(self):
+        assert read_zmap_csv("") == {}
+        with pytest.raises(ValueError):
+            read_zmap_csv("daddr,ts\n1.2.3.4,0\n")
+
+
+class TestReadZgrab:
+    def test_status_mapping(self):
+        table = read_zgrab_ndjson(ZGRAB)
+        assert table[parse_ipv4("192.0.2.1")] == L7Status.SUCCESS
+        assert table[parse_ipv4("192.0.2.2")] == L7Status.L4_CLOSE_RST
+        assert table[parse_ipv4("198.51.100.9")] == L7Status.L4_DROP
+
+    def test_unknown_error_is_drop(self):
+        table = read_zgrab_ndjson('{"ip": "10.0.0.1", '
+                                  '"error": "weird thing"}')
+        assert table[parse_ipv4("10.0.0.1")] == L7Status.L4_DROP
+
+
+class TestAssembleTrial:
+    def _trial(self, routing=None, geoip=None):
+        zmap = {"A": ZMAP_CSV, "B": ZMAP_CSV_NO_PROBE}
+        zgrab = {"A": ZGRAB,
+                 "B": '{"ip": "192.0.2.1", "success": true}\n'}
+        return assemble_trial("http", 0, zmap, zgrab,
+                              routing=routing, geoip=geoip)
+
+    def test_structure(self):
+        td = self._trial()
+        assert td.origins == ["A", "B"]
+        assert list(td.ip) == sorted(
+            parse_ipv4(s) for s in
+            ("192.0.2.1", "192.0.2.2", "198.51.100.9"))
+        assert td.protocol == "http"
+
+    def test_statuses_fused(self):
+        td = self._trial()
+        a = td.origin_row("A")
+        col = int(np.searchsorted(td.ip, parse_ipv4("192.0.2.1")))
+        assert td.l7[a, col] == int(L7Status.SUCCESS)
+        assert td.probe_mask[a, col] == 0b11
+        # B answered at L4 but has no ZGrab record for 192.0.2.2 → drop.
+        b = td.origin_row("B")
+        col2 = int(np.searchsorted(td.ip, parse_ipv4("192.0.2.2")))
+        assert td.l7[b, col2] == int(L7Status.L4_DROP)
+
+    def test_zgrab_without_zmap_row_counts_one_probe(self):
+        zmap = {"A": "saddr,timestamp_ts\n"}
+        zgrab = {"A": '{"ip": "10.0.0.1", "success": true}\n'}
+        td = assemble_trial("ssh", 1, zmap, zgrab)
+        assert td.probe_mask[0, 0] == 1
+        assert td.l7[0, 0] == int(L7Status.SUCCESS)
+
+    def test_origin_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            assemble_trial("http", 0, {"A": ZMAP_CSV}, {"B": ZGRAB})
+
+    def test_attribution(self):
+        countries = [Country("US", "United States", "NA")]
+        specs = [ASSpec("TestNet", "US", hosts={"http": 4})]
+        topo = build_topology(specs, countries)
+        base = int(topo.populated_slash24s[0][0])
+        ip_text = ".".join(str((base + 1 >> s) & 255)
+                           for s in (24, 16, 8, 0))
+        zmap = {"A": f"saddr,timestamp_ts\n{ip_text},1.0\n"}
+        zgrab = {"A": f'{{"ip": "{ip_text}", "success": true}}\n'}
+        td = assemble_trial("http", 0, zmap, zgrab,
+                            routing=topo.routing, geoip=topo.geoip)
+        assert td.as_index[0] == 0
+        assert td.country_index[0] == 0
+        assert td.geo_index[0] == 0
+
+    def test_analysis_compatible(self):
+        """Assembled trials flow through the analysis pipeline."""
+        from repro.core.coverage import coverage_by_origin
+        from repro.core.dataset import CampaignDataset
+        td = self._trial()
+        ds = CampaignDataset([td])
+        cov = coverage_by_origin(ds.trial_data("http", 0))
+        assert cov["A"] == pytest.approx(1.0)
+        assert 0.0 <= cov["B"] <= 1.0
