@@ -1,13 +1,21 @@
 # Convenience targets.  In offline environments without the `wheel`
 # package, `make install` falls back to the legacy setuptools path.
 
-.PHONY: install test bench bench-show examples report all
+.PHONY: install test test-parallel bench bench-show examples report all
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Exercise the parallel execution path on every campaign the suite
+# builds: REPRO_EXECUTOR/REPRO_WORKERS reroute each run_campaign call
+# without an explicit executor through the process backend, and the
+# differential equivalence tests (tests/test_executor_equivalence.py)
+# run alongside as part of tests/.
+test-parallel:
+	REPRO_EXECUTOR=process REPRO_WORKERS=2 pytest tests/
 
 bench:
 	pytest benchmarks/ --benchmark-only

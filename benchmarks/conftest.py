@@ -17,10 +17,32 @@ from __future__ import annotations
 import pytest
 
 from repro.sim.campaign import run_campaign
+from repro.sim.executor import BACKENDS
 from repro.sim.scenario import followup_scenario, paper_scenario
 
 #: One seed for the whole harness so printed numbers match EXPERIMENTS.md.
 SEED = 1
+
+
+def pytest_addoption(parser):
+    """Route the shared campaign fixtures through a parallel backend.
+
+    Campaign output is bit-identical across backends (see
+    tests/test_executor_equivalence.py), so every benchmark number is
+    unaffected by this choice — only dataset build time changes.
+    """
+    parser.addoption("--campaign-executor", default=None, choices=BACKENDS,
+                     help="execution backend for the shared campaign "
+                          "fixtures (default: REPRO_EXECUTOR env or serial)")
+    parser.addoption("--campaign-workers", type=int, default=None,
+                     help="pool size for the campaign executor")
+
+
+@pytest.fixture(scope="session")
+def campaign_execution(request):
+    """(executor, workers) for every dataset-building fixture."""
+    return (request.config.getoption("--campaign-executor"),
+            request.config.getoption("--campaign-workers"))
 
 
 @pytest.fixture(scope="session")
@@ -30,10 +52,12 @@ def paper_world():
 
 
 @pytest.fixture(scope="session")
-def paper_ds(paper_world):
+def paper_ds(paper_world, campaign_execution):
     """The main experiment: 3 trials × 3 protocols × 8 origin configs."""
     world, origins, config = paper_world
-    return run_campaign(world, origins, config, n_trials=3)
+    executor, workers = campaign_execution
+    return run_campaign(world, origins, config, n_trials=3,
+                        executor=executor, workers=workers)
 
 
 @pytest.fixture(scope="session")
@@ -43,11 +67,12 @@ def followup_world():
 
 
 @pytest.fixture(scope="session")
-def followup_ds(followup_world):
+def followup_ds(followup_world, campaign_execution):
     """The §7 follow-up: 2 HTTP trials with the colocated Tier-1 triad."""
     world, origins, config = followup_world
+    executor, workers = campaign_execution
     return run_campaign(world, origins, config, protocols=("http",),
-                        n_trials=2)
+                        n_trials=2, executor=executor, workers=workers)
 
 
 def bench_once(benchmark, fn):

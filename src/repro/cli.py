@@ -23,6 +23,7 @@ from repro.io.csv import write_coverage_csv
 from repro.io.ndjson import load_campaign, save_campaign
 from repro.reporting.tables import render_table
 from repro.sim.campaign import run_campaign
+from repro.sim.executor import BACKENDS
 from repro.sim.scenario import followup_scenario, paper_scenario
 from repro.sim.validation import validate_scan_rates
 from repro.topology.asn import PROTOCOLS
@@ -47,6 +48,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           choices=list(PROTOCOLS))
     simulate.add_argument("--scenario", default="paper",
                           choices=("paper", "followup"))
+    simulate.add_argument("--executor", default=None, choices=BACKENDS,
+                          help="execution backend for the observation grid "
+                               "(default: REPRO_EXECUTOR env or serial); "
+                               "output is bit-identical across backends")
+    simulate.add_argument("--workers", type=int, default=None,
+                          help="pool size for thread/process backends "
+                               "(default: REPRO_WORKERS env or CPU count)")
 
     report = commands.add_parser(
         "report", help="print the full analysis report for a dataset")
@@ -80,7 +88,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"{len(world.topology.ases)} ASes", file=sys.stderr)
     dataset = run_campaign(world, origins, config,
                            protocols=tuple(args.protocols),
-                           n_trials=args.trials)
+                           n_trials=args.trials,
+                           executor=args.executor, workers=args.workers)
+    execution = dataset.metadata["execution"]
+    print(f"executed {execution['n_jobs']} observation jobs via "
+          f"{execution['backend']}×{execution['workers']} in "
+          f"{execution['wall_s']:.2f}s "
+          f"(speedup {execution['speedup']:.2f}×)", file=sys.stderr)
     save_campaign(dataset, args.output)
     print(f"wrote {len(dataset)} trial files to {args.output}/",
           file=sys.stderr)

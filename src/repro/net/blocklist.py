@@ -110,6 +110,17 @@ class Blocklist:
         # this; defined explicitly for clarity at call sites.
         return len(self._starts) > 0
 
+    def __eq__(self, other: object) -> bool:
+        # Value equality over the merged intervals, so configs embedding a
+        # blocklist (ZMapConfig) compare equal across pickle boundaries.
+        if not isinstance(other, Blocklist):
+            return NotImplemented
+        return np.array_equal(self._starts, other._starts) \
+            and np.array_equal(self._ends, other._ends)
+
+    def __hash__(self) -> int:
+        return hash((self._starts.tobytes(), self._ends.tobytes()))
+
 
 def _merge_intervals(
         intervals: List[Tuple[int, int]]) -> Tuple[np.ndarray, np.ndarray]:

@@ -1,7 +1,17 @@
 """World assembly and synchronized campaign execution."""
 
 from repro.sim.world import World, WorldDefaults, Observation
-from repro.sim.campaign import Campaign, run_campaign
+from repro.sim.campaign import Campaign, build_observation_grid, run_campaign
+from repro.sim.executor import (
+    BACKENDS,
+    ExecutionReport,
+    Executor,
+    ObservationJob,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.sim.scenario import (
     paper_scenario,
     followup_scenario,
@@ -14,6 +24,15 @@ __all__ = [
     "Observation",
     "Campaign",
     "run_campaign",
+    "build_observation_grid",
+    "BACKENDS",
+    "Executor",
+    "ExecutionReport",
+    "ObservationJob",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
     "paper_scenario",
     "followup_scenario",
     "small_scenario",

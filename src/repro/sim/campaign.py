@@ -5,32 +5,49 @@ origins scanning the same addresses at approximately the same time with a
 shared ZMap seed.  The runner turns a :class:`~repro.sim.world.World` and a
 set of origins into a :class:`~repro.core.dataset.CampaignDataset` ready
 for the analysis pipeline.
+
+Execution is delegated to a pluggable backend (:mod:`repro.sim.executor`):
+the (protocol, trial, origin) observation grid is flattened into
+independent jobs, fanned out serially or across threads/processes, and
+reassembled in deterministic grid order.  Every job carries its own
+trial-reseeded config and the origin's ``first_trial``, so the output is
+bit-identical regardless of backend or scheduling.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.dataset import CampaignDataset, TrialData
 from repro.origins import Origin
-from repro.scanner.zmap import ZMapConfig, ZMapScanner
+from repro.scanner.zmap import ZMapConfig
+from repro.sim.executor import Executor, ObservationJob, ProgressCallback, \
+    make_executor
 from repro.sim.world import Observation, World
 from repro.topology.asn import PROTOCOLS
 
 
 @dataclass
 class Campaign:
-    """A runnable campaign description."""
+    """A runnable campaign description.
+
+    ``executor`` selects the execution backend (a name from
+    :data:`repro.sim.executor.BACKENDS` or an :class:`Executor` instance);
+    ``workers`` sizes the thread/process pool.  Both default to the
+    ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` environment, then to serial.
+    """
 
     world: World
     origins: Tuple[Origin, ...]
     zmap: ZMapConfig
     protocols: Tuple[str, ...] = PROTOCOLS
     n_trials: int = 3
+    executor: Union[str, Executor, None] = None
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_trials < 1:
@@ -41,39 +58,77 @@ class Campaign:
 
     def run(self) -> CampaignDataset:
         return run_campaign(self.world, self.origins, self.zmap,
-                            self.protocols, self.n_trials)
+                            self.protocols, self.n_trials,
+                            executor=self.executor, workers=self.workers)
+
+
+def build_observation_grid(origins: Sequence[Origin], zmap: ZMapConfig,
+                           protocols: Sequence[str],
+                           n_trials: int) -> List[ObservationJob]:
+    """Flatten the campaign into independent, self-contained jobs.
+
+    Each job carries the trial-reseeded config (``seed + trial``) and the
+    origin's precomputed ``first_trial`` — computed once here, not per
+    worker, because a worker cannot recover it without the full origin
+    participation schedule.
+    """
+    origin_names = tuple(o.name for o in origins)
+    first_trials = {o.name: _first_trial(o, n_trials) for o in origins}
+
+    jobs: List[ObservationJob] = []
+    for protocol in protocols:
+        for trial in range(n_trials):
+            config = dataclasses.replace(zmap, seed=zmap.seed + trial)
+            participating = [o for o in origins if o.participates(trial)]
+            if not participating:
+                raise ValueError(
+                    f"no origin scanned {protocol} trial {trial}")
+            for origin in participating:
+                jobs.append(ObservationJob(
+                    index=len(jobs), protocol=protocol, trial=trial,
+                    origin=origin, config=config,
+                    first_trial=first_trials[origin.name],
+                    origin_names=origin_names))
+    return jobs
 
 
 def run_campaign(world: World, origins: Sequence[Origin],
                  zmap: ZMapConfig,
                  protocols: Sequence[str] = PROTOCOLS,
-                 n_trials: int = 3) -> CampaignDataset:
+                 n_trials: int = 3,
+                 executor: Union[str, Executor, None] = None,
+                 workers: Optional[int] = None,
+                 progress: Optional[ProgressCallback] = None
+                 ) -> CampaignDataset:
     """Execute every (protocol, trial, origin) scan and collect results.
 
     Each trial re-seeds the shared permutation (``seed + trial``), exactly
     as independent scan waves would; within a trial every origin uses the
     same seed, as §2 specifies.
+
+    ``executor`` picks the execution backend (``"serial"``, ``"thread"``,
+    ``"process"``, or an :class:`Executor`); ``workers`` sizes its pool;
+    ``progress`` is called as ``(jobs_done, jobs_total, job)`` after each
+    observation completes.  Output is bit-identical across backends; the
+    :class:`~repro.sim.executor.ExecutionReport` lands in
+    ``metadata["execution"]``.
     """
-    origin_names = tuple(o.name for o in origins)
-    first_trials = {o.name: _first_trial(o, n_trials) for o in origins}
+    jobs = build_observation_grid(origins, zmap, protocols, n_trials)
+    backend = make_executor(executor, workers)
+    observations, report = backend.run_grid(world, jobs, progress=progress)
+
+    grouped: Dict[Tuple[str, int], List[int]] = {}
+    for job in jobs:
+        grouped.setdefault((job.protocol, job.trial), []).append(job.index)
 
     tables: List[TrialData] = []
-    for protocol in protocols:
-        for trial in range(n_trials):
-            config = dataclasses.replace(zmap, seed=zmap.seed + trial)
-            scanner = ZMapScanner(config)
-            observations: List[Observation] = []
-            participating: List[str] = []
-            for origin in origins:
-                if not origin.participates(trial):
-                    continue
-                obs = world.observe(
-                    protocol, trial, origin, scanner, origin_names,
-                    first_trial=first_trials[origin.name])
-                observations.append(obs)
-                participating.append(origin.name)
-            tables.append(_stack(protocol, trial, participating,
-                                 observations, config.n_probes))
+    for (protocol, trial), indices in grouped.items():
+        config = jobs[indices[0]].config
+        tables.append(_stack(
+            protocol, trial,
+            [jobs[i].origin.name for i in indices],
+            [observations[i] for i in indices],
+            config.n_probes))
 
     metadata = {
         "seed": zmap.seed,
@@ -81,8 +136,9 @@ def run_campaign(world: World, origins: Sequence[Origin],
         "probe_spacing_s": zmap.probe_spacing_s,
         "pps": zmap.pps,
         "scan_duration_s": zmap.scan_duration_s,
-        "origins": list(origin_names),
+        "origins": [o.name for o in origins],
         "n_trials": n_trials,
+        "execution": report.to_metadata(),
     }
     return CampaignDataset(tables, metadata=metadata)
 

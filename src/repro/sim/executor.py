@@ -1,0 +1,317 @@
+"""Pluggable execution backends for campaign observation grids.
+
+A campaign is a grid of independent ``(protocol, trial, origin)``
+observations: every stochastic draw in the simulator is counter-addressed
+(:mod:`repro.rng`), so the outcome of one observation never depends on
+when — or in which worker — any other observation ran.  This module
+exploits that property to fan the grid out across threads or processes
+while guaranteeing results bit-identical to serial execution.
+
+Three backends share one interface:
+
+* :class:`SerialExecutor` — the reference implementation, one job at a
+  time in submission order.
+* :class:`ThreadExecutor` — a thread pool; the world is shared, which is
+  safe because its lazy caches memoize pure counter-addressed functions
+  (a racing rebuild produces the identical value).
+* :class:`ProcessExecutor` — a process pool; the world is pickled once
+  per worker via the pool initializer, and each worker rebuilds the lazy
+  per-AS caches locally.  Job payloads stay small (an :class:`Origin`,
+  a trial-reseeded :class:`ZMapConfig`, and indices).
+
+Every job carries everything a worker needs — including the origin's
+``first_trial`` (rate-IDS state carries over from it), which must travel
+*in the payload* because a worker process cannot see the full origin
+list to recompute it.
+
+Determinism contract: :meth:`Executor.run_grid` returns observations in
+job-index order regardless of completion order, so
+``run_campaign(..., executor=X)`` is byte-identical for every backend
+(tested in ``tests/test_executor_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
+    ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.origins import Origin
+from repro.scanner.zmap import ZMapConfig, ZMapScanner
+from repro.sim.world import Observation, World
+
+#: Environment variables consulted when no executor is passed explicitly;
+#: they let an entire test run (``make test-parallel``) exercise the
+#: parallel path without touching call sites.
+ENV_EXECUTOR = "REPRO_EXECUTOR"
+ENV_WORKERS = "REPRO_WORKERS"
+
+#: Progress callback signature: ``(jobs_done, jobs_total, job)``.
+ProgressCallback = Callable[[int, int, "ObservationJob"], None]
+
+
+@dataclass(frozen=True)
+class ObservationJob:
+    """One schedulable ``(protocol, trial, origin)`` observation.
+
+    ``config`` is already trial-reseeded (``seed + trial``), and
+    ``first_trial`` is precomputed by the grid builder, so a worker needs
+    no context beyond the world itself — results are identical no matter
+    which worker runs the job, or in what order.
+    """
+
+    index: int
+    protocol: str
+    trial: int
+    origin: Origin
+    config: ZMapConfig
+    first_trial: int
+    origin_names: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """An observation plus the instrumentation the report aggregates."""
+
+    index: int
+    observation: Observation
+    wall_s: float
+    worker: str
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """How a grid execution went: backend, timing, concurrency yield.
+
+    ``job_wall_s`` is indexed like the job list; ``busy_s`` (its sum) is
+    the serial-equivalent work, so ``busy_s / wall_s`` estimates the
+    realized speedup.  :meth:`to_metadata` flattens the report into the
+    JSON-able dict stored under ``CampaignDataset.metadata["execution"]``.
+    """
+
+    backend: str
+    workers: int
+    n_jobs: int
+    wall_s: float
+    job_wall_s: Tuple[float, ...]
+    workers_used: int
+
+    @property
+    def busy_s(self) -> float:
+        """Total per-job wall-clock — what a serial run would cost."""
+        return float(sum(self.job_wall_s))
+
+    @property
+    def speedup(self) -> float:
+        """Realized parallelism: serial-equivalent seconds per wall second."""
+        if self.wall_s <= 0.0:
+            return 1.0
+        return self.busy_s / self.wall_s
+
+    def to_metadata(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "workers_used": self.workers_used,
+            "n_jobs": self.n_jobs,
+            "wall_s": round(self.wall_s, 6),
+            "busy_s": round(self.busy_s, 6),
+            "job_wall_max_s": round(max(self.job_wall_s), 6)
+            if self.job_wall_s else 0.0,
+            "speedup": round(self.speedup, 3),
+        }
+
+
+def run_job(world: World, job: ObservationJob) -> JobResult:
+    """Execute one observation job against a world (any backend)."""
+    start = time.perf_counter()
+    scanner = ZMapScanner(job.config)
+    observation = world.observe(
+        job.protocol, job.trial, job.origin, scanner, job.origin_names,
+        first_trial=job.first_trial)
+    wall = time.perf_counter() - start
+    worker = f"{os.getpid()}/{threading.current_thread().name}"
+    return JobResult(job.index, observation, wall, worker)
+
+
+class Executor(ABC):
+    """Executes an observation grid and reassembles deterministic output."""
+
+    #: Backend name recorded in the :class:`ExecutionReport`.
+    name: str = "abstract"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers if workers is not None \
+            else (os.cpu_count() or 1)
+
+    @abstractmethod
+    def _execute(self, world: World, jobs: Sequence[ObservationJob],
+                 progress: Optional[ProgressCallback]) -> List[JobResult]:
+        """Run every job, in any order, returning all results."""
+
+    def run_grid(self, world: World, jobs: Sequence[ObservationJob],
+                 progress: Optional[ProgressCallback] = None
+                 ) -> Tuple[List[Observation], ExecutionReport]:
+        """Run the grid; observations come back in job-index order."""
+        start = time.perf_counter()
+        results = self._execute(world, jobs, progress)
+        wall = time.perf_counter() - start
+        if len(results) != len(jobs):
+            raise RuntimeError(
+                f"executor returned {len(results)} results for "
+                f"{len(jobs)} jobs")
+        by_index: Dict[int, JobResult] = {r.index: r for r in results}
+        ordered = [by_index[job.index] for job in jobs]
+        report = ExecutionReport(
+            backend=self.name,
+            workers=self.workers,
+            n_jobs=len(jobs),
+            wall_s=wall,
+            job_wall_s=tuple(r.wall_s for r in ordered),
+            workers_used=len({r.worker for r in ordered}))
+        return [r.observation for r in ordered], report
+
+
+class SerialExecutor(Executor):
+    """The reference backend: one job at a time, submission order."""
+
+    name = "serial"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        super().__init__(1)
+
+    def _execute(self, world: World, jobs: Sequence[ObservationJob],
+                 progress: Optional[ProgressCallback]) -> List[JobResult]:
+        results: List[JobResult] = []
+        for done, job in enumerate(jobs, start=1):
+            results.append(run_job(world, job))
+            if progress is not None:
+                progress(done, len(jobs), job)
+        return results
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool backend sharing one world across workers.
+
+    Safe because the world's lazy caches memoize pure counter-addressed
+    functions: two threads racing to fill the same cache entry compute
+    the identical value, so last-write-wins cannot change any result.
+    """
+
+    name = "thread"
+
+    def _execute(self, world: World, jobs: Sequence[ObservationJob],
+                 progress: Optional[ProgressCallback]) -> List[JobResult]:
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = {pool.submit(run_job, world, job): job
+                       for job in jobs}
+            return _drain(futures, len(jobs), progress)
+
+
+# Module-level slot for the per-process world; set by the pool
+# initializer, read by every job the worker runs.
+_WORKER_WORLD: Optional[World] = None
+
+
+def _process_init(payload: bytes) -> None:
+    global _WORKER_WORLD
+    _WORKER_WORLD = pickle.loads(payload)
+
+
+def _process_run_job(job: ObservationJob) -> JobResult:
+    if _WORKER_WORLD is None:
+        raise RuntimeError("worker process was not initialized with a world")
+    return run_job(_WORKER_WORLD, job)
+
+
+class ProcessExecutor(Executor):
+    """Process-pool backend: the world ships to each worker exactly once.
+
+    The world is pickled into the pool initializer rather than into every
+    job, so per-job payloads stay a few hundred bytes.  Workers rebuild
+    the lazy per-AS caches locally; because every draw is pure in
+    ``(seed, key, counters)``, the rebuilt caches are identical to the
+    parent's and the output is bit-identical to serial execution.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
+        super().__init__(workers)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+
+    def _execute(self, world: World, jobs: Sequence[ObservationJob],
+                 progress: Optional[ProgressCallback]) -> List[JobResult]:
+        payload = pickle.dumps(world, protocol=pickle.HIGHEST_PROTOCOL)
+        context = multiprocessing.get_context(self.start_method)
+        with ProcessPoolExecutor(max_workers=self.workers,
+                                 mp_context=context,
+                                 initializer=_process_init,
+                                 initargs=(payload,)) as pool:
+            futures = {pool.submit(_process_run_job, job): job
+                       for job in jobs}
+            return _drain(futures, len(jobs), progress)
+
+
+def _drain(futures: Dict, total: int,
+           progress: Optional[ProgressCallback]) -> List[JobResult]:
+    """Collect pool futures, firing progress callbacks as they land."""
+    results: List[JobResult] = []
+    pending = set(futures)
+    while pending:
+        finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for future in finished:
+            results.append(future.result())
+            if progress is not None:
+                progress(len(results), total, futures[future])
+    return results
+
+
+#: Registered backend names, in documentation order.
+BACKENDS = ("serial", "thread", "process")
+
+_BACKEND_CLASSES = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def make_executor(backend: Union[str, Executor, None] = None,
+                  workers: Optional[int] = None) -> Executor:
+    """Build an executor from a backend name (or pass one through).
+
+    With ``backend=None`` the :data:`ENV_EXECUTOR` / :data:`ENV_WORKERS`
+    environment variables are consulted, defaulting to serial execution —
+    this is how ``make test-parallel`` reroutes every campaign in the
+    test suite through the process backend without touching call sites.
+    """
+    if isinstance(backend, Executor):
+        if workers is not None and workers != backend.workers:
+            raise ValueError(
+                "pass workers via the Executor constructor, not both")
+        return backend
+    if backend is None:
+        backend = os.environ.get(ENV_EXECUTOR, "serial")
+        if workers is None and os.environ.get(ENV_WORKERS):
+            workers = int(os.environ[ENV_WORKERS])
+    try:
+        cls = _BACKEND_CLASSES[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor backend {backend!r}; "
+            f"expected one of {BACKENDS}") from None
+    return cls(workers=workers)

@@ -1,5 +1,7 @@
 """Tests for the CLI and the full-report generator."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -31,6 +33,35 @@ class TestSimulate:
         assert code == 0
         ds = load_campaign(str(tmp_path / "f"))
         assert "HE" in ds.trial_data("http", 0).origins
+
+    def test_metadata_records_execution_report(self, dataset_dir):
+        ds = load_campaign(str(dataset_dir))
+        execution = ds.metadata["execution"]
+        # The CLI default defers to REPRO_EXECUTOR (as make test-parallel
+        # sets), falling back to serial.
+        expected = os.environ.get("REPRO_EXECUTOR", "serial")
+        assert execution["backend"] == expected
+        assert execution["n_jobs"] > 0
+
+    def test_parallel_backend_writes_identical_dataset(self, dataset_dir,
+                                                       tmp_path):
+        """`--executor thread --workers 2` must be invisible on disk."""
+        target = tmp_path / "parallel"
+        code = main(["simulate", str(target), "--scale", "0.04",
+                     "--trials", "2", "--protocols", "http", "ssh",
+                     "--seed", "9", "--executor", "thread",
+                     "--workers", "2"])
+        assert code == 0
+        serial = load_campaign(str(dataset_dir))
+        parallel = load_campaign(str(target))
+        assert parallel.metadata["execution"]["backend"] == "thread"
+        assert parallel.metadata["execution"]["workers"] == 2
+        for table in serial:
+            other = parallel.trial_data(table.protocol, table.trial)
+            assert np.array_equal(table.ip, other.ip)
+            assert np.array_equal(table.probe_mask, other.probe_mask)
+            assert np.array_equal(table.l7, other.l7)
+            assert np.array_equal(table.time, other.time)
 
 
 class TestReportCommand:
