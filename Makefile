@@ -1,7 +1,8 @@
 # Convenience targets.  In offline environments without the `wheel`
 # package, `make install` falls back to the legacy setuptools path.
 
-.PHONY: install test test-parallel bench bench-show examples report all
+.PHONY: install test test-parallel bench bench-show profile examples \
+	report all
 
 install:
 	pip install -e . || python setup.py develop
@@ -22,6 +23,13 @@ bench:
 
 bench-show:
 	pytest benchmarks/ --benchmark-only -s
+
+# cProfile the paper-scale observe() hot path (warm compiled plan) and
+# print the per-stage ObserveProfile breakdown.  Pass --unplanned via
+# PROFILE_ARGS to profile the reference path instead:
+#   make profile PROFILE_ARGS=--unplanned
+profile:
+	python -m repro profile --scale 1.0 $(PROFILE_ARGS)
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

@@ -14,6 +14,14 @@ Run with::
 
 from __future__ import annotations
 
+import datetime
+import json
+import os
+import platform
+import re
+from pathlib import Path
+
+import numpy as np
 import pytest
 
 from repro.sim.campaign import run_campaign
@@ -22,6 +30,9 @@ from repro.sim.scenario import followup_scenario, paper_scenario
 
 #: One seed for the whole harness so printed numbers match EXPERIMENTS.md.
 SEED = 1
+
+#: Repo root, where ``BENCH_<n>.json`` trajectory artifacts accumulate.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def pytest_addoption(parser):
@@ -79,3 +90,61 @@ def bench_once(benchmark, fn):
     """Benchmark an analysis with one warm round (analyses are pure)."""
     return benchmark.pedantic(fn, rounds=3, iterations=1,
                               warmup_rounds=1)
+
+
+# ----------------------------------------------------------------------
+# Benchmark-trajectory artifacts (BENCH_<n>.json)
+# ----------------------------------------------------------------------
+
+def _next_bench_path() -> Path:
+    """The next free ``BENCH_<n>.json`` at the repo root (monotonic n)."""
+    taken = [int(m.group(1))
+             for p in REPO_ROOT.glob("BENCH_*.json")
+             if (m := re.fullmatch(r"BENCH_(\d+)\.json", p.name))]
+    return REPO_ROOT / f"BENCH_{max(taken, default=0) + 1}.json"
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write per-benchmark median wall times to a ``BENCH_<n>.json``.
+
+    Each benchmark run appends one numbered artifact (never overwriting
+    earlier ones), so the repo accumulates a performance trajectory that
+    survives hardware changes — every file records the machine it ran on.
+    Skipped when no benchmarks ran (e.g. plain test collection).
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    benchmarks = {}
+    for bench in bench_session.benchmarks:
+        stats = bench.stats
+        benchmarks[bench.fullname] = {
+            "median_s": round(stats.median, 6),
+            "mean_s": round(stats.mean, 6),
+            "stddev_s": round(stats.stddev, 6),
+            "rounds": stats.rounds,
+        }
+    payload = {
+        "schema": "repro-bench-v1",
+        "written_utc": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "seed": SEED,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": _available_cpus(),
+        },
+        "benchmarks": benchmarks,
+    }
+    path = _next_bench_path()
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[bench] wrote {path.name} "
+          f"({len(benchmarks)} benchmarks, {payload['machine']['cpus']} CPUs)")

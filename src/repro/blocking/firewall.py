@@ -27,7 +27,7 @@ from typing import FrozenSet
 import numpy as np
 
 from repro.origins import Origin
-from repro.rng import CounterRNG
+from repro.rng import CounterRNG, keyed_uniform_array
 
 
 @dataclass(frozen=True)
@@ -87,3 +87,28 @@ def covered_hosts_mask(rng: CounterRNG, host_ids: np.ndarray,
         return np.zeros(np.asarray(host_ids).shape, dtype=bool)
     sub = rng.derive("firewall-coverage", label, as_index)
     return sub.uniform_array(np.asarray(host_ids, dtype=np.uint64)) < coverage
+
+
+def coverage_stream_key(rng: CounterRNG, as_index: int, label: str) -> int:
+    """The derived stream key behind :func:`covered_hosts_mask`.
+
+    Compiled observation plans pre-derive one key per (AS, label) rule so
+    coverage draws for many ASes can run as a single
+    :func:`~repro.rng.keyed_uniform_array` call.
+    """
+    return rng.derive("firewall-coverage", label, as_index).key
+
+
+def covered_hosts_mask_keyed(stream_keys: np.ndarray, host_ids: np.ndarray,
+                             coverages: np.ndarray) -> np.ndarray:
+    """Vectorized multi-AS counterpart of :func:`covered_hosts_mask`.
+
+    ``stream_keys`` carries one pre-derived key per host (hosts of the
+    same AS/label share a key), so one call evaluates the concatenated
+    members of any number of blocking rules.  Because draws are in [0, 1),
+    the comparison reproduces the per-AS shortcut semantics exactly:
+    coverage ≥ 1 covers every host, coverage ≤ 0 covers none.
+    """
+    u = keyed_uniform_array(stream_keys,
+                            np.asarray(host_ids, dtype=np.uint64))
+    return u < np.asarray(coverages, dtype=np.float64)

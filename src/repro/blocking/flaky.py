@@ -54,6 +54,31 @@ class L7FlakyModel:
             np.asarray(host_ids, dtype=np.uint64), "dead", protocol)
         return u < np.asarray(dead_fractions, dtype=np.float64)
 
+    def flaky_mask_params(self, flaky_fractions: np.ndarray,
+                          host_ids: np.ndarray, protocol: str) -> np.ndarray:
+        """Persistent membership in the transiently-flaky population."""
+        host_ids = np.asarray(host_ids, dtype=np.uint64)
+        return self._rng.uniform_array(host_ids, "flaky", protocol) \
+            < np.asarray(flaky_fractions, dtype=np.float64)
+
+    def drop_style_mask_params(self, drop_shares: np.ndarray,
+                               host_ids: np.ndarray,
+                               protocol: str) -> np.ndarray:
+        """Persistent failure style: True → silent drop, False → close."""
+        host_ids = np.asarray(host_ids, dtype=np.uint64)
+        return self._rng.uniform_array(host_ids, "style", protocol) \
+            < np.asarray(drop_shares, dtype=np.float64)
+
+    def fail_mask_params(self, fail_probs: np.ndarray,
+                         host_ids: np.ndarray, protocol: str,
+                         origin_name: str, trial: int,
+                         attempt: int = 0) -> np.ndarray:
+        """Per-(origin, trial, attempt) handshake-failure draw."""
+        host_ids = np.asarray(host_ids, dtype=np.uint64)
+        return self._rng.uniform_array(host_ids, "fail", protocol,
+                                       origin_name, trial, attempt) \
+            < np.asarray(fail_probs, dtype=np.float64)
+
     def failure_masks_params(self, flaky_fractions: np.ndarray,
                              fail_probs: np.ndarray,
                              drop_shares: np.ndarray,
@@ -63,18 +88,18 @@ class L7FlakyModel:
         """Array-parameter form of :meth:`failure_masks`.
 
         ``attempt`` distinguishes L7 retries so re-connecting to a flaky
-        server is an independent draw.
+        server is an independent draw.  The flaky-membership and style
+        draws are origin/trial-independent; observation plans cache them
+        per protocol view (:mod:`repro.sim.plan`) and compose the same
+        masks from the split methods above.
         """
         host_ids = np.asarray(host_ids, dtype=np.uint64)
-        flaky = self._rng.uniform_array(host_ids, "flaky", protocol) \
-            < np.asarray(flaky_fractions, dtype=np.float64)
-        fails = flaky & (
-            self._rng.uniform_array(host_ids, "fail", protocol, origin_name,
-                                    trial, attempt)
-            < np.asarray(fail_probs, dtype=np.float64))
-        drops = fails & (
-            self._rng.uniform_array(host_ids, "style", protocol)
-            < np.asarray(drop_shares, dtype=np.float64))
+        flaky = self.flaky_mask_params(flaky_fractions, host_ids, protocol)
+        fails = flaky & self.fail_mask_params(fail_probs, host_ids,
+                                              protocol, origin_name,
+                                              trial, attempt)
+        drops = fails & self.drop_style_mask_params(drop_shares, host_ids,
+                                                    protocol)
         return fails, drops
 
     def dead_mask(self, spec: L7FlakySpec, host_ids: np.ndarray,

@@ -53,6 +53,10 @@ class RateIDS:
 
     def __init__(self, rng: CounterRNG) -> None:
         self._rng = rng.derive("rate-ids")
+        # Detection draws are pure in (spec, origin, AS, rate, protocol),
+        # so the result is memoized across observe() calls; ``observe``
+        # re-evaluates every watching AS each trial otherwise.
+        self._memo: dict = {}
 
     def detection_time(self, spec: RateIDSSpec, origin: Origin,
                        as_index: int, per_ip_rate_into_as: float,
@@ -63,12 +67,19 @@ class RateIDS:
         evasion) or the IDS does not watch this protocol.  The draw is keyed
         by (AS, origin) only, so detection carries across trials.
         """
+        key = (spec, origin.name, as_index, per_ip_rate_into_as, protocol)
+        if key in self._memo:
+            return self._memo[key]
         if not spec.watches(protocol):
-            return None
-        if per_ip_rate_into_as < spec.per_ip_rate_threshold:
-            return None
-        sub = self._rng.derive("detect", as_index, origin.name, protocol)
-        return sub.exponential(spec.detection_delay_mean_s)
+            result: Optional[float] = None
+        elif per_ip_rate_into_as < spec.per_ip_rate_threshold:
+            result = None
+        else:
+            sub = self._rng.derive("detect", as_index, origin.name,
+                                   protocol)
+            result = sub.exponential(spec.detection_delay_mean_s)
+        self._memo[key] = result
+        return result
 
     def blocked_at(self, spec: RateIDSSpec, origin: Origin, as_index: int,
                    per_ip_rate_into_as: float, protocol: str,

@@ -76,6 +76,17 @@ class MaxStartupsModel:
         spreads = np.asarray(spreads, dtype=np.float64)
         return np.clip(means - spreads + u * 2.0 * spreads, 0.0, 0.98)
 
+    def refusal_uniforms(self, host_ids: np.ndarray, origin_name: str,
+                         trial: int, attempt: int = 0) -> np.ndarray:
+        """The per-(origin, trial, attempt) refusal draw.
+
+        Exposed so observation plans can cache the persistent affected
+        mask and refusal probabilities and redo only this draw per call.
+        """
+        return self._rng.uniform_array(
+            np.asarray(host_ids, dtype=np.uint64), "refuse", origin_name,
+            trial, attempt)
+
     def refused_mask_params(self, fractions: np.ndarray, means: np.ndarray,
                             spreads: np.ndarray, solo_factors: np.ndarray,
                             host_ids: np.ndarray, origin_name: str,
@@ -92,8 +103,7 @@ class MaxStartupsModel:
         probs = self.refuse_probs_params(means, spreads, host_ids)
         if solo:
             probs = probs * np.asarray(solo_factors, dtype=np.float64)
-        u = self._rng.uniform_array(host_ids, "refuse", origin_name,
-                                    trial, attempt)
+        u = self.refusal_uniforms(host_ids, origin_name, trial, attempt)
         return affected & (u < probs)
 
     # ------------------------------------------------------------------

@@ -53,6 +53,8 @@ class TemporalRSTBlocker:
 
     def __init__(self, rng: CounterRNG) -> None:
         self._rng = rng.derive("temporal-rst")
+        # Pure in every argument → memoized across observe() calls.
+        self._memo: dict = {}
 
     def detection_time(self, spec: TemporalRSTSpec, origin: Origin,
                        as_index: int, trial: int, protocol: str,
@@ -62,6 +64,18 @@ class TemporalRSTBlocker:
         None when this (origin, trial) goes undetected or the protocol is
         not watched.  Detection does not persist across trials.
         """
+        key = (spec, origin.name, as_index, trial, protocol,
+               scan_duration_s)
+        if key in self._memo:
+            return self._memo[key]
+        result = self._detection_time(spec, origin, as_index, trial,
+                                      protocol, scan_duration_s)
+        self._memo[key] = result
+        return result
+
+    def _detection_time(self, spec: TemporalRSTSpec, origin: Origin,
+                        as_index: int, trial: int, protocol: str,
+                        scan_duration_s: float) -> Optional[float]:
         if protocol not in spec.protocols:
             return None
         prob = (spec.detection_prob if origin.n_source_ips == 1

@@ -77,6 +77,20 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--scale", type=float, default=0.1)
     validate.add_argument("--sample", type=float, default=0.25,
                           help="fraction of the world to probe")
+
+    profile = commands.add_parser(
+        "profile", help="profile the observe() hot path (warm plan)")
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument("--scale", type=float, default=1.0,
+                         help="world size multiplier (1.0 ≈ 58k HTTP "
+                              "hosts, the paper scale)")
+    profile.add_argument("--protocol", default="http",
+                         choices=list(PROTOCOLS))
+    profile.add_argument("--rounds", type=int, default=10,
+                         help="observations to run under the profiler")
+    profile.add_argument("--unplanned", action="store_true",
+                         help="profile the unplanned reference path "
+                              "instead of the compiled plan")
     return parser
 
 
@@ -152,6 +166,48 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if validation.all_safe() else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+    import time
+
+    from repro.scanner.zmap import ZMapScanner
+    from repro.sim.plan import ObserveProfile
+
+    world, origins, config = paper_scenario(seed=args.seed,
+                                            scale=args.scale)
+    scanner = ZMapScanner(config)
+    names = tuple(o.name for o in origins)
+    origin = origins[0]
+    plan_arg = False if args.unplanned else None
+    n = len(world.hosts.for_protocol(args.protocol).ip)
+    mode = "unplanned (reference)" if args.unplanned else "planned"
+    print(f"profiling {mode} observe(): {args.protocol}, {n} services, "
+          f"{args.rounds} rounds from {origin.name}", file=sys.stderr)
+
+    # Warm every cross-call cache (plan compilation, per-AS parameter
+    # tables, loss-model state) so the profile shows the steady state.
+    world.observe(args.protocol, 0, origin, scanner, names, plan=plan_arg)
+
+    stage_profile = ObserveProfile()
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    for _ in range(args.rounds):
+        world.observe(args.protocol, 0, origin, scanner, names,
+                      plan=plan_arg, profile=stage_profile)
+    profiler.disable()
+    wall = time.perf_counter() - start
+
+    pstats.Stats(profiler, stream=sys.stdout) \
+        .sort_stats("cumulative").print_stats(20)
+    if not args.unplanned:
+        print(stage_profile.render())
+    print(f"{wall / args.rounds * 1000.0:.2f} ms per observation "
+          f"({args.rounds} rounds, profiler overhead included)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -161,6 +217,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "coverage": _cmd_coverage,
         "plan": _cmd_plan,
         "validate": _cmd_validate,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

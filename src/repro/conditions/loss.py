@@ -148,7 +148,8 @@ class PathLossModel:
                         times: np.ndarray, trial: int, probe_no: int,
                         epoch_rates: np.ndarray, random_rates: np.ndarray,
                         persistent_fractions: np.ndarray,
-                        persist_u: Optional[np.ndarray] = None) -> np.ndarray:
+                        persist_u: Optional[np.ndarray] = None,
+                        epoch_memo: Optional[dict] = None) -> np.ndarray:
         """Boolean delivery mask for one probe to each host.
 
         ``times`` are the probe transmission times (seconds into the scan);
@@ -157,32 +158,46 @@ class PathLossModel:
         ``epoch_rates`` should already include trial modulation when desired
         (see :meth:`trial_epoch_rates`); ``persist_u`` may carry precomputed
         per-host persistent-path draws to avoid recomputation across probes.
+
+        ``epoch_memo`` (a caller-owned dict scoped to one observation) lets
+        back-to-back probes that land in the same loss epochs reuse the
+        epoch-loss mask: the mask is a pure function of the per-host epoch
+        numbers, which are identical for probes separated by far less than
+        an epoch, so the reuse is bit-exact.
         """
         host_ids = np.asarray(host_ids, dtype=np.uint64)
         effective = np.asarray(epoch_rates, dtype=np.float64)
         epochs = (np.asarray(times, dtype=np.float64)
                   // self.epoch_seconds).astype(np.int64)
 
-        # Component 1: bad epoch on the (AS, epoch) path segment.  Split
-        # between a path-specific part and a destination-side part shared
-        # by all origins probing the AS in the same window.
-        epoch_key = (np.asarray(as_idx, dtype=np.uint64)
-                     * np.uint64(0x9E3779B1) + epochs.astype(np.uint64))
-        own = effective * (1.0 - SHARED_EPOCH_WEIGHT)
-        group_rate = own * GROUP_EPOCH_WEIGHT
-        origin_rate = own * (1.0 - GROUP_EPOCH_WEIGHT)
-        shared_rate = effective * SHARED_EPOCH_WEIGHT
-        bad_epoch = (self._state_rng.uniform_array(
-            epoch_key, "epoch-state", trial) < group_rate) \
-            | (self._rng.uniform_array(
-                epoch_key, "epoch-state-origin", trial) < origin_rate) \
-            | (self._shared_rng.uniform_array(
-                epoch_key, "epoch-state", trial) < shared_rate)
-        # Within a bad epoch each host draws one shared fate for all probes.
-        fate_key = host_ids * np.uint64(1000003) + epochs.astype(np.uint64)
-        host_fate_lost = self._state_rng.uniform_array(
-            fate_key, "epoch-fate", trial) < BAD_EPOCH_LOSS
-        epoch_lost = bad_epoch & host_fate_lost
+        memo_key = epochs.tobytes() if epoch_memo is not None else None
+        epoch_lost = epoch_memo.get(memo_key) \
+            if epoch_memo is not None else None
+        if epoch_lost is None:
+            # Component 1: bad epoch on the (AS, epoch) path segment.
+            # Split between a path-specific part and a destination-side
+            # part shared by all origins probing the AS in the same window.
+            epoch_key = (np.asarray(as_idx, dtype=np.uint64)
+                         * np.uint64(0x9E3779B1) + epochs.astype(np.uint64))
+            own = effective * (1.0 - SHARED_EPOCH_WEIGHT)
+            group_rate = own * GROUP_EPOCH_WEIGHT
+            origin_rate = own * (1.0 - GROUP_EPOCH_WEIGHT)
+            shared_rate = effective * SHARED_EPOCH_WEIGHT
+            bad_epoch = (self._state_rng.uniform_array(
+                epoch_key, "epoch-state", trial) < group_rate) \
+                | (self._rng.uniform_array(
+                    epoch_key, "epoch-state-origin", trial) < origin_rate) \
+                | (self._shared_rng.uniform_array(
+                    epoch_key, "epoch-state", trial) < shared_rate)
+            # Within a bad epoch each host draws one shared fate for all
+            # probes.
+            fate_key = host_ids * np.uint64(1000003) \
+                + epochs.astype(np.uint64)
+            host_fate_lost = self._state_rng.uniform_array(
+                fate_key, "epoch-fate", trial) < BAD_EPOCH_LOSS
+            epoch_lost = bad_epoch & host_fate_lost
+            if epoch_memo is not None:
+                epoch_memo[memo_key] = epoch_lost
 
         # Component 2: independent residual loss per probe.
         random_lost = self._rng.uniform_array(

@@ -45,26 +45,36 @@ class ChurnModel:
         self.spec = spec
         self._rng = rng.derive("churn")
 
-    def present_mask(self, ips: np.ndarray, protocol: str,
-                     trial: int) -> np.ndarray:
+    def stable_mask(self, ips: np.ndarray, protocol: str) -> np.ndarray:
+        """Persistent stability class: True → present in every trial.
+
+        Trial-independent, so observation plans cache it per protocol
+        view and pass it back through ``stable=``.
+        """
+        ips = np.asarray(ips, dtype=np.uint64)
+        return self._rng.uniform_array(
+            ips, "class", protocol) < self.spec.stable_fraction
+
+    def present_mask(self, ips: np.ndarray, protocol: str, trial: int,
+                     stable: np.ndarray = None) -> np.ndarray:
         """Boolean presence of each service in ``trial``."""
         ips = np.asarray(ips, dtype=np.uint64)
-        stable = self._rng.uniform_array(
-            ips, "class", protocol) < self.spec.stable_fraction
+        if stable is None:
+            stable = self.stable_mask(ips, protocol)
         churner_present = self._rng.uniform_array(
             ips, "present", protocol, trial) \
             < self.spec.churner_presence_prob
         return stable | churner_present
 
-    def churner_mask(self, ips: np.ndarray, protocol: str) -> np.ndarray:
+    def churner_mask(self, ips: np.ndarray, protocol: str,
+                     stable: np.ndarray = None) -> np.ndarray:
         """Services in the churning (unstable) minority.
 
         Uses the same draw as :meth:`present_mask`'s stability class, so a
         service is a churner iff it is not in the stable core.
         """
-        ips = np.asarray(ips, dtype=np.uint64)
-        stable = self._rng.uniform_array(
-            ips, "class", protocol) < self.spec.stable_fraction
+        if stable is None:
+            stable = self.stable_mask(ips, protocol)
         return ~stable
 
     def present_one(self, ip: int, protocol: str, trial: int) -> bool:

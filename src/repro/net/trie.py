@@ -46,6 +46,14 @@ class PrefixTrie:
         self._ends: Optional[np.ndarray] = None
         self._values: List[Any] = []
         self._value_idx: Optional[np.ndarray] = None
+        # Bumped on every mutation so callers caching derived structures
+        # (e.g. GeoIPDatabase's translation tables) can invalidate.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes whenever the trie's content does."""
+        return self._version
 
     def __len__(self) -> int:
         return self._size
@@ -72,6 +80,7 @@ class PrefixTrie:
         node.value = value
         node.has_value = True
         self._starts = None  # invalidate compiled form
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Scalar lookup

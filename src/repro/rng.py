@@ -204,6 +204,23 @@ class CounterRNG:
         return -np.asarray(mean, dtype=np.float64) * np.log1p(-u)
 
 
+def keyed_uniform_array(keys: np.ndarray,
+                        counters: np.ndarray) -> np.ndarray:
+    """Floats in [0, 1) where element *i* is drawn from stream ``keys[i]``.
+
+    ``keys`` carries pre-derived stream keys (:attr:`CounterRNG.key`), one
+    per element, so a single vectorized call can evaluate draws that
+    belong to *different* streams — e.g. per-AS firewall-coverage draws
+    concatenated across ASes.  Bit-identical to calling
+    ``CounterRNG`` with ``key == keys[i]`` → ``uniform_array(counters)``
+    element by element.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    counters = np.asarray(counters, dtype=np.uint64)
+    bits = _mix_array(_mix_array(keys ^ counters))
+    return (bits >> np.uint64(11)).astype(np.float64) * (1.0 / (1 << 53))
+
+
 def scalar_matches_vector(rng: CounterRNG, counter: int, *extra: int) -> bool:
     """True when the scalar and vector paths agree for one draw.
 

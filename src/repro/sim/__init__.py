@@ -1,6 +1,7 @@
 """World assembly and synchronized campaign execution."""
 
 from repro.sim.world import World, WorldDefaults, Observation
+from repro.sim.plan import ASGrouping, ObservationPlan, ObserveProfile
 from repro.sim.campaign import Campaign, build_observation_grid, run_campaign
 from repro.sim.executor import (
     BACKENDS,
@@ -22,6 +23,9 @@ __all__ = [
     "World",
     "WorldDefaults",
     "Observation",
+    "ObservationPlan",
+    "ObserveProfile",
+    "ASGrouping",
     "Campaign",
     "run_campaign",
     "build_observation_grid",

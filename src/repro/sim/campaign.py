@@ -48,6 +48,10 @@ class Campaign:
     n_trials: int = 3
     executor: Union[str, Executor, None] = None
     workers: Optional[int] = None
+    #: Observe through compiled plans (:meth:`repro.sim.world.World.plan`).
+    #: ``False`` forces the unplanned reference path — byte-identical
+    #: output, used by the differential test suite.
+    planned: bool = True
 
     def __post_init__(self) -> None:
         if self.n_trials < 1:
@@ -59,12 +63,14 @@ class Campaign:
     def run(self) -> CampaignDataset:
         return run_campaign(self.world, self.origins, self.zmap,
                             self.protocols, self.n_trials,
-                            executor=self.executor, workers=self.workers)
+                            executor=self.executor, workers=self.workers,
+                            planned=self.planned)
 
 
 def build_observation_grid(origins: Sequence[Origin], zmap: ZMapConfig,
                            protocols: Sequence[str],
-                           n_trials: int) -> List[ObservationJob]:
+                           n_trials: int,
+                           planned: bool = True) -> List[ObservationJob]:
     """Flatten the campaign into independent, self-contained jobs.
 
     Each job carries the trial-reseeded config (``seed + trial``) and the
@@ -88,7 +94,8 @@ def build_observation_grid(origins: Sequence[Origin], zmap: ZMapConfig,
                     index=len(jobs), protocol=protocol, trial=trial,
                     origin=origin, config=config,
                     first_trial=first_trials[origin.name],
-                    origin_names=origin_names))
+                    origin_names=origin_names,
+                    planned=planned))
     return jobs
 
 
@@ -98,7 +105,8 @@ def run_campaign(world: World, origins: Sequence[Origin],
                  n_trials: int = 3,
                  executor: Union[str, Executor, None] = None,
                  workers: Optional[int] = None,
-                 progress: Optional[ProgressCallback] = None
+                 progress: Optional[ProgressCallback] = None,
+                 planned: bool = True
                  ) -> CampaignDataset:
     """Execute every (protocol, trial, origin) scan and collect results.
 
@@ -111,9 +119,12 @@ def run_campaign(world: World, origins: Sequence[Origin],
     ``progress`` is called as ``(jobs_done, jobs_total, job)`` after each
     observation completes.  Output is bit-identical across backends; the
     :class:`~repro.sim.executor.ExecutionReport` lands in
-    ``metadata["execution"]``.
+    ``metadata["execution"]`` (including per-stage observe timings when
+    ``planned``).  ``planned=False`` routes every observation through the
+    unplanned reference path — byte-identical results, no plan caching.
     """
-    jobs = build_observation_grid(origins, zmap, protocols, n_trials)
+    jobs = build_observation_grid(origins, zmap, protocols, n_trials,
+                                  planned=planned)
     backend = make_executor(executor, workers)
     observations, report = backend.run_grid(world, jobs, progress=progress)
 

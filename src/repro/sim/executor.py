@@ -45,6 +45,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.origins import Origin
 from repro.scanner.zmap import ZMapConfig, ZMapScanner
+from repro.sim.plan import ObserveProfile
 from repro.sim.world import Observation, World
 
 #: Environment variables consulted when no executor is passed explicitly;
@@ -74,6 +75,10 @@ class ObservationJob:
     config: ZMapConfig
     first_trial: int
     origin_names: Tuple[str, ...]
+    #: Whether to observe through a compiled plan (the default).  The
+    #: unplanned reference path exists for differential testing
+    #: (``run_campaign(..., planned=False)``).
+    planned: bool = True
 
 
 @dataclass(frozen=True)
@@ -84,6 +89,9 @@ class JobResult:
     observation: Observation
     wall_s: float
     worker: str
+    #: Per-stage wall times of this observation (planned jobs only),
+    #: as ``(stage, seconds)`` pairs.
+    stages: Tuple[Tuple[str, float], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -102,6 +110,9 @@ class ExecutionReport:
     wall_s: float
     job_wall_s: Tuple[float, ...]
     workers_used: int
+    #: Observe-stage → total seconds, summed over every planned job (see
+    #: :class:`repro.sim.plan.ObserveProfile`); empty for unplanned runs.
+    stage_s: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def busy_s(self) -> float:
@@ -126,6 +137,8 @@ class ExecutionReport:
             "job_wall_max_s": round(max(self.job_wall_s), 6)
             if self.job_wall_s else 0.0,
             "speedup": round(self.speedup, 3),
+            "stages": {stage: round(seconds, 6)
+                       for stage, seconds in self.stage_s},
         }
 
 
@@ -133,12 +146,15 @@ def run_job(world: World, job: ObservationJob) -> JobResult:
     """Execute one observation job against a world (any backend)."""
     start = time.perf_counter()
     scanner = ZMapScanner(job.config)
+    profile = ObserveProfile() if job.planned else None
     observation = world.observe(
         job.protocol, job.trial, job.origin, scanner, job.origin_names,
-        first_trial=job.first_trial)
+        first_trial=job.first_trial,
+        plan=None if job.planned else False, profile=profile)
     wall = time.perf_counter() - start
     worker = f"{os.getpid()}/{threading.current_thread().name}"
-    return JobResult(job.index, observation, wall, worker)
+    stages = tuple(profile.stage_s.items()) if profile is not None else ()
+    return JobResult(job.index, observation, wall, worker, stages)
 
 
 class Executor(ABC):
@@ -171,13 +187,18 @@ class Executor(ABC):
                 f"{len(jobs)} jobs")
         by_index: Dict[int, JobResult] = {r.index: r for r in results}
         ordered = [by_index[job.index] for job in jobs]
+        stage_totals: Dict[str, float] = {}
+        for result in ordered:
+            for stage, seconds in result.stages:
+                stage_totals[stage] = stage_totals.get(stage, 0.0) + seconds
         report = ExecutionReport(
             backend=self.name,
             workers=self.workers,
             n_jobs=len(jobs),
             wall_s=wall,
             job_wall_s=tuple(r.wall_s for r in ordered),
-            workers_used=len({r.worker for r in ordered}))
+            workers_used=len({r.worker for r in ordered}),
+            stage_s=tuple(stage_totals.items()))
         return [r.observation for r in ordered], report
 
 

@@ -1,0 +1,270 @@
+"""Compiled observation plans for the ``World.observe()`` hot path.
+
+A plan precomputes, once per (protocol, scanner configuration), everything
+about an observation that does not depend on the trial or the origin:
+
+* a **CSR-style AS-grouping index** over the protocol view, so "which kept
+  services belong to AS *i*" is a slice lookup instead of an
+  ``as_idx == i`` scan over every service — and the policy loops iterate
+  only over ASes that actually declare specs;
+* **cross-call caches** for the per-view GeoIP translation, the scanner's
+  eligibility mask, probe-schedule base times, host-id casts, and every
+  persistent (origin/trial-independent) per-host draw the blocking models
+  make (churn stability, L7 deadness/flakiness, MaxStartups membership);
+* **per-origin policy compilation**: for each origin, the dense list of
+  (AS, coverage, rng stream key) entries of the firewalls/policies/IDSes
+  that block it, so coverage draws run over concatenated member indices
+  in a handful of vectorized operations.
+
+Plans are pure acceleration: the planned and unplanned observation paths
+are byte-identical for every :class:`~repro.sim.world.Observation` field
+(differential suite: ``tests/test_plan_equivalence.py``).  Every cached
+draw is a pure function of ``(seed, stream key, counters)``, so slicing a
+full-view cache by the per-trial ``keep`` subset reproduces exactly the
+draws the unplanned path makes on the subset.
+
+Plans are picklable, but :class:`~repro.sim.world.World` deliberately
+drops its plan cache when pickled (process-executor payloads stay small;
+workers rebuild plans lazily and, because every draw is counter-addressed,
+rebuild them identically).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Stage names in reporting order (used by profile rendering).
+STAGES = ("filter", "schedule", "l4_static", "l4_ids", "path", "l7")
+
+
+class ObserveProfile:
+    """Per-stage wall-time accumulator for planned observations.
+
+    One profile lives on each plan (accumulating across every call that
+    used the plan); callers may pass their own to
+    :meth:`~repro.sim.world.World.observe` to meter a single call.  The
+    executor aggregates per-job profiles into
+    ``metadata["execution"]["stages"]`` so benchmark regressions can be
+    attributed to a stage.
+    """
+
+    __slots__ = ("stage_s", "stage_calls", "n_observations", "n_services")
+
+    def __init__(self) -> None:
+        self.stage_s: Dict[str, float] = {}
+        self.stage_calls: Dict[str, int] = {}
+        self.n_observations = 0
+        self.n_services = 0
+
+    def add(self, stage: str, seconds: float) -> None:
+        self.stage_s[stage] = self.stage_s.get(stage, 0.0) + seconds
+        self.stage_calls[stage] = self.stage_calls.get(stage, 0) + 1
+
+    def count_observation(self, n_services: int) -> None:
+        self.n_observations += 1
+        self.n_services += int(n_services)
+
+    def merge(self, other: "ObserveProfile") -> None:
+        for stage, seconds in other.stage_s.items():
+            self.add(stage, seconds)
+            self.stage_calls[stage] += other.stage_calls[stage] - 1
+        self.n_observations += other.n_observations
+        self.n_services += other.n_services
+
+    @property
+    def total_s(self) -> float:
+        return float(sum(self.stage_s.values()))
+
+    def to_metadata(self) -> Dict[str, float]:
+        """Stage → seconds, JSON-able, in canonical stage order."""
+        ordered = [s for s in STAGES if s in self.stage_s]
+        ordered += [s for s in self.stage_s if s not in STAGES]
+        return {s: round(self.stage_s[s], 6) for s in ordered}
+
+    def render(self) -> str:
+        """A small human-readable table (used by ``repro profile``)."""
+        lines = [f"{'stage':<12} {'calls':>7} {'total s':>10} {'share':>7}"]
+        total = self.total_s or 1.0
+        for stage in self.to_metadata():
+            seconds = self.stage_s[stage]
+            lines.append(f"{stage:<12} {self.stage_calls[stage]:>7} "
+                         f"{seconds:>10.4f} {seconds / total:>6.1%}")
+        lines.append(f"{'total':<12} {self.n_observations:>7} "
+                     f"{self.total_s:>10.4f} "
+                     f"({self.n_services} services)")
+        return "\n".join(lines)
+
+
+class _StageTimer:
+    """Stamps stage boundaries into one or more profiles."""
+
+    __slots__ = ("profiles", "_last")
+
+    def __init__(self, *profiles: Optional[ObserveProfile]) -> None:
+        self.profiles = [p for p in profiles if p is not None]
+        self._last = time.perf_counter()
+
+    def stamp(self, stage: str) -> None:
+        now = time.perf_counter()
+        for profile in self.profiles:
+            profile.add(stage, now - self._last)
+        self._last = now
+
+    def finish(self, n_services: int) -> None:
+        for profile in self.profiles:
+            profile.count_observation(n_services)
+
+
+class ASGrouping:
+    """CSR-style index: AS index → member row positions.
+
+    Rows are grouped by AS once (a single stable argsort); membership for
+    any AS is then an O(group size) slice instead of an O(n_rows) equality
+    scan.  Only ASes that actually own rows occupy a group.
+    """
+
+    __slots__ = ("n_rows", "order", "starts", "group_of")
+
+    def __init__(self, as_indices: np.ndarray, n_ases: int) -> None:
+        as_indices = np.asarray(as_indices, dtype=np.int64)
+        self.n_rows = len(as_indices)
+        self.order = np.argsort(as_indices, kind="stable")
+        present, first = np.unique(as_indices[self.order],
+                                   return_index=True)
+        self.starts = np.concatenate(
+            [first, [self.n_rows]]).astype(np.int64)
+        self.group_of = np.full(n_ases, -1, dtype=np.int64)
+        self.group_of[present] = np.arange(len(present), dtype=np.int64)
+
+    def members(self, as_index: int) -> np.ndarray:
+        """Row positions belonging to ``as_index`` (ascending)."""
+        group = int(self.group_of[as_index]) \
+            if 0 <= as_index < len(self.group_of) else -1
+        if group < 0:
+            return _EMPTY_INT64
+        rows = self.order[self.starts[group]:self.starts[group + 1]]
+        # The stable argsort preserves row order within a group, so the
+        # slice is already ascending — same order a boolean scan yields.
+        return rows
+
+    def members_in(self, as_index: int,
+                   position_of_row: np.ndarray) -> np.ndarray:
+        """Member positions within a subset.
+
+        ``position_of_row`` maps full row index → position in the subset
+        (-1 when the row was filtered out).  Equivalent to
+        ``np.flatnonzero(subset_as_idx == as_index)``.
+        """
+        positions = position_of_row[self.members(as_index)]
+        return positions[positions >= 0]
+
+
+_EMPTY_INT64 = np.array([], dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    """One compiled static-L4 blocking rule of one AS against one origin."""
+
+    as_index: int
+    #: Pre-derived rng stream key for the coverage draw
+    #: (``rng.derive("firewall-coverage", label, as_index)``).
+    stream_key: int
+    coverage: float
+    #: Reputation-firewall ramp: trial from which coverage becomes 1.0
+    #: (-1 when the rule does not ramp).
+    full_coverage_from_trial: int
+    #: True → TCP completes but the handshake is dropped (block pages);
+    #: False → silent L4 drop.
+    to_l7_drop: bool
+
+    def coverage_in_trial(self, trial: int) -> float:
+        if self.full_coverage_from_trial > 0 \
+                and trial >= self.full_coverage_from_trial:
+            return 1.0
+        return self.coverage
+
+
+@dataclass(frozen=True)
+class IDSEntry:
+    """One compiled rate-IDS rule of one AS against one origin."""
+
+    as_index: int
+    stream_key: int
+    coverage: float
+    persistent: bool
+    #: Seconds into the origin's first trial when detection fires; the
+    #: draw is trial-independent, so it compiles per (origin, AS).
+    detection_time: float
+
+
+@dataclass(frozen=True)
+class CompiledOriginPolicy:
+    """Everything static-L4 about one origin, compiled once."""
+
+    static_entries: Tuple[PolicyEntry, ...]
+    ids_entries: Tuple[IDSEntry, ...]
+
+
+@dataclass
+class ObservationPlan:
+    """Precomputed state for fast observations of one (protocol, config).
+
+    Built by :meth:`repro.sim.world.World.plan`; reused across every trial
+    and origin of a campaign.  All fields are plain data (picklable).
+    """
+
+    protocol: str
+    n_view: int
+    n_ases: int
+    #: :attr:`repro.topology.geo.GeoIPDatabase.version` at build time; a
+    #: mismatch on fetch invalidates the plan (stale ``geo_full``).
+    geo_version: Tuple[int, int]
+    grouping: ASGrouping
+    # Full-view cross-call caches, sliced by ``keep`` per observation.
+    geo_full: np.ndarray
+    host_ids_full: np.ndarray       # uint64
+    eligible_full: np.ndarray       # bool
+    base_first_full: np.ndarray     # float64, drift-free first-probe times
+    stable_full: np.ndarray         # bool (churn stability class)
+    dead_full: np.ndarray           # bool (persistently L7-dead)
+    flaky_full: np.ndarray          # bool (transiently flaky membership)
+    drop_full: np.ndarray           # bool (failure style: drop vs close)
+    ms_affected_full: Optional[np.ndarray]   # bool, SSH only
+    ms_probs_full: Optional[np.ndarray]      # float64, SSH only
+    ms_style_full: Optional[np.ndarray]      # bool, SSH only (RST vs FIN)
+    # Spec-declaring AS lists (the only ASes the policy loops visit).
+    static_systems: Tuple[int, ...]
+    ids_systems: Tuple[int, ...]
+    temporal_systems: Tuple[int, ...]
+    # Lazy per-origin caches (identical on rebuild: draws are pure).
+    origin_policies: Dict[str, CompiledOriginPolicy] = \
+        field(default_factory=dict)
+    persist_u: Dict[str, np.ndarray] = field(default_factory=dict)
+    profile: ObserveProfile = field(default_factory=ObserveProfile)
+
+    def position_of_row(self, keep: np.ndarray) -> np.ndarray:
+        """Full-view row index → position in the kept subset (-1 if cut)."""
+        positions = np.full(self.n_view, -1, dtype=np.int64)
+        positions[keep] = np.arange(len(keep), dtype=np.int64)
+        return positions
+
+
+def sorted_membership_mask(sorted_ips: np.ndarray,
+                           targets: np.ndarray) -> np.ndarray:
+    """``np.isin(sorted_ips, targets)`` via binary search.
+
+    The protocol view's ``ip`` column is sorted (the host table lexsorts
+    by address), so membership is two ``searchsorted`` passes instead of
+    an O(n·m) or sort-per-call scan.
+    """
+    targets = np.unique(np.asarray(targets, dtype=np.uint32))
+    if len(targets) == 0:
+        return np.zeros(sorted_ips.shape, dtype=bool)
+    pos = np.searchsorted(targets, sorted_ips)
+    pos_clipped = np.minimum(pos, len(targets) - 1)
+    return (pos < len(targets)) & (targets[pos_clipped] == sorted_ips)

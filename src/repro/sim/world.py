@@ -21,11 +21,12 @@ Evaluation order per probe follows the life of a packet:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.blocking.firewall import covered_hosts_mask
+from repro.blocking.firewall import (coverage_stream_key, covered_hosts_mask,
+                                     covered_hosts_mask_keyed)
 from repro.blocking.flaky import L7FlakyModel, L7FlakySpec
 from repro.blocking.ids import RateIDS
 from repro.blocking.maxstartups import MaxStartupsModel, MaxStartupsSpec
@@ -37,7 +38,10 @@ from repro.hosts.churn import ChurnModel, ChurnSpec
 from repro.hosts.table import HostTable
 from repro.origins import Origin
 from repro.rng import CounterRNG
-from repro.scanner.zmap import ZMapScanner
+from repro.scanner.zmap import ZMapConfig, ZMapScanner
+from repro.sim.plan import (ASGrouping, CompiledOriginPolicy, IDSEntry,
+                            ObservationPlan, ObserveProfile, PolicyEntry,
+                            _StageTimer, sorted_membership_mask)
 from repro.topology.generator import Topology
 
 
@@ -120,6 +124,16 @@ class World:
         self._outage_specs: Optional[Dict[int, BurstOutageSpec]] = None
         self._flaky_params: Optional[Tuple[np.ndarray, ...]] = None
         self._maxstartups_params: Optional[Tuple[np.ndarray, ...]] = None
+        self._plans: Dict[Tuple[str, ZMapConfig], ObservationPlan] = {}
+
+    def __getstate__(self) -> dict:
+        # Plans are pure acceleration state and can be large; dropping them
+        # keeps process-executor payloads small.  Workers rebuild plans
+        # lazily and — because every draw is counter-addressed — rebuild
+        # them identically.
+        state = self.__dict__.copy()
+        state["_plans"] = {}
+        return state
 
     # ------------------------------------------------------------------
     # Lazily built per-AS parameter tables
@@ -299,13 +313,153 @@ class World:
         return blocked
 
     # ------------------------------------------------------------------
+    # Compiled observation plans
+    # ------------------------------------------------------------------
+
+    def plan(self, protocol: str, scanner: ZMapScanner) -> ObservationPlan:
+        """The compiled observation plan for one (protocol, scanner config).
+
+        Built once and cached on the world; reused across every trial and
+        origin that observes with an equal scanner configuration.  Plans
+        are pure acceleration: a planned observation is byte-identical to
+        an unplanned one (``plan=False``).  A mutated GeoIP database
+        invalidates cached plans automatically; scanner configurations are
+        immutable value objects, so they key the cache directly.
+        """
+        key = (protocol, scanner.config)
+        plan = self._plans.get(key)
+        if plan is not None and plan.geo_version == self.topology.geoip.version:
+            return plan
+        plan = self._build_plan(protocol, scanner)
+        self._plans[key] = plan
+        return plan
+
+    def _build_plan(self, protocol: str,
+                    scanner: ZMapScanner) -> ObservationPlan:
+        view = self.hosts.for_protocol(protocol)
+        ips = view.ip
+        as_index = view.as_index
+        n_ases = len(self.topology.ases)
+        host_ids = ips.astype(np.uint64)
+
+        flaky_f, fail_p, drop_s, dead_f = self._flaky_param_arrays()
+        ms_affected = ms_probs = ms_style = None
+        if protocol == "ssh":
+            ms_fraction, ms_mean, ms_spread, _ = \
+                self._maxstartups_param_arrays()
+            ms_affected = self._maxstartups.affected_mask_params(
+                ms_fraction[as_index], host_ids)
+            ms_probs = self._maxstartups.refuse_probs_params(
+                ms_mean[as_index], ms_spread[as_index], host_ids)
+            ms_style = self._rng.derive("ms-style").bernoulli_array(
+                0.5, host_ids)
+
+        static_systems = tuple(
+            int(s.index) for s in self.topology.ases
+            if s.spec.reputation_firewall is not None
+            or s.spec.static_block is not None
+            or s.spec.regional_policy is not None)
+        ids_systems = tuple(int(s.index) for s in self.topology.ases
+                            if s.spec.rate_ids is not None)
+        temporal_systems = tuple(
+            int(s.index) for s in self.topology.ases
+            if s.spec.temporal_rst is not None
+            and protocol in s.spec.temporal_rst.protocols)
+
+        return ObservationPlan(
+            protocol=protocol,
+            n_view=len(ips),
+            n_ases=n_ases,
+            geo_version=self.topology.geoip.version,
+            grouping=ASGrouping(as_index, n_ases),
+            geo_full=self.topology.geoip.geolocate_index_array(ips),
+            host_ids_full=host_ids,
+            eligible_full=scanner.eligible_mask(ips),
+            base_first_full=scanner.first_probe_times(ips),
+            stable_full=self.churn.stable_mask(ips, protocol),
+            dead_full=self._flaky.dead_mask_params(
+                dead_f[as_index], host_ids, protocol),
+            flaky_full=self._flaky.flaky_mask_params(
+                flaky_f[as_index], host_ids, protocol),
+            drop_full=self._flaky.drop_style_mask_params(
+                drop_s[as_index], host_ids, protocol),
+            ms_affected_full=ms_affected,
+            ms_probs_full=ms_probs,
+            ms_style_full=ms_style,
+            static_systems=static_systems,
+            ids_systems=ids_systems,
+            temporal_systems=temporal_systems)
+
+    def _origin_policy(self, plan: ObservationPlan, origin: Origin,
+                       scanner: ZMapScanner) -> CompiledOriginPolicy:
+        """Per-origin compiled static-L4 rules (cached on the plan)."""
+        policy = plan.origin_policies.get(origin.name)
+        if policy is not None:
+            return policy
+
+        static_entries = []
+        for i in plan.static_systems:
+            spec = self.topology.ases.by_index(i).spec
+            fw = spec.reputation_firewall
+            if fw is not None and fw.blocks(origin):
+                static_entries.append(PolicyEntry(
+                    as_index=i,
+                    stream_key=coverage_stream_key(self._rng, i,
+                                                   "reputation"),
+                    coverage=fw.coverage,
+                    full_coverage_from_trial=(
+                        fw.full_coverage_from_trial
+                        if fw.full_coverage_from_trial > 0 else -1),
+                    to_l7_drop=False))
+            sb = spec.static_block
+            if sb is not None and sb.blocks(origin):
+                static_entries.append(PolicyEntry(
+                    as_index=i,
+                    stream_key=coverage_stream_key(self._rng, i, "static"),
+                    coverage=sb.coverage,
+                    full_coverage_from_trial=-1,
+                    to_l7_drop=False))
+            rp = spec.regional_policy
+            if rp is not None and rp.blocks(origin):
+                static_entries.append(PolicyEntry(
+                    as_index=i,
+                    stream_key=coverage_stream_key(self._rng, i, "regional"),
+                    coverage=rp.coverage,
+                    full_coverage_from_trial=-1,
+                    to_l7_drop=bool(rp.responds_with_block_page)))
+
+        ids_entries = []
+        for i in plan.ids_systems:
+            system = self.topology.ases.by_index(i)
+            spec = system.spec.rate_ids
+            rate = scanner.probes_into_as_per_second(
+                system.total_addresses(), origin)
+            detect = self._ids.detection_time(
+                spec, origin, i, rate, plan.protocol)
+            if detect is None:
+                continue
+            ids_entries.append(IDSEntry(
+                as_index=i,
+                stream_key=coverage_stream_key(self._rng, i, "ids"),
+                coverage=spec.coverage,
+                persistent=bool(spec.persistent),
+                detection_time=float(detect)))
+
+        policy = CompiledOriginPolicy(tuple(static_entries),
+                                      tuple(ids_entries))
+        plan.origin_policies[origin.name] = policy
+        return policy
+
+    # ------------------------------------------------------------------
     # Main entry point
     # ------------------------------------------------------------------
 
     def observe(self, protocol: str, trial: int, origin: Origin,
                 scanner: ZMapScanner, all_origin_names: Tuple[str, ...],
                 first_trial: int = 0,
-                targets: Optional[np.ndarray] = None) -> Observation:
+                targets: Optional[np.ndarray] = None,
+                plan: Union[ObservationPlan, bool, None] = None,
+                profile: Optional[ObserveProfile] = None) -> Observation:
         """Everything ``origin`` records for one protocol in one trial.
 
         ``all_origin_names`` fixes the origin universe for shared burst
@@ -318,14 +472,49 @@ class World:
         targeted observation returns *exactly* the rows the full scan
         would (tested invariant), so targeted re-scans are consistent
         with campaign data.
+
+        ``plan`` selects the evaluation path: ``None`` (default) fetches or
+        builds the compiled :class:`~repro.sim.plan.ObservationPlan` for
+        this (protocol, scanner config); an explicit plan is used as-is;
+        ``False`` forces the unplanned reference path.  The two paths are
+        byte-identical in every Observation field.  ``profile`` (planned
+        path only) receives per-stage wall times for this call in addition
+        to the plan's cumulative profile.
+        """
+        if plan is not False:
+            if plan is None:
+                plan = self.plan(protocol, scanner)
+            elif plan.protocol != protocol:
+                raise ValueError(
+                    f"plan was compiled for protocol {plan.protocol!r}, "
+                    f"not {protocol!r}")
+            return self._observe_planned(
+                plan, protocol, trial, origin, scanner, all_origin_names,
+                first_trial, targets, profile)
+        return self._observe_unplanned(
+            protocol, trial, origin, scanner, all_origin_names,
+            first_trial, targets)
+
+    def _observe_unplanned(self, protocol: str, trial: int, origin: Origin,
+                           scanner: ZMapScanner,
+                           all_origin_names: Tuple[str, ...],
+                           first_trial: int = 0,
+                           targets: Optional[np.ndarray] = None
+                           ) -> Observation:
+        """Reference evaluation path (no cross-call caching).
+
+        Kept deliberately close to the straightforward formulation: the
+        differential suite (``tests/test_plan_equivalence.py``) checks the
+        planned path against this one field-by-field.
         """
         view = self.hosts.for_protocol(protocol)
         present = self.churn.present_mask(view.ip, protocol, trial)
         eligible = scanner.eligible_mask(view.ip)
         wanted = present & eligible
         if targets is not None:
-            wanted &= np.isin(view.ip,
-                              np.asarray(targets, dtype=np.uint32))
+            # view.ip is sorted (the host table lexsorts by address), so
+            # membership is a binary search, not np.isin's sort-per-call.
+            wanted &= sorted_membership_mask(view.ip, targets)
         keep = np.flatnonzero(wanted)
 
         ips = view.ip[keep]
@@ -440,6 +629,204 @@ class World:
             host_ids, protocol, origin.name, trial)
         l7[still_ok & fails & drops] = int(L7Status.L4_DROP)
         l7[still_ok & fails & ~drops] = int(L7Status.L4_CLOSE_FIN)
+
+        return Observation(
+            protocol=protocol, trial=trial, origin=origin.name,
+            ip=ips, as_index=as_idx, country_index=country_idx,
+            geo_index=geo_idx, probe_mask=probe_mask, l7=l7,
+            time=first_times.astype(np.float32))
+
+    def _observe_planned(self, plan: ObservationPlan, protocol: str,
+                         trial: int, origin: Origin, scanner: ZMapScanner,
+                         all_origin_names: Tuple[str, ...],
+                         first_trial: int, targets: Optional[np.ndarray],
+                         profile: Optional[ObserveProfile]) -> Observation:
+        """Fast path over a compiled plan (byte-identical to unplanned).
+
+        Every cached array is a full-view evaluation of the same pure,
+        counter-addressed draw the unplanned path makes on the kept
+        subset, so slicing by ``keep`` reproduces the subset draws
+        exactly; AS membership comes from the plan's CSR grouping instead
+        of ``as_idx == i`` scans.
+        """
+        timer = _StageTimer(plan.profile, profile)
+        view = self.hosts.for_protocol(protocol)
+        present = self.churn.present_mask(view.ip, protocol, trial,
+                                          stable=plan.stable_full)
+        wanted = present & plan.eligible_full
+        if targets is not None:
+            wanted &= sorted_membership_mask(view.ip, targets)
+        keep = np.flatnonzero(wanted)
+
+        ips = view.ip[keep]
+        as_idx = view.as_index[keep]
+        country_idx = view.country_index[keep]
+        geo_idx = plan.geo_full[keep]
+        host_ids = plan.host_ids_full[keep]
+        n = len(ips)
+        n_probes = scanner.config.n_probes
+        position_of_row = plan.position_of_row(keep)
+        timer.stamp("filter")
+
+        first_times = plan.base_first_full[keep]
+        if origin.drift:
+            first_times = first_times * (1.0 + origin.drift)
+        probe_offsets = (np.arange(n_probes, dtype=np.float64)
+                         * scanner.config.probe_spacing_s)
+        timer.stamp("schedule")
+
+        # --- L4 static filtering (compiled policy entries) ------------
+        policy = self._origin_policy(plan, origin, scanner)
+        silent_block = np.zeros(n, dtype=bool)
+        l7_drop_block = np.zeros(n, dtype=bool)
+        if policy.static_entries:
+            pos_parts, key_parts, cov_parts, drop_parts = [], [], [], []
+            for entry in policy.static_entries:
+                pos = plan.grouping.members_in(entry.as_index,
+                                               position_of_row)
+                if len(pos) == 0:
+                    continue
+                pos_parts.append(pos)
+                key_parts.append(np.full(len(pos), entry.stream_key,
+                                         dtype=np.uint64))
+                cov_parts.append(np.full(len(pos),
+                                         entry.coverage_in_trial(trial)))
+                drop_parts.append(np.full(len(pos), entry.to_l7_drop,
+                                          dtype=bool))
+            if pos_parts:
+                pos_all = np.concatenate(pos_parts)
+                covered = covered_hosts_mask_keyed(
+                    np.concatenate(key_parts), host_ids[pos_all],
+                    np.concatenate(cov_parts))
+                to_drop = np.concatenate(drop_parts)
+                silent_block[pos_all[covered & ~to_drop]] = True
+                l7_drop_block[pos_all[covered & to_drop]] = True
+        timer.stamp("l4_static")
+
+        ids_block = np.zeros(n, dtype=bool)
+        for entry in policy.ids_entries:
+            pos = plan.grouping.members_in(entry.as_index, position_of_row)
+            if len(pos) == 0:
+                continue
+            if trial > first_trial and entry.persistent:
+                hit = np.ones(len(pos), dtype=bool)
+            elif trial == first_trial:
+                hit = first_times[pos] >= entry.detection_time
+            else:
+                continue
+            if entry.coverage < 1.0:
+                hit &= covered_hosts_mask_keyed(
+                    np.full(len(pos), entry.stream_key, dtype=np.uint64),
+                    host_ids[pos], np.full(len(pos), entry.coverage))
+            ids_block[pos[hit]] = True
+        l4_filtered = silent_block | ids_block
+        timer.stamp("l4_ids")
+
+        # --- Path: outages + correlated loss --------------------------
+        loss = self.loss_model(origin)
+        epoch, random_, persistent, variability = \
+            self._loss_param_arrays(origin)
+        # Per-AS rates, gathered by membership: the draw is elementwise in
+        # the AS value, so evaluating once per AS and gathering matches
+        # the per-host evaluation bit-for-bit.
+        rates_by_as = loss.trial_epoch_rates(
+            epoch, variability, np.arange(plan.n_ases, dtype=np.int64),
+            trial)
+        effective_epoch = rates_by_as[as_idx]
+        persist_full = plan.persist_u.get(origin.name)
+        if persist_full is None:
+            persist_full = loss.persistent_draws(plan.host_ids_full)
+            plan.persist_u[origin.name] = persist_full
+        persist_u = persist_full[keep]
+        random_rates = random_[as_idx]
+        persistent_fracs = persistent[as_idx]
+
+        outages = self._outages(all_origin_names,
+                                scanner.config.scan_duration_s)
+        active = outages.active_windows(origin.name, trial,
+                                        self.outage_specs())
+        active_members = []
+        for as_index, windows in active.items():
+            pos = plan.grouping.members_in(as_index, position_of_row)
+            if len(pos):
+                active_members.append((pos, windows))
+
+        probe_mask = np.zeros(n, dtype=np.uint8)
+        epoch_memo: dict = {}
+        for probe_no in range(n_probes):
+            times_k = first_times + probe_offsets[probe_no]
+            delivered = loss.probe_delivered(
+                host_ids, as_idx, times_k, trial, probe_no,
+                effective_epoch, random_rates, persistent_fracs,
+                persist_u=persist_u, epoch_memo=epoch_memo)
+            ok = delivered & ~l4_filtered
+            for pos, windows in active_members:
+                member_times = times_k[pos]
+                hit = np.zeros(len(pos), dtype=bool)
+                for start, end in windows:
+                    hit |= (member_times >= start) & (member_times < end)
+                ok[pos[hit]] = False
+            probe_mask |= ok.astype(np.uint8) << np.uint8(probe_no)
+
+        if self.defaults.churner_wobble > 0.0:
+            churners = ~plan.stable_full[keep]
+            wobble = self._rng.derive("wobble").bernoulli_array(
+                self.defaults.churner_wobble, host_ids,
+                protocol, origin.name, trial)
+            probe_mask[churners & wobble] = 0
+        timer.stamp("path")
+
+        l4_success = probe_mask > 0
+
+        # --- L7 evaluation --------------------------------------------
+        l7 = np.full(n, int(L7Status.NO_L4), dtype=np.uint8)
+        l7[l4_success] = int(L7Status.SUCCESS)
+
+        drop_page = l4_success & l7_drop_block
+        l7[drop_page] = int(L7Status.L4_DROP)
+
+        for i in plan.temporal_systems:
+            pos = plan.grouping.members_in(i, position_of_row)
+            if len(pos) == 0:
+                continue
+            pos = pos[l4_success[pos]]
+            if len(pos) == 0:
+                continue
+            spec = self.topology.ases.by_index(i).spec.temporal_rst
+            detect = self._temporal.detection_time(
+                spec, origin, i, trial, protocol,
+                scanner.config.scan_duration_s)
+            if detect is None:
+                continue
+            hit = first_times[pos] >= detect
+            l7[pos[hit]] = int(L7Status.L4_CLOSE_RST)
+
+        if protocol == "ssh":
+            candidates = l7 == int(L7Status.SUCCESS)
+            idx = np.flatnonzero(candidates)
+            if len(idx):
+                rows = keep[idx]
+                refused = plan.ms_affected_full[rows] \
+                    & (self._maxstartups.refusal_uniforms(
+                        host_ids[idx], origin.name, trial)
+                       < plan.ms_probs_full[rows])
+                close = np.where(plan.ms_style_full[rows],
+                                 int(L7Status.L4_CLOSE_RST),
+                                 int(L7Status.L4_CLOSE_FIN))
+                l7[idx[refused]] = close[refused]
+
+        _, fail_p, _, _ = self._flaky_param_arrays()
+        still_ok = l7 == int(L7Status.SUCCESS)
+        l7[still_ok & plan.dead_full[keep]] = int(L7Status.L4_DROP)
+
+        still_ok = l7 == int(L7Status.SUCCESS)
+        fails = plan.flaky_full[keep] & self._flaky.fail_mask_params(
+            fail_p[as_idx], host_ids, protocol, origin.name, trial)
+        drops = fails & plan.drop_full[keep]
+        l7[still_ok & fails & drops] = int(L7Status.L4_DROP)
+        l7[still_ok & fails & ~drops] = int(L7Status.L4_CLOSE_FIN)
+        timer.stamp("l7")
+        timer.finish(n)
 
         return Observation(
             protocol=protocol, trial=trial, origin=origin.name,

@@ -10,7 +10,7 @@ Australia" that geolocate to the US/EU because Cloudflare anycasts them).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -93,6 +93,20 @@ class GeoIPDatabase:
         self.registry = registry
         self._true = PrefixTrie()
         self._observed = PrefixTrie()
+        # Compiled value-index → country-index translation tables, cached
+        # per trie version (rebuilding them per lookup call was a
+        # measurable cost in the observe() hot path).
+        self._true_table: Optional[Tuple[int, np.ndarray]] = None
+        self._observed_table: Optional[Tuple[int, np.ndarray]] = None
+
+    @property
+    def version(self) -> Tuple[int, int]:
+        """Mutation counter pair; changes whenever a prefix is added.
+
+        Observation plans record this at build time so a mutated database
+        invalidates their cached geolocation arrays.
+        """
+        return (self._true.version, self._observed.version)
 
     def add_prefix(self, network: IPv4Network, country_code: str,
                    geolocates_to: Optional[str] = None) -> None:
@@ -114,16 +128,24 @@ class GeoIPDatabase:
     def geolocate_index_array(self, ips: np.ndarray) -> np.ndarray:
         """Vectorized GeoIP lookup → country indices (-1 when unknown)."""
         raw = self._observed.lookup_index_array(ips)
-        values = self._observed.compiled_values()
-        table = np.array(values + [-1], dtype=np.int64)
-        return table[raw]
+        cached = self._observed_table
+        if cached is None or cached[0] != self._observed.version:
+            values = self._observed.compiled_values()
+            cached = (self._observed.version,
+                      np.array(values + [-1], dtype=np.int64))
+            self._observed_table = cached
+        return cached[1][raw]
 
     def true_index_array(self, ips: np.ndarray) -> np.ndarray:
         """Vectorized true-location lookup → country indices."""
         raw = self._true.lookup_index_array(ips)
-        values = self._true.compiled_values()
-        table = np.array(values + [-1], dtype=np.int64)
-        return table[raw]
+        cached = self._true_table
+        if cached is None or cached[0] != self._true.version:
+            values = self._true.compiled_values()
+            cached = (self._true.version,
+                      np.array(values + [-1], dtype=np.int64))
+            self._true_table = cached
+        return cached[1][raw]
 
 
 def default_countries() -> List[Country]:

@@ -1,0 +1,101 @@
+"""Property tests for the plan layer's index structures.
+
+The CSR-style :class:`~repro.sim.plan.ASGrouping` replaces every
+``as_idx == i`` equality scan in the observe() hot path, and
+:func:`~repro.sim.plan.sorted_membership_mask` replaces ``np.isin`` on
+the sorted protocol view.  Both must agree with their naive
+formulations on *every* input, so they are pinned with hypothesis
+property tests rather than examples.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.plan import ASGrouping, sorted_membership_mask
+
+as_indices_arrays = st.lists(
+    st.integers(min_value=0, max_value=19),
+    min_size=0, max_size=200).map(lambda v: np.array(v, dtype=np.int64))
+
+
+@st.composite
+def grouping_cases(draw):
+    as_indices = draw(as_indices_arrays)
+    n_ases = draw(st.integers(min_value=20, max_value=25))
+    return as_indices, n_ases
+
+
+class TestASGrouping:
+    @given(grouping_cases())
+    @settings(max_examples=200, deadline=None)
+    def test_members_matches_naive_scan(self, case):
+        """grouping.members(i) == flatnonzero(as_indices == i), exactly —
+        same values, same (ascending) order."""
+        as_indices, n_ases = case
+        grouping = ASGrouping(as_indices, n_ases)
+        for i in range(n_ases):
+            naive = np.flatnonzero(as_indices == i)
+            np.testing.assert_array_equal(grouping.members(i), naive)
+
+    @given(grouping_cases(), st.integers(min_value=0, max_value=2 ** 32))
+    @settings(max_examples=200, deadline=None)
+    def test_members_in_matches_subset_scan(self, case, keep_seed):
+        """members_in under an arbitrary keep-subset reproduces
+        flatnonzero(subset_as_idx == i) — the exact expression the
+        unplanned observe() path evaluates."""
+        as_indices, n_ases = case
+        grouping = ASGrouping(as_indices, n_ases)
+        rng = np.random.default_rng(keep_seed)
+        kept_mask = rng.random(len(as_indices)) < 0.6
+        keep = np.flatnonzero(kept_mask)
+        subset = as_indices[keep]
+        position_of_row = np.full(len(as_indices), -1, dtype=np.int64)
+        position_of_row[keep] = np.arange(len(keep), dtype=np.int64)
+        for i in range(n_ases):
+            naive = np.flatnonzero(subset == i)
+            np.testing.assert_array_equal(
+                grouping.members_in(i, position_of_row), naive)
+
+    def test_out_of_range_as_is_empty(self):
+        grouping = ASGrouping(np.array([0, 1, 1], dtype=np.int64), 3)
+        assert len(grouping.members(-1)) == 0
+        assert len(grouping.members(99)) == 0
+
+    def test_groups_cover_all_rows_once(self):
+        as_indices = np.array([2, 0, 2, 1, 0, 2], dtype=np.int64)
+        grouping = ASGrouping(as_indices, 4)
+        seen = np.concatenate([grouping.members(i) for i in range(4)])
+        assert sorted(seen) == list(range(len(as_indices)))
+
+
+sorted_ip_arrays = st.lists(
+    st.integers(min_value=0, max_value=2 ** 32 - 1),
+    min_size=0, max_size=150).map(
+        lambda v: np.sort(np.array(v, dtype=np.uint32)))
+
+target_arrays = st.lists(
+    st.integers(min_value=0, max_value=2 ** 32 - 1),
+    min_size=0, max_size=150).map(lambda v: np.array(v, dtype=np.uint32))
+
+
+class TestSortedMembershipMask:
+    @given(sorted_ip_arrays, target_arrays)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_isin(self, ips, targets):
+        expected = np.isin(ips, targets)
+        np.testing.assert_array_equal(
+            sorted_membership_mask(ips, targets), expected)
+
+    @given(sorted_ip_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_empty_targets_matches_nothing(self, ips):
+        assert not sorted_membership_mask(
+            ips, np.array([], dtype=np.uint32)).any()
+
+    @given(sorted_ip_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_self_targets_match_everything(self, ips):
+        assert sorted_membership_mask(ips, ips).all()
