@@ -1,8 +1,8 @@
 # Convenience targets.  In offline environments without the `wheel`
 # package, `make install` falls back to the legacy setuptools path.
 
-.PHONY: install test test-parallel bench bench-show profile examples \
-	report all
+.PHONY: install test test-parallel bench bench-show profile trace \
+	examples report all
 
 install:
 	pip install -e . || python setup.py develop
@@ -30,6 +30,13 @@ bench-show:
 #   make profile PROFILE_ARGS=--unplanned
 profile:
 	python -m repro profile --scale 1.0 $(PROFILE_ARGS)
+
+# Run a telemetry-instrumented campaign and render its run journal
+# (span tree, manifest, top counters).
+trace:
+	python -m repro simulate /tmp/repro-trace --scale 0.1 \
+		--telemetry /tmp/repro-trace.ndjson
+	python -m repro trace /tmp/repro-trace.ndjson
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

@@ -27,12 +27,17 @@ import pytest
 from repro.sim.campaign import run_campaign
 from repro.sim.executor import BACKENDS
 from repro.sim.scenario import followup_scenario, paper_scenario
+from repro.telemetry import Telemetry
 
 #: One seed for the whole harness so printed numbers match EXPERIMENTS.md.
 SEED = 1
 
 #: Repo root, where ``BENCH_<n>.json`` trajectory artifacts accumulate.
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Telemetry journal of the shared campaign builds (overwritten per run;
+#: the BENCH artifact records its path and plan-cache totals).
+BENCH_JOURNAL = REPO_ROOT / "bench_journal.ndjson"
 
 
 def pytest_addoption(parser):
@@ -57,18 +62,33 @@ def campaign_execution(request):
 
 
 @pytest.fixture(scope="session")
+def bench_telemetry(request):
+    """Session telemetry collector journaling the campaign builds.
+
+    The journal lands at :data:`BENCH_JOURNAL`; the session-finish hook
+    reads the plan-cache counters out of this collector into the BENCH
+    trajectory artifact.
+    """
+    tel = Telemetry(journal=BENCH_JOURNAL)
+    request.config._bench_telemetry = tel
+    yield tel
+    tel.close()
+
+
+@pytest.fixture(scope="session")
 def paper_world():
     world, origins, config = paper_scenario(seed=SEED)
     return world, origins, config
 
 
 @pytest.fixture(scope="session")
-def paper_ds(paper_world, campaign_execution):
+def paper_ds(paper_world, campaign_execution, bench_telemetry):
     """The main experiment: 3 trials × 3 protocols × 8 origin configs."""
     world, origins, config = paper_world
     executor, workers = campaign_execution
     return run_campaign(world, origins, config, n_trials=3,
-                        executor=executor, workers=workers)
+                        executor=executor, workers=workers,
+                        telemetry=bench_telemetry)
 
 
 @pytest.fixture(scope="session")
@@ -78,12 +98,13 @@ def followup_world():
 
 
 @pytest.fixture(scope="session")
-def followup_ds(followup_world, campaign_execution):
+def followup_ds(followup_world, campaign_execution, bench_telemetry):
     """The §7 follow-up: 2 HTTP trials with the colocated Tier-1 triad."""
     world, origins, config = followup_world
     executor, workers = campaign_execution
     return run_campaign(world, origins, config, protocols=("http",),
-                        n_trials=2, executor=executor, workers=workers)
+                        n_trials=2, executor=executor, workers=workers,
+                        telemetry=bench_telemetry)
 
 
 def bench_once(benchmark, fn):
@@ -144,6 +165,16 @@ def pytest_sessionfinish(session, exitstatus):
         },
         "benchmarks": benchmarks,
     }
+    tel = getattr(session.config, "_bench_telemetry", None)
+    if tel is not None:
+        tel.close()
+        payload["telemetry"] = {
+            "journal": tel.journal_path,
+            "plan_cache": {
+                "hits": int(tel.counters.total("cache.plan_hit")),
+                "misses": int(tel.counters.total("cache.plan_miss")),
+            },
+        }
     path = _next_bench_path()
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\n[bench] wrote {path.name} "

@@ -1,0 +1,120 @@
+"""Telemetry overhead guard on the paper-scale observe hot path.
+
+The telemetry subsystem promises a near-free disabled path: with no
+active collector, ``current()`` returns a shared no-op singleton and the
+instrumented call sites reduce to one attribute check.  This module pins
+that promise on the warm planned observation (the PR-2 acceptance path):
+
+* **disabled** telemetry must stay within :data:`OVERHEAD_CEILING` of
+  the planned-path baseline.  Both quantities are measured in the same
+  session (the instrumentation is compiled in either way, so two
+  interleaved disabled measurements bracket exactly the no-op cost);
+* **enabled** telemetry (full spans + counters, no journal I/O) gets a
+  looser sanity ceiling — the collector does real per-stage work, but it
+  must never dominate the numpy hot path.
+
+The assertions are hardware-gated like the parallel-speedup guard: on a
+starved single-core runner, scheduler noise alone exceeds the ceiling,
+so the numbers are printed but not asserted.
+
+Run with::
+
+    pytest benchmarks/test_perf_telemetry.py -s
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+from repro.scanner.zmap import ZMapScanner
+from repro.telemetry import Telemetry, disabled
+
+#: Maximum tolerated cost of *disabled* telemetry on a warm planned
+#: paper-scale observation (the acceptance criterion): ≤5 %.
+OVERHEAD_CEILING = 0.05
+
+#: Sanity ceiling for the *enabled* collector (spans + counters, no
+#: journal): it must stay a small fraction of the observation.
+ENABLED_CEILING = 0.25
+
+#: Rounds per measurement; medians squeeze out scheduler hiccups.
+ROUNDS = 15
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _median_ms(fn, rounds=ROUNDS):
+    fn()  # warm caches (plan, per-AS tables, loss params)
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples) * 1000.0
+
+
+def test_perf_telemetry_overhead_guard(paper_world):
+    world, origins, config = paper_world
+    scanner = ZMapScanner(config)
+    names = tuple(o.name for o in origins)
+    au = origins[0]
+
+    def observe():
+        return world.observe("http", 0, au, scanner, names)
+
+    # Interleave the measurements (disabled, enabled, disabled) so a
+    # machine drifting during the test cannot bias one side.
+    assert disabled()
+    first_ms = _median_ms(observe)
+
+    with Telemetry() as tel:
+        enabled_ms = _median_ms(observe)
+    assert tel.counters.total("observe.calls") == ROUNDS + 1
+    assert tel.counters.total("observe.services") > 0
+
+    assert disabled()
+    second_ms = _median_ms(observe)
+
+    floor_ms = min(first_ms, second_ms)
+    # The two disabled medians bracket the no-op path's cost: if the
+    # disabled fast path regressed (e.g. allocation crept into the
+    # current()-check), they cannot agree this tightly on idle hardware.
+    disabled_overhead = max(first_ms, second_ms) / floor_ms - 1.0
+    enabled_overhead = enabled_ms / floor_ms - 1.0
+    cpus = _available_cpus()
+    print(f"\n[telemetry] disabled {first_ms:.2f}/{second_ms:.2f} ms "
+          f"(spread {disabled_overhead:+.1%}), "
+          f"enabled {enabled_ms:.2f} ms ({enabled_overhead:+.1%}); "
+          f"{cpus} CPUs visible")
+
+    if cpus >= 2:
+        assert disabled_overhead <= OVERHEAD_CEILING, (
+            f"disabled-telemetry observations disagree by "
+            f"{disabled_overhead:.1%} (ceiling: {OVERHEAD_CEILING:.0%}) — "
+            f"the no-op fast path is not flat")
+        assert enabled_overhead <= ENABLED_CEILING, (
+            f"enabled telemetry costs {enabled_overhead:.1%} on the warm "
+            f"planned observation (ceiling: {ENABLED_CEILING:.0%})")
+    else:  # pragma: no cover - starved runner
+        assert enabled_ms > 0.0
+
+
+def test_perf_observe_telemetry_enabled(benchmark, paper_world):
+    """Benchmark record: the planned observation under a live collector
+    (no journal I/O), for the BENCH trajectory."""
+    world, origins, config = paper_world
+    scanner = ZMapScanner(config)
+    names = tuple(o.name for o in origins)
+    au = origins[0]
+    world.observe("http", 0, au, scanner, names)
+    with Telemetry():
+        result = benchmark(
+            lambda: world.observe("http", 0, au, scanner, names))
+    assert len(result) > 50_000

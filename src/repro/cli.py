@@ -7,7 +7,9 @@ Three commands mirror the library's workflow:
 * ``report`` — load a dataset directory and print the full §3–§7 analysis
   report;
 * ``coverage`` — load a dataset directory and print/export the coverage
-  tables.
+  tables;
+* ``trace`` — summarize a telemetry journal written by
+  ``simulate --telemetry`` (span tree, manifest, top counters).
 """
 
 from __future__ import annotations
@@ -55,6 +57,19 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--workers", type=int, default=None,
                           help="pool size for thread/process backends "
                                "(default: REPRO_WORKERS env or CPU count)")
+    simulate.add_argument("--telemetry", default=None, metavar="PATH",
+                          help="write an NDJSON telemetry journal (spans, "
+                               "counters, run manifest) to this file; "
+                               "inspect it with 'repro trace PATH'")
+
+    trace = commands.add_parser(
+        "trace", help="summarize a telemetry journal "
+                      "(simulate --telemetry)")
+    trace.add_argument("journal", help="NDJSON journal file")
+    trace.add_argument("--depth", type=int, default=6,
+                       help="maximum span-tree depth to render")
+    trace.add_argument("--top", type=int, default=20,
+                       help="number of counters to show")
 
     report = commands.add_parser(
         "report", help="print the full analysis report for a dataset")
@@ -103,7 +118,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     dataset = run_campaign(world, origins, config,
                            protocols=tuple(args.protocols),
                            n_trials=args.trials,
-                           executor=args.executor, workers=args.workers)
+                           executor=args.executor, workers=args.workers,
+                           telemetry=args.telemetry)
     execution = dataset.metadata["execution"]
     print(f"executed {execution['n_jobs']} observation jobs via "
           f"{execution['backend']}×{execution['workers']} in "
@@ -112,6 +128,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     save_campaign(dataset, args.output)
     print(f"wrote {len(dataset)} trial files to {args.output}/",
           file=sys.stderr)
+    if args.telemetry:
+        print(f"telemetry journal: {args.telemetry} "
+              f"(inspect with 'repro trace {args.telemetry}')",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import read_journal, render_trace
+    try:
+        journal = read_journal(args.journal)
+    except OSError as error:
+        print(f"cannot read journal: {error}", file=sys.stderr)
+        return 1
+    print(render_trace(journal, max_depth=args.depth, top=args.top))
+    if journal.skipped:
+        print(f"({journal.skipped} malformed record(s) skipped)",
+              file=sys.stderr)
     return 0
 
 
@@ -213,6 +247,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "simulate": _cmd_simulate,
+        "trace": _cmd_trace,
         "report": _cmd_report,
         "coverage": _cmd_coverage,
         "plan": _cmd_plan,

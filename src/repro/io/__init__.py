@@ -1,11 +1,13 @@
 """Dataset import/export: ndjson scan records and CSV summaries."""
 
-from repro.io.ndjson import load_campaign, save_campaign
+from repro.io.ndjson import (load_campaign, read_ndjson_records,
+                             save_campaign)
 from repro.io.csv import write_coverage_csv
 from repro.io.zmap import assemble_trial, read_zgrab_ndjson, read_zmap_csv
 
 __all__ = [
     "load_campaign",
+    "read_ndjson_records",
     "save_campaign",
     "write_coverage_csv",
     "assemble_trial",

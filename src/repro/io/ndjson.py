@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Tuple, Union
 
 import numpy as np
 
@@ -39,6 +39,35 @@ _L7_NAMES = {
 _L7_CODES = {name: int(code) for code, name in _L7_NAMES.items()}
 
 _MANIFEST = "campaign.json"
+
+
+def read_ndjson_records(path: Union[str, os.PathLike]
+                        ) -> Tuple[List[dict], int]:
+    """Read NDJSON objects tolerantly: ``(records, n_skipped)``.
+
+    Blank lines are ignored; lines that fail to parse as JSON — or parse
+    to something other than an object — are skipped and counted rather
+    than raised.  Telemetry journals are read through this (a crashed run
+    leaves a truncated final line exactly when the journal matters most),
+    and real scan data imported from elsewhere gets the same tolerance.
+    """
+    records: List[dict] = []
+    skipped = 0
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict):
+                skipped += 1
+                continue
+            records.append(record)
+    return records, skipped
 
 
 def _trial_filename(protocol: str, trial: int) -> str:

@@ -16,7 +16,9 @@ bit-identical regardless of backend or scheduling.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -28,6 +30,8 @@ from repro.scanner.zmap import ZMapConfig
 from repro.sim.executor import Executor, ObservationJob, ProgressCallback, \
     make_executor
 from repro.sim.world import Observation, World
+from repro.telemetry.context import Telemetry, current as _telemetry, use
+from repro.telemetry.manifest import build_manifest
 from repro.topology.asn import PROTOCOLS
 
 
@@ -52,6 +56,11 @@ class Campaign:
     #: ``False`` forces the unplanned reference path — byte-identical
     #: output, used by the differential test suite.
     planned: bool = True
+    #: Telemetry for the run: a journal path (a fresh collector is opened
+    #: and closed around the run), an existing
+    #: :class:`~repro.telemetry.context.Telemetry`, or ``None`` to use
+    #: whatever context is ambient (usually none — zero overhead).
+    telemetry: Union[str, os.PathLike, Telemetry, None] = None
 
     def __post_init__(self) -> None:
         if self.n_trials < 1:
@@ -64,7 +73,8 @@ class Campaign:
         return run_campaign(self.world, self.origins, self.zmap,
                             self.protocols, self.n_trials,
                             executor=self.executor, workers=self.workers,
-                            planned=self.planned)
+                            planned=self.planned,
+                            telemetry=self.telemetry)
 
 
 def build_observation_grid(origins: Sequence[Origin], zmap: ZMapConfig,
@@ -106,7 +116,8 @@ def run_campaign(world: World, origins: Sequence[Origin],
                  executor: Union[str, Executor, None] = None,
                  workers: Optional[int] = None,
                  progress: Optional[ProgressCallback] = None,
-                 planned: bool = True
+                 planned: bool = True,
+                 telemetry: Union[str, os.PathLike, Telemetry, None] = None
                  ) -> CampaignDataset:
     """Execute every (protocol, trial, origin) scan and collect results.
 
@@ -122,35 +133,76 @@ def run_campaign(world: World, origins: Sequence[Origin],
     ``metadata["execution"]`` (including per-stage observe timings when
     ``planned``).  ``planned=False`` routes every observation through the
     unplanned reference path — byte-identical results, no plan caching.
+
+    ``telemetry`` turns on run instrumentation: pass a journal path (an
+    NDJSON journal plus run manifest is written there), a live
+    :class:`~repro.telemetry.context.Telemetry` (the caller keeps
+    ownership; the manifest is still emitted), or ``None`` to inherit the
+    ambient context — usually the disabled no-op, which costs nothing.
     """
-    jobs = build_observation_grid(origins, zmap, protocols, n_trials,
-                                  planned=planned)
-    backend = make_executor(executor, workers)
-    observations, report = backend.run_grid(world, jobs, progress=progress)
+    owned: Optional[Telemetry] = None
+    if telemetry is None:
+        tel = _telemetry()
+        activate = contextlib.nullcontext()
+    elif isinstance(telemetry, Telemetry):
+        tel = telemetry
+        activate = use(tel)
+    else:
+        owned = tel = Telemetry(journal=telemetry)
+        activate = use(tel)
+    try:
+        with activate:
+            return _run_campaign(world, origins, zmap, protocols, n_trials,
+                                 executor, workers, progress, planned, tel)
+    finally:
+        if owned is not None:
+            owned.close()
 
-    grouped: Dict[Tuple[str, int], List[int]] = {}
-    for job in jobs:
-        grouped.setdefault((job.protocol, job.trial), []).append(job.index)
 
-    tables: List[TrialData] = []
-    for (protocol, trial), indices in grouped.items():
-        config = jobs[indices[0]].config
-        tables.append(_stack(
-            protocol, trial,
-            [jobs[i].origin.name for i in indices],
-            [observations[i] for i in indices],
-            config.n_probes))
+def _run_campaign(world: World, origins: Sequence[Origin],
+                  zmap: ZMapConfig, protocols: Sequence[str],
+                  n_trials: int, executor, workers, progress, planned,
+                  tel) -> CampaignDataset:
+    with tel.span("campaign.run", seed=zmap.seed,
+                  protocols=list(protocols), n_trials=n_trials,
+                  origins=[o.name for o in origins]):
+        jobs = build_observation_grid(origins, zmap, protocols, n_trials,
+                                      planned=planned)
+        backend = make_executor(executor, workers)
+        observations, report = backend.run_grid(world, jobs,
+                                                progress=progress)
 
-    metadata = {
-        "seed": zmap.seed,
-        "n_probes": zmap.n_probes,
-        "probe_spacing_s": zmap.probe_spacing_s,
-        "pps": zmap.pps,
-        "scan_duration_s": zmap.scan_duration_s,
-        "origins": [o.name for o in origins],
-        "n_trials": n_trials,
-        "execution": report.to_metadata(),
-    }
+        grouped: Dict[Tuple[str, int], List[int]] = {}
+        for job in jobs:
+            grouped.setdefault((job.protocol, job.trial),
+                               []).append(job.index)
+
+        with tel.span("campaign.assemble", n_tables=len(grouped)):
+            tables: List[TrialData] = []
+            for (protocol, trial), indices in grouped.items():
+                config = jobs[indices[0]].config
+                tables.append(_stack(
+                    protocol, trial,
+                    [jobs[i].origin.name for i in indices],
+                    [observations[i] for i in indices],
+                    config.n_probes))
+
+        metadata: Dict[str, object] = {
+            "seed": zmap.seed,
+            "n_probes": zmap.n_probes,
+            "probe_spacing_s": zmap.probe_spacing_s,
+            "pps": zmap.pps,
+            "scan_duration_s": zmap.scan_duration_s,
+            "origins": [o.name for o in origins],
+            "n_trials": n_trials,
+            "execution": report.to_metadata(),
+        }
+        if tel.enabled:
+            manifest = build_manifest(world, zmap, origins, protocols,
+                                      n_trials, report, tel)
+            tel.emit({"t": "manifest", **manifest})
+            metadata["telemetry"] = {"journal": tel.journal_path,
+                                     "manifest": manifest}
     return CampaignDataset(tables, metadata=metadata)
 
 

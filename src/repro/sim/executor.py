@@ -47,6 +47,7 @@ from repro.origins import Origin
 from repro.scanner.zmap import ZMapConfig, ZMapScanner
 from repro.sim.plan import ObserveProfile
 from repro.sim.world import Observation, World
+from repro.telemetry.context import Telemetry, current as _telemetry, use
 
 #: Environment variables consulted when no executor is passed explicitly;
 #: they let an entire test run (``make test-parallel``) exercise the
@@ -92,6 +93,10 @@ class JobResult:
     #: Per-stage wall times of this observation (planned jobs only),
     #: as ``(stage, seconds)`` pairs.
     stages: Tuple[Tuple[str, float], ...] = ()
+    #: Job-local telemetry snapshot (:meth:`Telemetry.snapshot`), present
+    #: when the grid ran under an active telemetry context.  Plain data,
+    #: so it crosses the process-pool pickle boundary unchanged.
+    telemetry: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -142,19 +147,43 @@ class ExecutionReport:
         }
 
 
-def run_job(world: World, job: ObservationJob) -> JobResult:
-    """Execute one observation job against a world (any backend)."""
+def run_job(world: World, job: ObservationJob,
+            collect: bool = False) -> JobResult:
+    """Execute one observation job against a world (any backend).
+
+    With ``collect=True`` the job runs under a fresh job-local
+    :class:`~repro.telemetry.context.Telemetry` whose snapshot rides back
+    in the result; the parent adopts snapshots in job-index order, so the
+    merged journal and counter totals are identical no matter which
+    worker (or backend) ran the job.
+    """
     start = time.perf_counter()
     scanner = ZMapScanner(job.config)
     profile = ObserveProfile() if job.planned else None
-    observation = world.observe(
-        job.protocol, job.trial, job.origin, scanner, job.origin_names,
-        first_trial=job.first_trial,
-        plan=None if job.planned else False, profile=profile)
-    wall = time.perf_counter() - start
     worker = f"{os.getpid()}/{threading.current_thread().name}"
+    snapshot = None
+    if collect:
+        job_tel = Telemetry()
+        with use(job_tel):
+            with job_tel.span("executor.job", index=job.index,
+                              protocol=job.protocol, trial=job.trial,
+                              origin=job.origin.name):
+                observation = world.observe(
+                    job.protocol, job.trial, job.origin, scanner,
+                    job.origin_names, first_trial=job.first_trial,
+                    plan=None if job.planned else False, profile=profile)
+        job_tel.count("executor.jobs", 1)
+        job_tel.count("runtime.worker_jobs", 1, worker=worker)
+        snapshot = job_tel.snapshot()
+    else:
+        observation = world.observe(
+            job.protocol, job.trial, job.origin, scanner, job.origin_names,
+            first_trial=job.first_trial,
+            plan=None if job.planned else False, profile=profile)
+    wall = time.perf_counter() - start
     stages = tuple(profile.stage_s.items()) if profile is not None else ()
-    return JobResult(job.index, observation, wall, worker, stages)
+    return JobResult(job.index, observation, wall, worker, stages,
+                     snapshot)
 
 
 class Executor(ABC):
@@ -171,15 +200,37 @@ class Executor(ABC):
 
     @abstractmethod
     def _execute(self, world: World, jobs: Sequence[ObservationJob],
-                 progress: Optional[ProgressCallback]) -> List[JobResult]:
-        """Run every job, in any order, returning all results."""
+                 progress: Optional[ProgressCallback],
+                 collect: bool) -> List[JobResult]:
+        """Run every job, in any order, returning all results.
+
+        ``collect`` asks each job to gather a job-local telemetry
+        snapshot (see :func:`run_job`); backends must forward it across
+        their worker boundary.
+        """
 
     def run_grid(self, world: World, jobs: Sequence[ObservationJob],
                  progress: Optional[ProgressCallback] = None
                  ) -> Tuple[List[Observation], ExecutionReport]:
-        """Run the grid; observations come back in job-index order."""
+        """Run the grid; observations come back in job-index order.
+
+        Under an active telemetry context the whole grid runs inside an
+        ``executor.run_grid`` span, and every job's telemetry snapshot is
+        adopted — in job-index order, regardless of completion order —
+        into the parent collector, so journals and counter totals are
+        deterministic across backends and worker counts.
+        """
+        tel = _telemetry()
         start = time.perf_counter()
-        results = self._execute(world, jobs, progress)
+        if tel.enabled:
+            with tel.span("executor.run_grid", backend=self.name,
+                          workers=self.workers,
+                          n_jobs=len(jobs)) as grid_span:
+                results = self._execute(world, jobs, progress, True)
+            grid_id = grid_span.span_id
+        else:
+            results = self._execute(world, jobs, progress, False)
+            grid_id = None
         wall = time.perf_counter() - start
         if len(results) != len(jobs):
             raise RuntimeError(
@@ -187,6 +238,14 @@ class Executor(ABC):
                 f"{len(jobs)} jobs")
         by_index: Dict[int, JobResult] = {r.index: r for r in results}
         ordered = [by_index[job.index] for job in jobs]
+        if tel.enabled:
+            for result in ordered:
+                if result.telemetry is not None:
+                    tel.adopt(result.telemetry,
+                              prefix=f"j{result.index}.",
+                              parent_id=grid_id)
+                tel.observe_value("runtime.job_wall_s", result.wall_s,
+                                  backend=self.name)
         stage_totals: Dict[str, float] = {}
         for result in ordered:
             for stage, seconds in result.stages:
@@ -198,7 +257,9 @@ class Executor(ABC):
             wall_s=wall,
             job_wall_s=tuple(r.wall_s for r in ordered),
             workers_used=len({r.worker for r in ordered}),
-            stage_s=tuple(stage_totals.items()))
+            # Sorted by stage name: completion order must never leak into
+            # metadata (thread workers finish in nondeterministic order).
+            stage_s=tuple(sorted(stage_totals.items())))
         return [r.observation for r in ordered], report
 
 
@@ -211,10 +272,11 @@ class SerialExecutor(Executor):
         super().__init__(1)
 
     def _execute(self, world: World, jobs: Sequence[ObservationJob],
-                 progress: Optional[ProgressCallback]) -> List[JobResult]:
+                 progress: Optional[ProgressCallback],
+                 collect: bool) -> List[JobResult]:
         results: List[JobResult] = []
         for done, job in enumerate(jobs, start=1):
-            results.append(run_job(world, job))
+            results.append(run_job(world, job, collect=collect))
             if progress is not None:
                 progress(done, len(jobs), job)
         return results
@@ -231,27 +293,30 @@ class ThreadExecutor(Executor):
     name = "thread"
 
     def _execute(self, world: World, jobs: Sequence[ObservationJob],
-                 progress: Optional[ProgressCallback]) -> List[JobResult]:
+                 progress: Optional[ProgressCallback],
+                 collect: bool) -> List[JobResult]:
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            futures = {pool.submit(run_job, world, job): job
+            futures = {pool.submit(run_job, world, job, collect): job
                        for job in jobs}
             return _drain(futures, len(jobs), progress)
 
 
-# Module-level slot for the per-process world; set by the pool
-# initializer, read by every job the worker runs.
+# Module-level slots for the per-process world and telemetry flag; set
+# by the pool initializer, read by every job the worker runs.
 _WORKER_WORLD: Optional[World] = None
+_WORKER_COLLECT: bool = False
 
 
-def _process_init(payload: bytes) -> None:
-    global _WORKER_WORLD
+def _process_init(payload: bytes, collect: bool = False) -> None:
+    global _WORKER_WORLD, _WORKER_COLLECT
     _WORKER_WORLD = pickle.loads(payload)
+    _WORKER_COLLECT = collect
 
 
 def _process_run_job(job: ObservationJob) -> JobResult:
     if _WORKER_WORLD is None:
         raise RuntimeError("worker process was not initialized with a world")
-    return run_job(_WORKER_WORLD, job)
+    return run_job(_WORKER_WORLD, job, collect=_WORKER_COLLECT)
 
 
 class ProcessExecutor(Executor):
@@ -275,13 +340,14 @@ class ProcessExecutor(Executor):
         self.start_method = start_method
 
     def _execute(self, world: World, jobs: Sequence[ObservationJob],
-                 progress: Optional[ProgressCallback]) -> List[JobResult]:
+                 progress: Optional[ProgressCallback],
+                 collect: bool) -> List[JobResult]:
         payload = pickle.dumps(world, protocol=pickle.HIGHEST_PROTOCOL)
         context = multiprocessing.get_context(self.start_method)
         with ProcessPoolExecutor(max_workers=self.workers,
                                  mp_context=context,
                                  initializer=_process_init,
-                                 initargs=(payload,)) as pool:
+                                 initargs=(payload, collect)) as pool:
             futures = {pool.submit(_process_run_job, job): job
                        for job in jobs}
             return _drain(futures, len(jobs), progress)

@@ -100,19 +100,34 @@ class ObserveProfile:
 
 
 class _StageTimer:
-    """Stamps stage boundaries into one or more profiles."""
+    """Stamps stage boundaries into one or more profiles.
 
-    __slots__ = ("profiles", "_last")
+    When an enabled telemetry context is passed, every stamp also emits
+    an ``observe.<stage>`` child span (wall + CPU time) into it — the
+    stage spans of the run journal and the :class:`ObserveProfile`
+    numbers come from the same boundary, so they can never disagree.
+    """
 
-    def __init__(self, *profiles: Optional[ObserveProfile]) -> None:
+    __slots__ = ("profiles", "_last", "_tel", "_cpu_last")
+
+    def __init__(self, *profiles: Optional[ObserveProfile],
+                 tel=None) -> None:
         self.profiles = [p for p in profiles if p is not None]
+        self._tel = tel if tel is not None and tel.enabled else None
         self._last = time.perf_counter()
+        self._cpu_last = time.process_time() if self._tel else 0.0
 
     def stamp(self, stage: str) -> None:
         now = time.perf_counter()
+        elapsed = now - self._last
         for profile in self.profiles:
-            profile.add(stage, now - self._last)
+            profile.add(stage, elapsed)
         self._last = now
+        if self._tel is not None:
+            cpu_now = time.process_time()
+            self._tel.span_event(f"observe.{stage}", elapsed,
+                                 cpu_now - self._cpu_last)
+            self._cpu_last = cpu_now
 
     def finish(self, n_services: int) -> None:
         for profile in self.profiles:
@@ -181,6 +196,9 @@ class PolicyEntry:
     #: True → TCP completes but the handshake is dropped (block pages);
     #: False → silent L4 drop.
     to_l7_drop: bool
+    #: Blocking cause for telemetry attribution
+    #: (``reputation`` / ``static`` / ``regional``).
+    cause: str = "static"
 
     def coverage_in_trial(self, trial: int) -> float:
         if self.full_coverage_from_trial > 0 \

@@ -42,6 +42,7 @@ from repro.scanner.zmap import ZMapConfig, ZMapScanner
 from repro.sim.plan import (ASGrouping, CompiledOriginPolicy, IDSEntry,
                             ObservationPlan, ObserveProfile, PolicyEntry,
                             _StageTimer, sorted_membership_mask)
+from repro.telemetry.context import current as _telemetry
 from repro.topology.generator import Topology
 
 
@@ -326,16 +327,29 @@ class World:
         invalidates cached plans automatically; scanner configurations are
         immutable value objects, so they key the cache directly.
         """
+        tel = _telemetry()
         key = (protocol, scanner.config)
         plan = self._plans.get(key)
         if plan is not None and plan.geo_version == self.topology.geoip.version:
+            if tel.enabled:
+                tel.count("cache.plan_hit", 1, protocol=protocol)
             return plan
+        if tel.enabled:
+            tel.count("cache.plan_miss", 1, protocol=protocol)
         plan = self._build_plan(protocol, scanner)
         self._plans[key] = plan
         return plan
 
     def _build_plan(self, protocol: str,
                     scanner: ZMapScanner) -> ObservationPlan:
+        # Plan compilation is process-local work (each pool worker
+        # rebuilds lazily), so its span lives in the excluded ``cache.``
+        # namespace — span counts under it may differ across backends.
+        with _telemetry().span("cache.plan_build", protocol=protocol):
+            return self._compile_plan(protocol, scanner)
+
+    def _compile_plan(self, protocol: str,
+                      scanner: ZMapScanner) -> ObservationPlan:
         view = self.hosts.for_protocol(protocol)
         ips = view.ip
         as_index = view.as_index
@@ -410,7 +424,8 @@ class World:
                     full_coverage_from_trial=(
                         fw.full_coverage_from_trial
                         if fw.full_coverage_from_trial > 0 else -1),
-                    to_l7_drop=False))
+                    to_l7_drop=False,
+                    cause="reputation"))
             sb = spec.static_block
             if sb is not None and sb.blocks(origin):
                 static_entries.append(PolicyEntry(
@@ -418,7 +433,8 @@ class World:
                     stream_key=coverage_stream_key(self._rng, i, "static"),
                     coverage=sb.coverage,
                     full_coverage_from_trial=-1,
-                    to_l7_drop=False))
+                    to_l7_drop=False,
+                    cause="static"))
             rp = spec.regional_policy
             if rp is not None and rp.blocks(origin):
                 static_entries.append(PolicyEntry(
@@ -426,7 +442,8 @@ class World:
                     stream_key=coverage_stream_key(self._rng, i, "regional"),
                     coverage=rp.coverage,
                     full_coverage_from_trial=-1,
-                    to_l7_drop=bool(rp.responds_with_block_page)))
+                    to_l7_drop=bool(rp.responds_with_block_page),
+                    cause="regional"))
 
         ids_entries = []
         for i in plan.ids_systems:
@@ -480,7 +497,44 @@ class World:
         byte-identical in every Observation field.  ``profile`` (planned
         path only) receives per-stage wall times for this call in addition
         to the plan's cumulative profile.
+
+        When a telemetry context is active (:mod:`repro.telemetry`), every
+        call emits an ``observe`` span (with ``observe.<stage>`` children
+        on the planned path) plus probe/blocking counters; with telemetry
+        disabled — the default — the only cost is one contextvar read.
+        Telemetry never perturbs results: observations are byte-identical
+        with and without it.
         """
+        tel = _telemetry()
+        if tel.enabled:
+            with tel.span("observe", protocol=protocol, trial=trial,
+                          origin=origin.name,
+                          planned=plan is not False) as obs_span:
+                observation = self._observe(
+                    protocol, trial, origin, scanner, all_origin_names,
+                    first_trial, targets, plan, profile)
+                n = len(observation)
+                obs_span.set(n_services=n)
+                tel.count("observe.calls", 1,
+                          protocol=protocol, origin=origin.name)
+                tel.count("observe.services", n,
+                          protocol=protocol, origin=origin.name)
+                tel.count("observe.probes_sent",
+                          n * scanner.config.n_probes,
+                          protocol=protocol, origin=origin.name)
+                tel.observe_value("observe.services_per_call", n,
+                                  protocol=protocol)
+                return observation
+        return self._observe(protocol, trial, origin, scanner,
+                             all_origin_names, first_trial, targets, plan,
+                             profile)
+
+    def _observe(self, protocol: str, trial: int, origin: Origin,
+                 scanner: ZMapScanner, all_origin_names: Tuple[str, ...],
+                 first_trial: int, targets: Optional[np.ndarray],
+                 plan: Union[ObservationPlan, bool, None],
+                 profile: Optional[ObserveProfile]) -> Observation:
+        """Dispatch to the planned or unplanned evaluation path."""
         if plan is not False:
             if plan is None:
                 plan = self.plan(protocol, scanner)
@@ -649,7 +703,8 @@ class World:
         exactly; AS membership comes from the plan's CSR grouping instead
         of ``as_idx == i`` scans.
         """
-        timer = _StageTimer(plan.profile, profile)
+        tel = _telemetry()
+        timer = _StageTimer(plan.profile, profile, tel=tel)
         view = self.hosts.for_protocol(protocol)
         present = self.churn.present_mask(view.ip, protocol, trial,
                                           stable=plan.stable_full)
@@ -681,12 +736,14 @@ class World:
         l7_drop_block = np.zeros(n, dtype=bool)
         if policy.static_entries:
             pos_parts, key_parts, cov_parts, drop_parts = [], [], [], []
+            entry_parts = []
             for entry in policy.static_entries:
                 pos = plan.grouping.members_in(entry.as_index,
                                                position_of_row)
                 if len(pos) == 0:
                     continue
                 pos_parts.append(pos)
+                entry_parts.append(entry)
                 key_parts.append(np.full(len(pos), entry.stream_key,
                                          dtype=np.uint64))
                 cov_parts.append(np.full(len(pos),
@@ -701,6 +758,22 @@ class World:
                 to_drop = np.concatenate(drop_parts)
                 silent_block[pos_all[covered & ~to_drop]] = True
                 l7_drop_block[pos_all[covered & to_drop]] = True
+                if tel.enabled:
+                    # Per-cause attribution in three vectorized ops (a
+                    # per-entry slice-sum loop would dominate the
+                    # enabled-path overhead at paper scale).
+                    causes = sorted({e.cause for e in entry_parts})
+                    code_of = {c: i for i, c in enumerate(causes)}
+                    codes = np.repeat(
+                        np.array([code_of[e.cause] for e in entry_parts]),
+                        [len(p) for p in pos_parts])
+                    hits = np.bincount(codes[covered],
+                                       minlength=len(causes))
+                    for cause, hit in zip(causes, hits):
+                        if hit:
+                            tel.count("observe.hosts_blocked", int(hit),
+                                      cause=cause, protocol=protocol,
+                                      origin=origin.name)
         timer.stamp("l4_static")
 
         ids_block = np.zeros(n, dtype=bool)
@@ -719,6 +792,10 @@ class World:
                     np.full(len(pos), entry.stream_key, dtype=np.uint64),
                     host_ids[pos], np.full(len(pos), entry.coverage))
             ids_block[pos[hit]] = True
+            if tel.enabled and hit.any():
+                tel.count("observe.hosts_blocked", int(hit.sum()),
+                          cause="ids", protocol=protocol,
+                          origin=origin.name)
         l4_filtered = silent_block | ids_block
         timer.stamp("l4_ids")
 
@@ -753,27 +830,54 @@ class World:
 
         probe_mask = np.zeros(n, dtype=np.uint8)
         epoch_memo: dict = {}
+        probes_lost = 0
+        outage_lost = 0
         for probe_no in range(n_probes):
             times_k = first_times + probe_offsets[probe_no]
             delivered = loss.probe_delivered(
                 host_ids, as_idx, times_k, trial, probe_no,
                 effective_epoch, random_rates, persistent_fracs,
                 persist_u=persist_u, epoch_memo=epoch_memo)
+            if tel.enabled:
+                probes_lost += n - int(delivered.sum())
             ok = delivered & ~l4_filtered
+            # Outage accounting as a per-probe delta (one reduction per
+            # probe, not one per affected AS — there can be hundreds).
+            before_outages = int(ok.sum()) \
+                if tel.enabled and active_members else 0
             for pos, windows in active_members:
                 member_times = times_k[pos]
                 hit = np.zeros(len(pos), dtype=bool)
                 for start, end in windows:
                     hit |= (member_times >= start) & (member_times < end)
                 ok[pos[hit]] = False
+            if tel.enabled and active_members:
+                outage_lost += before_outages - int(ok.sum())
             probe_mask |= ok.astype(np.uint8) << np.uint8(probe_no)
 
+        wobbled = 0
         if self.defaults.churner_wobble > 0.0:
             churners = ~plan.stable_full[keep]
             wobble = self._rng.derive("wobble").bernoulli_array(
                 self.defaults.churner_wobble, host_ids,
                 protocol, origin.name, trial)
-            probe_mask[churners & wobble] = 0
+            zeroed = churners & wobble
+            probe_mask[zeroed] = 0
+            if tel.enabled:
+                wobbled = int(zeroed.sum())
+        if tel.enabled:
+            # One correlated-loss evaluation per (host, distinct epoch
+            # pattern): the per-/24-style shared-fate draw volume.
+            tel.count("observe.loss_draws", len(epoch_memo) * n,
+                      protocol=protocol, origin=origin.name)
+            tel.count("observe.probes_lost", probes_lost,
+                      protocol=protocol, origin=origin.name)
+            if outage_lost:
+                tel.count("observe.probes_outage_lost", outage_lost,
+                          protocol=protocol, origin=origin.name)
+            if wobbled:
+                tel.count("observe.hosts_wobbled", wobbled,
+                          protocol=protocol, origin=origin.name)
         timer.stamp("path")
 
         l4_success = probe_mask > 0
@@ -800,6 +904,10 @@ class World:
                 continue
             hit = first_times[pos] >= detect
             l7[pos[hit]] = int(L7Status.L4_CLOSE_RST)
+            if tel.enabled and hit.any():
+                tel.count("observe.hosts_blocked", int(hit.sum()),
+                          cause="temporal_rst", protocol=protocol,
+                          origin=origin.name)
 
         if protocol == "ssh":
             candidates = l7 == int(L7Status.SUCCESS)
@@ -814,6 +922,10 @@ class World:
                                  int(L7Status.L4_CLOSE_RST),
                                  int(L7Status.L4_CLOSE_FIN))
                 l7[idx[refused]] = close[refused]
+                if tel.enabled and refused.any():
+                    tel.count("observe.hosts_blocked", int(refused.sum()),
+                              cause="maxstartups", protocol=protocol,
+                              origin=origin.name)
 
         _, fail_p, _, _ = self._flaky_param_arrays()
         still_ok = l7 == int(L7Status.SUCCESS)

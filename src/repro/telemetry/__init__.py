@@ -1,0 +1,72 @@
+"""Unified telemetry: tracing spans, counters, and NDJSON run journals.
+
+The forensic backbone of the simulator (see ``docs/TELEMETRY.md``): every
+hot path — ``World.observe`` and its plan stages, plan compilation and
+cache lookups, the executor backends, ``run_campaign`` — reports through
+this package, so a run is diagnosable from its artifacts instead of a
+rerun.
+
+Quick use::
+
+    from repro import telemetry
+
+    with telemetry.Telemetry(journal="run.ndjson") as tel:
+        dataset = run_campaign(world, origins, config)
+    print(tel.counters.total("observe.probes_sent"))
+
+Instrumented code never takes a telemetry argument; it calls
+:func:`current` and gets either the active collector or a shared no-op
+whose every operation is free (:func:`disabled` reports which).  Names
+under ``cache.`` / ``runtime.`` are process-local diagnostics; everything
+else is byte-identical across serial/thread/process execution — the
+determinism contract is specified in :mod:`repro.telemetry.metrics`.
+"""
+
+from repro.telemetry.context import (NULL, SCHEMA, NullTelemetry, Telemetry,
+                                     current, disabled, use)
+from repro.telemetry.journal import Journal, read_journal
+from repro.telemetry.manifest import (build_manifest, config_hash,
+                                      git_describe, world_fingerprint)
+from repro.telemetry.metrics import (EXCLUDED_PREFIXES, CounterSet,
+                                     HistogramSet, is_deterministic_name)
+from repro.telemetry.render import render_trace
+
+
+def span(name: str, **attrs):
+    """Open a span on the active telemetry (no-op when disabled)."""
+    return current().span(name, **attrs)
+
+
+def count(name: str, value: float = 1, **attrs) -> None:
+    """Bump a counter on the active telemetry (no-op when disabled)."""
+    current().count(name, value, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Record an event on the active telemetry (no-op when disabled)."""
+    current().event(name, **attrs)
+
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL",
+    "SCHEMA",
+    "current",
+    "disabled",
+    "use",
+    "span",
+    "count",
+    "event",
+    "Journal",
+    "read_journal",
+    "render_trace",
+    "build_manifest",
+    "config_hash",
+    "world_fingerprint",
+    "git_describe",
+    "CounterSet",
+    "HistogramSet",
+    "EXCLUDED_PREFIXES",
+    "is_deterministic_name",
+]

@@ -1,0 +1,80 @@
+"""Reading telemetry run journals (NDJSON).
+
+Writing is the job of :class:`repro.telemetry.context.Telemetry` (records
+stream to the journal as they are emitted); this module is the read side
+used by ``repro trace`` and the tests.  Parsing is tolerant by contract:
+a journal may be truncated mid-line by a crash — which is exactly when
+you need it most — so malformed lines are skipped and counted, never
+fatal.  The raw line-level tolerance lives in
+:func:`repro.io.ndjson.read_ndjson_records` so real scan data and
+telemetry share one reader.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+#: Record types a journal may contain.
+RECORD_TYPES = ("run", "span", "event", "counter", "hist", "manifest")
+
+
+@dataclass
+class Journal:
+    """A parsed run journal, grouped by record type."""
+
+    path: str
+    records: List[dict]
+    #: Malformed / non-object lines skipped by the tolerant reader.
+    skipped: int = 0
+    header: Optional[dict] = None
+    manifest: Optional[dict] = None
+    spans: List[dict] = field(default_factory=list)
+    events: List[dict] = field(default_factory=list)
+    counters: List[dict] = field(default_factory=list)
+    hists: List[dict] = field(default_factory=list)
+    #: Records with an unknown/missing ``t`` (forward compatibility).
+    unknown: int = 0
+
+    def counter_totals(self) -> Dict[Tuple[str, Tuple], float]:
+        """Aggregated counter totals keyed like :class:`CounterSet`."""
+        totals: Dict[Tuple[str, Tuple], float] = {}
+        for record in self.counters:
+            key = (record.get("name", "?"),
+                   tuple(sorted((record.get("attrs") or {}).items())))
+            totals[key] = totals.get(key, 0) + record.get("value", 0)
+        return totals
+
+    def span_name_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.spans:
+            name = record.get("name", "?")
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+
+def read_journal(path: Union[str, os.PathLike]) -> Journal:
+    """Parse a journal file, skipping (and counting) malformed lines."""
+    from repro.io.ndjson import read_ndjson_records
+
+    records, skipped = read_ndjson_records(path)
+    journal = Journal(path=os.fspath(path), records=records,
+                      skipped=skipped)
+    for record in records:
+        kind = record.get("t")
+        if kind == "run" and journal.header is None:
+            journal.header = record
+        elif kind == "span":
+            journal.spans.append(record)
+        elif kind == "event":
+            journal.events.append(record)
+        elif kind == "counter":
+            journal.counters.append(record)
+        elif kind == "hist":
+            journal.hists.append(record)
+        elif kind == "manifest":
+            journal.manifest = record
+        else:
+            journal.unknown += 1
+    return journal

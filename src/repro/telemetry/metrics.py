@@ -1,0 +1,174 @@
+"""Counters and histograms for the telemetry subsystem.
+
+Both metric kinds aggregate under a key of ``(name, sorted attributes)``,
+so ``count("observe.hosts_blocked", 3, cause="ids", origin="DE")`` and a
+later call with the same name/attributes fold into one total.  Aggregation
+is commutative (sums, min/max, bucket counts), which is what makes
+worker-local metric sets mergeable in any order without changing totals —
+the executor still merges them in job-index order so the *record stream*
+is deterministic too.
+
+Determinism contract
+--------------------
+Metric (and span) names under the :data:`EXCLUDED_PREFIXES` namespaces —
+``cache.`` and ``runtime.`` — are *process-local diagnostics*: plan-cache
+hits depend on how many workers rebuilt a plan, worker-labelled job counts
+depend on scheduling, and wall-time histograms depend on the hardware.
+Everything else is a pure function of ``(seed, campaign definition)`` and
+is byte-identical across serial/thread/process execution (tested in
+``tests/test_executor_equivalence.py``).  Use
+:func:`is_deterministic_name` / :meth:`CounterSet.deterministic_totals`
+to select the comparable subset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+#: Metric/span name prefixes excluded from the cross-backend determinism
+#: contract (see module docstring).
+EXCLUDED_PREFIXES = ("cache.", "runtime.")
+
+#: Aggregation key: (name, ((attr, value), ...)) with attrs sorted.
+MetricKey = Tuple[str, Tuple[Tuple[str, object], ...]]
+
+
+def is_deterministic_name(name: str) -> bool:
+    """Whether a metric/span name is part of the determinism contract."""
+    return not name.startswith(EXCLUDED_PREFIXES)
+
+
+def metric_key(name: str, attrs: Dict[str, object]) -> MetricKey:
+    return (name, tuple(sorted(attrs.items())))
+
+
+class CounterSet:
+    """Monotonic counters keyed by (name, attributes)."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data: Dict[MetricKey, float] = {}
+
+    def add(self, name: str, value: float = 1, **attrs: object) -> None:
+        key = metric_key(name, attrs)
+        # Coerce numpy scalars up front so snapshots pickle/JSON cleanly.
+        value = value if isinstance(value, (int, float)) else float(value)
+        self._data[key] = self._data.get(key, 0) + value
+
+    def merge_items(self,
+                    items: Iterable[Tuple[MetricKey, float]]) -> None:
+        for key, value in items:
+            self._data[key] = self._data.get(key, 0) + value
+
+    def items(self) -> List[Tuple[MetricKey, float]]:
+        """Snapshot of the raw aggregation, suitable for pickling."""
+        return list(self._data.items())
+
+    def totals(self) -> Dict[MetricKey, float]:
+        """All counters, sorted by (name, attributes)."""
+        return {key: self._data[key] for key in sorted(self._data)}
+
+    def deterministic_totals(self) -> Dict[MetricKey, float]:
+        """Counters covered by the cross-backend determinism contract."""
+        return {key: value for key, value in self.totals().items()
+                if is_deterministic_name(key[0])}
+
+    def total(self, name: str) -> float:
+        """Sum of one counter over every attribute combination."""
+        return sum(value for (n, _), value in self._data.items()
+                   if n == name)
+
+    def records(self) -> List[dict]:
+        """One JSON-able ``{"t": "counter", ...}`` record per counter."""
+        out = []
+        for (name, attrs), value in self.totals().items():
+            record: dict = {"t": "counter", "name": name,
+                            "value": _plain(value)}
+            if attrs:
+                record["attrs"] = {k: _plain(v) for k, v in attrs}
+            out.append(record)
+        return out
+
+
+#: Geometric bucket bounds shared by every histogram: wide enough for
+#: microsecond stage times and hundred-second campaign walls alike.
+HISTOGRAM_BOUNDS = tuple(10.0 ** e for e in range(-6, 7))
+
+
+class HistogramSet:
+    """Fixed-bucket histograms keyed by (name, attributes).
+
+    State per key is ``[count, total, min, max, bucket_counts]`` where
+    ``bucket_counts[i]`` counts values ≤ ``HISTOGRAM_BOUNDS[i]`` (last
+    bucket is the overflow).  Merging sums counts and widens min/max, so
+    worker-local histograms combine exactly.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data: Dict[MetricKey, list] = {}
+
+    def observe(self, name: str, value: float, **attrs: object) -> None:
+        key = metric_key(name, attrs)
+        value = float(value)
+        state = self._data.get(key)
+        if state is None:
+            state = [0, 0.0, value, value,
+                     [0] * (len(HISTOGRAM_BOUNDS) + 1)]
+            self._data[key] = state
+        state[0] += 1
+        state[1] += value
+        state[2] = min(state[2], value)
+        state[3] = max(state[3], value)
+        state[4][_bucket_of(value)] += 1
+
+    def merge_items(self, items: Iterable[Tuple[MetricKey, list]]) -> None:
+        for key, other in items:
+            state = self._data.get(key)
+            if state is None:
+                self._data[key] = [other[0], other[1], other[2], other[3],
+                                   list(other[4])]
+                continue
+            state[0] += other[0]
+            state[1] += other[1]
+            state[2] = min(state[2], other[2])
+            state[3] = max(state[3], other[3])
+            state[4] = [a + b for a, b in zip(state[4], other[4])]
+
+    def items(self) -> List[Tuple[MetricKey, list]]:
+        return [(key, [s[0], s[1], s[2], s[3], list(s[4])])
+                for key, s in self._data.items()]
+
+    def records(self) -> List[dict]:
+        """One JSON-able ``{"t": "hist", ...}`` record per histogram."""
+        out = []
+        for key in sorted(self._data):
+            name, attrs = key
+            count, total, vmin, vmax, buckets = self._data[key]
+            record: dict = {
+                "t": "hist", "name": name, "count": count,
+                "sum": round(total, 9), "min": round(vmin, 9),
+                "max": round(vmax, 9), "buckets": list(buckets),
+            }
+            if attrs:
+                record["attrs"] = {k: _plain(v) for k, v in attrs}
+            out.append(record)
+        return out
+
+
+def _bucket_of(value: float) -> int:
+    for i, bound in enumerate(HISTOGRAM_BOUNDS):
+        if value <= bound:
+            return i
+    return len(HISTOGRAM_BOUNDS)
+
+
+def _plain(value: object) -> object:
+    """Coerce numpy scalars (and friends) to JSON-able Python types."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)

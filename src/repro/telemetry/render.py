@@ -1,0 +1,126 @@
+"""Human-readable rendering of a run journal (``repro trace``).
+
+Renders three sections from a :class:`~repro.telemetry.journal.Journal`:
+the manifest header, an aggregated span tree (same-name siblings fold
+into one line with a call count), and the top counters.  Aggregation
+keeps the output a terminal page even for paper-scale campaigns with
+hundreds of per-job spans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.journal import Journal
+
+
+def _format_attrs(attrs: Optional[dict]) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return "{" + inner + "}"
+
+
+def _aggregate_children(spans: List[dict],
+                        children_of: Dict[Optional[str], List[dict]],
+                        ) -> List[Tuple[str, int, float, float, List[dict]]]:
+    """Fold same-name sibling spans: (name, count, wall, cpu, members)."""
+    groups: Dict[str, List[dict]] = {}
+    for span in spans:
+        groups.setdefault(span.get("name", "?"), []).append(span)
+    out = []
+    for name, members in groups.items():
+        wall = sum(s.get("wall_s", 0.0) for s in members)
+        cpu = sum(s.get("cpu_s", 0.0) for s in members)
+        out.append((name, len(members), wall, cpu, members))
+    out.sort(key=lambda g: -g[2])
+    return out
+
+
+def render_span_tree(journal: Journal, max_depth: int = 6) -> List[str]:
+    children_of: Dict[Optional[str], List[dict]] = {}
+    ids = {s.get("id") for s in journal.spans}
+    for span in journal.spans:
+        parent = span.get("parent")
+        if parent not in ids:
+            parent = None  # orphaned (e.g. truncated journal) → root
+        children_of.setdefault(parent, []).append(span)
+
+    lines: List[str] = []
+
+    def walk(parent_spans: List[dict], depth: int) -> None:
+        if depth > max_depth:
+            return
+        for name, count, wall, cpu, members in _aggregate_children(
+                parent_spans, children_of):
+            indent = "  " * depth
+            calls = f" ×{count}" if count > 1 else ""
+            attrs = _format_attrs(members[0].get("attrs")) \
+                if count == 1 else ""
+            lines.append(f"{indent}{name:<{max(28 - 2 * depth, 8)}}"
+                         f" {wall:>9.4f}s wall {cpu:>9.4f}s cpu"
+                         f"{calls} {attrs}".rstrip())
+            grandchildren: List[dict] = []
+            for member in members:
+                grandchildren.extend(children_of.get(member.get("id"), []))
+            if grandchildren:
+                walk(grandchildren, depth + 1)
+
+    walk(children_of.get(None, []), 0)
+    return lines
+
+
+def render_counters(journal: Journal, top: int = 20) -> List[str]:
+    totals = journal.counter_totals()
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    lines = []
+    for (name, attrs), value in ranked[:top]:
+        shown = f"{value:,.0f}" if float(value).is_integer() \
+            else f"{value:,.3f}"
+        lines.append(f"{shown:>14}  {name} "
+                     f"{_format_attrs(dict(attrs))}".rstrip())
+    if len(ranked) > top:
+        lines.append(f"… {len(ranked) - top} more counters")
+    return lines
+
+
+def render_manifest(journal: Journal) -> List[str]:
+    manifest = journal.manifest
+    if manifest is None:
+        return ["(no manifest record in this journal)"]
+    world = manifest.get("world") or {}
+    lines = [
+        f"seed {manifest.get('seed')} · config {manifest.get('config_hash')}"
+        f" · git {manifest.get('git') or '?'}",
+        f"backend {manifest.get('backend')}×{manifest.get('workers')}"
+        f" · {manifest.get('n_jobs')} jobs"
+        f" · {manifest.get('wall_s', 0.0):.2f}s wall",
+        f"world: {world.get('services')} services in "
+        f"{world.get('n_ases')} ASes (seed {world.get('seed')})",
+        f"origins: {', '.join(manifest.get('origins') or [])}",
+    ]
+    return lines
+
+
+def render_trace(journal: Journal, max_depth: int = 6,
+                 top: int = 20) -> str:
+    """The full ``repro trace`` report for one journal."""
+    sections = [
+        f"telemetry journal: {journal.path}",
+        f"{len(journal.records)} records "
+        f"({len(journal.spans)} spans, {len(journal.counters)} counters, "
+        f"{len(journal.hists)} histograms, {len(journal.events)} events)"
+        + (f", {journal.skipped} malformed line(s) skipped"
+           if journal.skipped else ""),
+        "",
+        "— manifest " + "—" * 40,
+        *render_manifest(journal),
+        "",
+        "— span tree " + "—" * 39,
+        *(render_span_tree(journal, max_depth=max_depth)
+          or ["(no spans)"]),
+        "",
+        "— top counters " + "—" * 36,
+        *(render_counters(journal, top=top) or ["(no counters)"]),
+    ]
+    return "\n".join(sections)

@@ -22,6 +22,7 @@ from repro.sim.campaign import build_observation_grid, run_campaign
 from repro.sim.executor import ThreadExecutor
 from repro.sim.scenario import build_world_from_specs, paper_scenario
 from repro.sim.world import WorldDefaults
+from repro.telemetry import Telemetry, is_deterministic_name
 from repro.topology.asn import ASKind, ASSpec
 
 #: Small but fully featured world: every named behaviour is present.
@@ -108,6 +109,21 @@ class TestExecutionReport:
         assert execution["wall_s"] > 0
         assert execution["busy_s"] > 0
 
+    def test_stage_totals_sorted_regardless_of_completion_order(
+            self, seeded):
+        """Regression: ``ExecutionReport.stage_s`` (and the metadata dict
+        built from it) must be ordered by stage name, not by the
+        nondeterministic order in which concurrent workers finished."""
+        world, origins, config, _ = seeded
+        for backend, workers in (("serial", None), ("thread", 4)):
+            dataset = run_campaign(world, origins, config,
+                                   protocols=("http",), n_trials=2,
+                                   executor=backend, workers=workers)
+            stages = dataset.metadata["execution"]["stages"]
+            assert list(stages) == sorted(stages)
+            assert set(stages) >= {"filter", "schedule", "l4_static",
+                                   "path", "l7"}
+
     def test_progress_callback_counts_jobs(self, seeded):
         world, origins, config, _ = seeded
         seen = []
@@ -119,6 +135,81 @@ class TestExecutionReport:
         assert len(seen) == total
         assert [done for done, _, _ in seen] == list(range(1, total + 1))
         assert sorted(index for _, _, index in seen) == list(range(total))
+
+
+# ----------------------------------------------------------------------
+# Telemetry determinism across backends
+# ----------------------------------------------------------------------
+
+def _campaign_telemetry(world, origins, config, backend, workers):
+    """Counter totals and span-name counts of one instrumented run,
+    restricted to the deterministic namespace (``cache.``/``runtime.``
+    metrics are process-local diagnostics by contract)."""
+    with Telemetry() as tel:
+        run_campaign(world, origins, config, protocols=("http", "ssh"),
+                     n_trials=2, executor=backend, workers=workers,
+                     telemetry=tel)
+    counters = tel.counters.deterministic_totals()
+    spans = {}
+    for record in tel.records:
+        if record.get("t") != "span":
+            continue
+        name = record["name"]
+        if is_deterministic_name(name):
+            spans[name] = spans.get(name, 0) + 1
+    return counters, spans
+
+
+class TestTelemetryDeterminism:
+    """Identical seeds ⇒ identical telemetry, regardless of backend.
+
+    Wall/CPU times are hardware noise and ``cache.``/``runtime.``
+    metrics are explicitly process-local, but everything else — counter
+    totals and the multiset of span names — must be byte-identical
+    across serial, thread, and process execution.
+    """
+
+    def test_counters_and_spans_match_across_backends(self, seeded):
+        world, origins, config, _ = seeded
+        serial = _campaign_telemetry(world, origins, config,
+                                     "serial", None)
+        threaded = _campaign_telemetry(world, origins, config,
+                                       "thread", 4)
+        processed = _campaign_telemetry(world, origins, config,
+                                        "process", 2)
+        assert serial[0] == threaded[0] == processed[0]
+        assert serial[1] == threaded[1] == processed[1]
+
+    def test_serial_rerun_is_identical(self, seeded):
+        world, origins, config, _ = seeded
+        first = _campaign_telemetry(world, origins, config,
+                                    "serial", None)
+        second = _campaign_telemetry(world, origins, config,
+                                     "serial", None)
+        assert first == second
+
+    def test_journal_counter_records_byte_identical(self, seeded,
+                                                    tmp_path):
+        """The serialized counter records themselves (not just parsed
+        totals) must match across backends for the same seed."""
+        world, origins, config, _ = seeded
+
+        def counter_lines(backend, workers, name):
+            path = tmp_path / f"{name}.ndjson"
+            run_campaign(world, origins, config, protocols=("http",),
+                         n_trials=2, executor=backend, workers=workers,
+                         telemetry=path)
+            with open(path, "rb") as handle:
+                return [line for line in handle.read().splitlines()
+                        if b'"t":"counter"' in line
+                        and b'"name":"cache.' not in line
+                        and b'"name":"runtime.' not in line]
+
+        serial = counter_lines("serial", None, "serial")
+        threaded = counter_lines("thread", 3, "thread")
+        processed = counter_lines("process", 2, "process")
+        assert serial  # the campaign actually emitted counters
+        assert serial == threaded == processed
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,7 @@ from repro.sim.campaign import build_observation_grid, run_campaign
 from repro.sim.plan import ObservationPlan, ObserveProfile, STAGES
 from repro.sim.scenario import build_world_from_specs, paper_scenario
 from repro.sim.world import Observation, WorldDefaults
+from repro.telemetry import Telemetry
 from repro.topology.asn import ASKind, ASSpec
 
 
@@ -238,6 +239,74 @@ class TestCampaignEquivalence:
         world, origins, config = scenario
         default = build_observation_grid(origins, config, ("http",), 2)
         assert all(job.planned for job in default)
+
+
+class TestTelemetryEquivalence:
+    """Telemetry is pure observation: instrumented and uninstrumented
+    runs are byte-identical, planned or not, and the telemetry the two
+    paths emit agrees on everything the determinism contract covers."""
+
+    def test_telemetry_does_not_perturb_observation(self, scenario):
+        world, origins, config = scenario
+        names = tuple(o.name for o in origins)
+        scanner = ZMapScanner(config)
+        for plan_arg in (None, False):
+            bare = world.observe("http", 0, origins[0], scanner, names,
+                                 plan=plan_arg)
+            with Telemetry():
+                instrumented = world.observe("http", 0, origins[0],
+                                             scanner, names,
+                                             plan=plan_arg)
+            assert_identical(bare, instrumented)
+
+    def test_campaign_telemetry_does_not_perturb_dataset(self, scenario):
+        world, origins, config = scenario
+        bare = run_campaign(world, origins, config, protocols=("http",),
+                            n_trials=2)
+        with Telemetry() as tel:
+            instrumented = run_campaign(world, origins, config,
+                                        protocols=("http",), n_trials=2,
+                                        telemetry=tel)
+        assert signature(bare) == signature(instrumented)
+
+    def test_planned_and_unplanned_agree_on_observe_counters(
+            self, scenario):
+        """Only the planned path carries interior instrumentation (stage
+        spans, per-cause blocked-host counts), but the observation-level
+        counters both paths emit must agree exactly — they describe the
+        byte-identical output, not the implementation."""
+        world, origins, config = scenario
+        shared = ("observe.calls", "observe.services",
+                  "observe.probes_sent")
+
+        def counters(planned):
+            with Telemetry() as tel:
+                run_campaign(world, origins, config, protocols=("http",),
+                             n_trials=2, planned=planned, telemetry=tel)
+            return {key: value
+                    for key, value in tel.counters.totals().items()
+                    if key[0] in shared}
+
+        planned = counters(True)
+        assert {name for name, _ in planned} == set(shared)
+        assert planned == counters(False)
+
+    def test_stage_spans_only_on_planned_path(self, scenario):
+        world, origins, config = scenario
+        names = tuple(o.name for o in origins)
+        scanner = ZMapScanner(config)
+
+        def stage_spans(plan_arg):
+            with Telemetry() as tel:
+                world.observe("http", 0, origins[0], scanner, names,
+                              plan=plan_arg)
+            return [r["name"] for r in tel.records
+                    if r["t"] == "span"
+                    and r["name"].startswith("observe.")]
+
+        assert set(stage_spans(None)) == {
+            f"observe.{s}" for s in STAGES}
+        assert stage_spans(False) == []
         reference = build_observation_grid(origins, config, ("http",), 2,
                                            planned=False)
         assert not any(job.planned for job in reference)
