@@ -1,8 +1,8 @@
 # Convenience targets.  In offline environments without the `wheel`
 # package, `make install` falls back to the legacy setuptools path.
 
-.PHONY: install test test-parallel bench bench-show profile trace \
-	examples report all
+.PHONY: install test test-parallel bench bench-show bench-analysis \
+	profile trace examples report all
 
 install:
 	pip install -e . || python setup.py develop
@@ -23,6 +23,13 @@ bench:
 
 bench-show:
 	pytest benchmarks/ --benchmark-only -s
+
+# Bracket the bit-packed analysis engine against the reference path
+# (multi-origin enumeration, bootstrap, full report) and run the
+# packed-speedup guard; extends the BENCH_<n>.json trajectory.
+bench-analysis:
+	pytest benchmarks/test_perf_analysis.py --benchmark-only -s
+	pytest benchmarks/test_perf_analysis.py::test_perf_packed_speedup_guard -s
 
 # cProfile the paper-scale observe() hot path (warm compiled plan) and
 # print the per-stage ObserveProfile breakdown.  Pass --unplanned via

@@ -19,6 +19,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.coverage import coverage_table
+from repro.core.engine import ENGINES
 from repro.core.planning import diminishing_returns_k, recommend_origins
 from repro.core.report import full_report
 from repro.io.csv import write_coverage_csv
@@ -74,6 +75,9 @@ def _build_parser() -> argparse.ArgumentParser:
     report = commands.add_parser(
         "report", help="print the full analysis report for a dataset")
     report.add_argument("dataset", help="directory written by 'simulate'")
+    report.add_argument("--engine", choices=list(ENGINES), default=None,
+                        help="analysis engine (default: "
+                             "$REPRO_ANALYSIS_ENGINE or 'packed')")
 
     coverage = commands.add_parser(
         "coverage", help="print per-origin coverage tables")
@@ -151,7 +155,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     dataset = load_campaign(args.dataset)
-    print(full_report(dataset))
+    print(full_report(dataset, engine=args.engine))
     return 0
 
 

@@ -8,7 +8,17 @@ type, and when.  Datasets can come from the simulator
 """
 
 from repro.core.records import L7Status, ACCESSIBLE_STATUSES
+from repro.core.bits import count_true, pack_bits, popcount_packed, popcount_u8
 from repro.core.dataset import CampaignDataset, TrialData, align_ips
+from repro.core.engine import (
+    ENGINES,
+    AnalysisContext,
+    PackedTrial,
+    clear_context_cache,
+    dataset_fingerprint,
+    get_context,
+    resolve_engine,
+)
 from repro.core.ground_truth import (
     PresenceMatrix,
     build_presence,
@@ -124,7 +134,10 @@ from repro.core.stats import (
 
 __all__ = [
     "L7Status", "ACCESSIBLE_STATUSES",
+    "count_true", "pack_bits", "popcount_packed", "popcount_u8",
     "CampaignDataset", "TrialData", "align_ips",
+    "ENGINES", "AnalysisContext", "PackedTrial", "clear_context_cache",
+    "dataset_fingerprint", "get_context", "resolve_engine",
     "PresenceMatrix", "build_presence", "ground_truth_ips",
     "union_ground_truth",
     "CoverageTable", "coverage_by_origin", "coverage_table",

@@ -19,6 +19,7 @@ from repro.core.classification import (
     MissCategory,
     breakdown_by_origin,
 )
+from repro.core.engine import AnalysisContext
 from repro.core.dataset import CampaignDataset, align_ips
 
 #: Detector parameters from §5.3.
@@ -114,14 +115,15 @@ class BurstReport:
 
 def burst_report(dataset: CampaignDataset, protocol: str,
                  origins: Optional[Sequence[str]] = None,
-                 min_misses: int = 5) -> BurstReport:
+                 min_misses: int = 5,
+                 context: Optional[AnalysisContext] = None) -> BurstReport:
     """Run the §5.3 detector over every (origin, AS, trial).
 
     ``min_misses`` skips (origin, AS, trial) series with too few transient
     misses to support an hourly outlier search.
     """
     classifications = breakdown_by_origin(dataset, protocol,
-                                          origins=origins)
+                                          origins=origins, context=context)
     chosen = list(classifications.keys())
     first = classifications[chosen[0]]
     trials = dataset.trials_for(protocol)

@@ -17,8 +17,9 @@ import numpy as np
 
 from repro.core.classification import breakdown_by_origin
 from repro.core.dataset import CampaignDataset
+from repro.core.engine import AnalysisContext, presence_for
 from repro.core.exclusivity import ExclusivityReport
-from repro.core.ground_truth import build_presence
+from repro.core.ground_truth import PresenceMatrix
 
 
 def counts_by_as(as_index: np.ndarray, mask: np.ndarray,
@@ -53,11 +54,12 @@ class ASConcentration:
 
 
 def longterm_as_concentration(dataset: CampaignDataset, protocol: str,
-                              origins: Optional[Sequence[str]] = None
+                              origins: Optional[Sequence[str]] = None,
+                              context: Optional[AnalysisContext] = None
                               ) -> Dict[str, ASConcentration]:
     """Per-origin Figure 4 data: long-term missing hosts ranked by AS."""
     classifications = breakdown_by_origin(dataset, protocol,
-                                          origins=origins)
+                                          origins=origins, context=context)
     out: Dict[str, ASConcentration] = {}
     for origin, cls in classifications.items():
         long_term = cls.long_term_mask()
@@ -81,16 +83,20 @@ class LostASCounts:
 
 def lost_as_counts(dataset: CampaignDataset, protocol: str,
                    origins: Optional[Sequence[str]] = None,
-                   min_hosts: int = 2) -> Dict[str, LostASCounts]:
+                   min_hosts: int = 2,
+                   context: Optional[AnalysisContext] = None
+                   ) -> Dict[str, LostASCounts]:
     """Count (nearly) fully lost ASes per origin (Figure 5).
 
     Only ASes with at least ``min_hosts`` classifiable ground-truth hosts
     (present in ≥2 trials) are considered, mirroring the paper's refusal to
     call a one-host network "fully inaccessible".
     """
-    presence = build_presence(dataset, protocol, origins=origins)
+    presence = presence_for(dataset, protocol, origins=origins,
+                            context=context)
     classifications = breakdown_by_origin(dataset, protocol,
-                                          origins=presence.origins)
+                                          origins=presence.origins,
+                                          context=context)
     classifiable = presence.present_trial_counts() >= 2
     denominators = counts_by_as(presence.as_index, classifiable)
     eligible = denominators >= min_hosts
@@ -110,12 +116,11 @@ def lost_as_counts(dataset: CampaignDataset, protocol: str,
     return out
 
 
-def as_host_count_ranks(presence) -> np.ndarray:
+def as_host_count_ranks(presence: PresenceMatrix) -> np.ndarray:
     """Rank of each AS by classifiable ground-truth host count (1 = biggest).
 
     Table 3's footnote — every AS with a large transient range is within
-    the top-100 ASes by host count — needs this ranking.  ``presence`` is
-    a :class:`~repro.core.ground_truth.PresenceMatrix`.
+    the top-100 ASes by host count — needs this ranking.
     """
     classifiable = presence.present_trial_counts() >= 2
     counts = counts_by_as(presence.as_index, classifiable)

@@ -25,7 +25,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.dataset import CampaignDataset
-from repro.core.ground_truth import PresenceMatrix, build_presence
+from repro.core.engine import (
+    AnalysisContext,
+    classifications_for,
+    presence_for,
+)
+from repro.core.ground_truth import PresenceMatrix
 from repro.net.ipv4 import slash24_array
 
 
@@ -129,11 +134,18 @@ class Classification:
 
 def classify_misses(dataset: CampaignDataset, protocol: str, origin: str,
                     presence: Optional[PresenceMatrix] = None,
-                    single_probe: bool = False) -> Classification:
-    """Classify every (host, trial) for one origin per §3's rules."""
-    if presence is None:
-        presence = build_presence(dataset, protocol,
-                                  single_probe=single_probe)
+                    single_probe: bool = False,
+                    context: Optional[AnalysisContext] = None
+                    ) -> Classification:
+    """Classify every (host, trial) for one origin per §3's rules.
+
+    Pass ``presence`` (or a shared ``context``) when classifying several
+    origins: with neither, every call rebuilds the aligned presence cube
+    from scratch — the rebuild shows up in the
+    ``analysis.presence_build`` telemetry counter.
+    """
+    presence = presence_for(dataset, protocol, single_probe=single_probe,
+                            presence=presence, context=context)
     oi = presence.origin_row(origin)
     acc = presence.accessible[oi]          # (t, n)
     present = presence.present             # (t, n)
@@ -174,18 +186,25 @@ def classify_misses(dataset: CampaignDataset, protocol: str, origin: str,
 
 def breakdown_by_origin(dataset: CampaignDataset, protocol: str,
                         origins: Optional[Sequence[str]] = None,
-                        single_probe: bool = False
+                        single_probe: bool = False,
+                        presence: Optional[PresenceMatrix] = None,
+                        context: Optional[AnalysisContext] = None
                         ) -> Dict[str, Classification]:
-    """One classification per origin — the raw material of Figure 2."""
-    presence = build_presence(dataset, protocol, origins=origins,
-                              single_probe=single_probe)
-    return {origin: classify_misses(dataset, protocol, origin,
-                                    presence=presence)
-            for origin in presence.origins}
+    """One classification per origin — the raw material of Figure 2.
+
+    With a shared ``context``, the presence cube is built (and each
+    origin classified) at most once per dataset, no matter how many
+    analyses call this.
+    """
+    return classifications_for(dataset, protocol, origins=origins,
+                               single_probe=single_probe,
+                               presence=presence, context=context)
 
 
 def longterm_l4_breakdown(dataset: CampaignDataset, protocol: str,
-                          origins: Optional[Sequence[str]] = None
+                          origins: Optional[Sequence[str]] = None,
+                          presence: Optional[PresenceMatrix] = None,
+                          context: Optional[AnalysisContext] = None
                           ) -> Dict[str, Dict[str, float]]:
     """How long-term misses look on the wire: silent vs L4-responsive.
 
@@ -198,11 +217,12 @@ def longterm_l4_breakdown(dataset: CampaignDataset, protocol: str,
     from repro.core.dataset import align_ips
     from repro.core.records import L7Status
 
-    presence = build_presence(dataset, protocol, origins=origins)
+    classifications = breakdown_by_origin(dataset, protocol,
+                                          origins=origins,
+                                          presence=presence,
+                                          context=context)
     out: Dict[str, Dict[str, float]] = {}
-    for origin in presence.origins:
-        cls = classify_misses(dataset, protocol, origin,
-                              presence=presence)
+    for origin, cls in classifications.items():
         silent = 0
         responsive = 0
         for ti, trial in enumerate(cls.trials):
@@ -223,12 +243,13 @@ def longterm_l4_breakdown(dataset: CampaignDataset, protocol: str,
 
 
 def figure2_rows(dataset: CampaignDataset, protocol: str,
-                 origins: Optional[Sequence[str]] = None
+                 origins: Optional[Sequence[str]] = None,
+                 context: Optional[AnalysisContext] = None
                  ) -> List[Dict[str, object]]:
     """Figure 2's bars: per (origin, trial), miss counts by category×level."""
     rows: List[Dict[str, object]] = []
     for origin, cls in breakdown_by_origin(
-            dataset, protocol, origins=origins).items():
+            dataset, protocol, origins=origins, context=context).items():
         for trial_pos, trial in enumerate(cls.trials):
             transient = cls.network_split(trial_pos, MissCategory.TRANSIENT)
             long_term = cls.network_split(trial_pos, MissCategory.LONG_TERM)

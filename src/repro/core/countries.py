@@ -62,10 +62,11 @@ class CountryInaccessibility:
 
 def country_inaccessibility(dataset: CampaignDataset, protocol: str,
                             origins: Optional[Sequence[str]] = None,
+                            context: Optional["AnalysisContext"] = None,
                             ) -> CountryInaccessibility:
     """Per-(origin, country) long-term inaccessibility (Tables 2 / 5)."""
     classifications = breakdown_by_origin(dataset, protocol,
-                                          origins=origins)
+                                          origins=origins, context=context)
     chosen = list(classifications.keys())
     first = classifications[chosen[0]]
     classifiable = first.present.sum(axis=0) >= 2

@@ -20,11 +20,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.bits import popcount_u8
 from repro.core.records import L7Status
-
-#: Popcount lookup for uint8 probe masks.
-_POPCOUNT = np.array([bin(i).count("1") for i in range(256)],
-                     dtype=np.uint8)
 
 
 @dataclass
@@ -103,7 +100,7 @@ class TrialData:
     def response_counts(self, origin: str) -> np.ndarray:
         """SYN-ACKs received per service (0..n_probes)."""
         row = self.origin_row(origin)
-        return _POPCOUNT[self.probe_mask[row]]
+        return popcount_u8(self.probe_mask[row])
 
     def ground_truth(self, origins: Optional[Sequence[str]] = None,
                      single_probe: bool = False) -> np.ndarray:

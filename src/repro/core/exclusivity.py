@@ -20,7 +20,8 @@ import numpy as np
 
 from repro.core.classification import breakdown_by_origin
 from repro.core.dataset import CampaignDataset
-from repro.core.ground_truth import PresenceMatrix, build_presence
+from repro.core.engine import AnalysisContext, presence_for
+from repro.core.ground_truth import PresenceMatrix
 
 
 @dataclass
@@ -94,13 +95,18 @@ class ExclusivityReport:
 
 def exclusivity_report(dataset: CampaignDataset, protocol: str,
                        origins: Optional[Sequence[str]] = None,
-                       presence: Optional[PresenceMatrix] = None
+                       presence: Optional[PresenceMatrix] = None,
+                       context: Optional[AnalysisContext] = None
                        ) -> ExclusivityReport:
     """Build the exclusivity report for one protocol."""
-    if presence is None:
-        presence = build_presence(dataset, protocol, origins=origins)
-    classifications = breakdown_by_origin(dataset, protocol,
-                                          origins=presence.origins)
+    presence = presence_for(dataset, protocol, origins=origins,
+                            presence=presence, context=context)
+    classifications = breakdown_by_origin(
+        dataset, protocol, origins=presence.origins,
+        # With a context, let its classification memo serve the call;
+        # the explicit presence only backs context-less invocations.
+        presence=None if context is not None else presence,
+        context=context)
     chosen = presence.origins
     n = presence.n_hosts()
     long_term = np.zeros((len(chosen), n), dtype=bool)

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.dataset import CampaignDataset, TrialData, align_ips
+from repro.telemetry.context import current as _telemetry
 
 
 def ground_truth_ips(trial_data: TrialData,
@@ -83,6 +84,21 @@ def build_presence(dataset: CampaignDataset, protocol: str,
     ones — an excluded origin still contributes evidence that a host is
     alive.
     """
+    tel = _telemetry()
+    if tel.enabled:
+        # Every alignment pass is counted: the report path asserts one
+        # build per (dataset, protocol) via this counter (the repeated
+        # silent-rebuild bug is exactly what it makes visible).
+        tel.count("analysis.presence_build", 1, protocol=protocol)
+    with tel.span("analysis.presence_build", protocol=protocol,
+                  single_probe=bool(single_probe)):
+        return _build_presence(dataset, protocol, origins=origins,
+                               single_probe=single_probe)
+
+
+def _build_presence(dataset: CampaignDataset, protocol: str,
+                    origins: Optional[Sequence[str]] = None,
+                    single_probe: bool = False) -> PresenceMatrix:
     trials = dataset.trials_for(protocol)
     tables = [dataset.trial_data(protocol, t) for t in trials]
     chosen = list(origins) if origins is not None \

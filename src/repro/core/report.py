@@ -8,12 +8,13 @@ dataset (simulated or loaded from disk) is analyzable end-to-end.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.bursts import burst_report
 from repro.core.classification import figure2_rows, longterm_l4_breakdown
 from repro.core.coverage import coverage_table
 from repro.core.dataset import CampaignDataset
+from repro.core.engine import AnalysisContext, get_context
 from repro.core.exclusivity import (
     exclusivity_report,
     single_origin_longterm_share,
@@ -30,14 +31,23 @@ from repro.reporting.tables import render_table
 
 
 def full_report(dataset: CampaignDataset,
-                as_name: Optional[Callable[[int], str]] = None) -> str:
+                as_name: Optional[Callable[[int], str]] = None,
+                engine: Optional[str] = None) -> str:
     """Render the complete analysis suite for ``dataset`` as text.
 
     ``as_name`` optionally maps AS indices to display names (available
     when the dataset came from a simulation whose world is at hand).
+    ``engine`` selects the analysis engine (``packed``/``reference``;
+    default from ``REPRO_ANALYSIS_ENGINE``) for the analyses that have
+    one.  One shared :class:`~repro.core.engine.AnalysisContext` per
+    protocol backs every section, so the whole report performs exactly
+    one presence-alignment pass per protocol (observable via the
+    ``analysis.presence_build`` telemetry counter).
     """
     sections: List[str] = []
     protocols = dataset.protocols
+    contexts: Dict[str, AnalysisContext] = {
+        protocol: get_context(dataset, protocol) for protocol in protocols}
 
     # --- Coverage (Figure 1 / Table 4) --------------------------------
     for protocol in protocols:
@@ -48,7 +58,7 @@ def full_report(dataset: CampaignDataset,
 
     # --- Missing-host breakdown (Figure 2) ----------------------------
     for protocol in protocols:
-        rows = figure2_rows(dataset, protocol)
+        rows = figure2_rows(dataset, protocol, context=contexts[protocol])
         groups = {}
         for row in rows:
             key = row["origin"]
@@ -64,7 +74,8 @@ def full_report(dataset: CampaignDataset,
 
     # --- Exclusivity (Figure 3 / Table 1) ------------------------------
     for protocol in protocols:
-        report = exclusivity_report(dataset, protocol)
+        report = exclusivity_report(dataset, protocol,
+                                    context=contexts[protocol])
         table1 = report.table1()
         rows = [[o, f"{v['accessible']:.1%}", f"{v['inaccessible']:.1%}"]
                 for o, v in table1.items()]
@@ -76,7 +87,8 @@ def full_report(dataset: CampaignDataset,
 
     # --- Wire view of long-term losses (§4) ----------------------------
     for protocol in protocols:
-        breakdown = longterm_l4_breakdown(dataset, protocol)
+        breakdown = longterm_l4_breakdown(dataset, protocol,
+                                          context=contexts[protocol])
         rows = [[o, f"{v['no_l4']:.0%}", f"{v['l4_responsive']:.0%}"]
                 for o, v in breakdown.items()]
         sections.append(render_table(
@@ -85,7 +97,8 @@ def full_report(dataset: CampaignDataset,
 
     # --- Transient overlap (Figure 8) ----------------------------------
     for protocol in protocols:
-        histogram = transient_overlap_histogram(dataset, protocol)
+        histogram = transient_overlap_histogram(
+            dataset, protocol, context=contexts[protocol])
         sections.append(render_bars(
             {f"{k} origin(s)": v for k, v in histogram.items()},
             fmt="{:,.0f}",
@@ -101,7 +114,8 @@ def full_report(dataset: CampaignDataset,
 
     # --- Bursts (§5.3) ---------------------------------------------------
     for protocol in protocols:
-        report = burst_report(dataset, protocol)
+        report = burst_report(dataset, protocol,
+                              context=contexts[protocol])
         fractions = report.coincident_fraction()
         affected = report.transient_total > 0
         mean_fraction = float(fractions[affected].mean()) \
@@ -114,7 +128,7 @@ def full_report(dataset: CampaignDataset,
 
     # --- SSH mechanisms (§6) ---------------------------------------------
     if "ssh" in protocols:
-        breakdown = ssh_breakdown(dataset)
+        breakdown = ssh_breakdown(dataset, context=contexts["ssh"])
         totals = {o: breakdown.totals(o) for o in breakdown.origins}
         sections.append(render_grouped_bars(
             totals, title="[ssh mechanisms, all trials]"))
@@ -124,7 +138,8 @@ def full_report(dataset: CampaignDataset,
         n_origins = len(dataset.origins_for(protocol))
         table = multi_origin_table(dataset, protocol,
                                    max_k=min(3, n_origins),
-                                   single_probe=True)
+                                   single_probe=True, engine=engine,
+                                   context=contexts[protocol])
         rows = [[k, f"{s.median:.2%}", f"{s.std:.3%}"]
                 for k, s in table.items()]
         sections.append(render_table(

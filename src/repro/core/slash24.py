@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.bits import count_true
 from repro.core.dataset import CampaignDataset, TrialData
 from repro.net.ipv4 import slash24_array
 
@@ -77,7 +78,8 @@ def pairwise_agreement(rates: Slash24Rates,
     out: Dict[Tuple[str, str], float] = {}
     for a, b in itertools.combinations(range(len(rates.origins)), 2):
         delta = np.abs(rates.rates[a] - rates.rates[b])
-        agree = float((delta <= tolerance).mean()) if len(delta) else 0.0
+        agree = (count_true(delta <= tolerance) / len(delta)
+                 if len(delta) else 0.0)
         out[(rates.origins[a], rates.origins[b])] = agree
     return out
 

@@ -159,7 +159,8 @@ class SSHBreakdown:
 def ssh_breakdown(dataset: CampaignDataset,
                   origins: Optional[Sequence[str]] = None,
                   protocol: str = "ssh",
-                  temporal_min_hosts: int = TEMPORAL_AS_MIN_HOSTS
+                  temporal_min_hosts: int = TEMPORAL_AS_MIN_HOSTS,
+                  context: Optional["AnalysisContext"] = None
                   ) -> SSHBreakdown:
     """Attribute every missing SSH (host, trial) to its §6 mechanism.
 
@@ -167,7 +168,7 @@ def ssh_breakdown(dataset: CampaignDataset,
     (explicit close + success elsewhere) > the §3 classification.
     """
     classifications = breakdown_by_origin(dataset, protocol,
-                                          origins=origins)
+                                          origins=origins, context=context)
     chosen = list(classifications.keys())
     first = classifications[chosen[0]]
     trials = first.trials

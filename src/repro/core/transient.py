@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.classification import MissCategory, breakdown_by_origin
 from repro.core.dataset import CampaignDataset
+from repro.core.engine import AnalysisContext
 
 
 @dataclass
@@ -51,11 +52,12 @@ class TransientRates:
 
 
 def transient_rates(dataset: CampaignDataset, protocol: str,
-                    origins: Optional[Sequence[str]] = None
+                    origins: Optional[Sequence[str]] = None,
+                    context: Optional[AnalysisContext] = None
                     ) -> TransientRates:
     """Compute the (origin × trial × AS) transient-rate cube."""
     classifications = breakdown_by_origin(dataset, protocol,
-                                          origins=origins)
+                                          origins=origins, context=context)
     chosen = list(classifications.keys())
     first = classifications[chosen[0]]
     n_trials = len(first.trials)
@@ -85,7 +87,8 @@ def transient_rates(dataset: CampaignDataset, protocol: str,
 
 
 def transient_overlap_histogram(dataset: CampaignDataset, protocol: str,
-                                origins: Optional[Sequence[str]] = None
+                                origins: Optional[Sequence[str]] = None,
+                                context: Optional[AnalysisContext] = None
                                 ) -> Dict[int, int]:
     """Figure 8: how many origins each transient (host, trial) miss hits.
 
@@ -94,7 +97,7 @@ def transient_overlap_histogram(dataset: CampaignDataset, protocol: str,
     across trials.
     """
     classifications = breakdown_by_origin(dataset, protocol,
-                                          origins=origins)
+                                          origins=origins, context=context)
     chosen = list(classifications.keys())
     first = classifications[chosen[0]]
     n_trials = len(first.trials)

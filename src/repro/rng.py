@@ -204,6 +204,59 @@ class CounterRNG:
         return -np.asarray(mean, dtype=np.float64) * np.log1p(-u)
 
 
+def _mix_array_inplace(x: np.ndarray, scratch: np.ndarray) -> None:
+    """One splitmix64 finalization round over ``x``, in place.
+
+    Identical arithmetic to :func:`_mix_array` (uint64 wraparound, same
+    operation order) but written through ``out=`` into ``x`` and the
+    caller-provided ``scratch`` buffer, so hot loops — the vectorized
+    bootstrap draws 500 × n of these — allocate nothing per call and
+    keep their working set cache-resident.
+    """
+    np.add(x, np.uint64(_GOLDEN), out=x)
+    np.right_shift(x, np.uint64(30), out=scratch)
+    np.bitwise_xor(x, scratch, out=x)
+    np.multiply(x, np.uint64(_MIX1), out=x)
+    np.right_shift(x, np.uint64(27), out=scratch)
+    np.bitwise_xor(x, scratch, out=x)
+    np.multiply(x, np.uint64(_MIX2), out=x)
+    np.right_shift(x, np.uint64(31), out=scratch)
+    np.bitwise_xor(x, scratch, out=x)
+
+
+def keyed_bits_into(key: np.uint64, counters: np.ndarray,
+                    out: np.ndarray, scratch: np.ndarray) -> np.ndarray:
+    """Draw ``bits_array(counters)`` for one pre-derived stream key.
+
+    Writes into the caller's ``out``/``scratch`` uint64 buffers (both
+    shaped like ``counters``) and returns ``out``.  Bit-identical to
+    ``CounterRNG`` with ``key`` → ``bits_array(counters)``; the
+    allocation-free twin of :func:`keyed_bits_array` for loops that
+    draw from many streams over the same counter vector.
+    """
+    np.bitwise_xor(counters, key, out=out)
+    _mix_array_inplace(out, scratch)
+    _mix_array_inplace(out, scratch)
+    return out
+
+
+def keyed_bits_array(keys: np.ndarray,
+                     counters: np.ndarray) -> np.ndarray:
+    """64 pseudo-random bits where element *i* draws from stream ``keys[i]``.
+
+    ``keys`` carries pre-derived stream keys (:attr:`CounterRNG.key`);
+    ``keys`` and ``counters`` broadcast against each other, so a
+    ``(replicates, 1)`` key column against a ``(1, n)`` counter row
+    yields a full ``(replicates, n)`` draw matrix in one call — the
+    vectorized-bootstrap workhorse.  Bit-identical to calling
+    ``CounterRNG`` with ``key == keys[i]`` → ``bits_array(counters)``
+    element by element.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    counters = np.asarray(counters, dtype=np.uint64)
+    return _mix_array(_mix_array(keys ^ counters))
+
+
 def keyed_uniform_array(keys: np.ndarray,
                         counters: np.ndarray) -> np.ndarray:
     """Floats in [0, 1) where element *i* is drawn from stream ``keys[i]``.
@@ -215,9 +268,7 @@ def keyed_uniform_array(keys: np.ndarray,
     ``CounterRNG`` with ``key == keys[i]`` → ``uniform_array(counters)``
     element by element.
     """
-    keys = np.asarray(keys, dtype=np.uint64)
-    counters = np.asarray(counters, dtype=np.uint64)
-    bits = _mix_array(_mix_array(keys ^ counters))
+    bits = keyed_bits_array(keys, counters)
     return (bits >> np.uint64(11)).astype(np.float64) * (1.0 / (1 << 53))
 
 

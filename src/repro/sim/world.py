@@ -33,6 +33,7 @@ from repro.blocking.maxstartups import MaxStartupsModel, MaxStartupsSpec
 from repro.blocking.temporal import TemporalRSTBlocker
 from repro.conditions.loss import LossDraw, PathLossModel, PathLossSpec
 from repro.conditions.outages import BurstOutageModel, BurstOutageSpec
+from repro.core.bits import popcount_u8
 from repro.core.records import L7Status
 from repro.hosts.churn import ChurnModel, ChurnSpec
 from repro.hosts.table import HostTable
@@ -94,12 +95,7 @@ class Observation:
     @property
     def responses(self) -> np.ndarray:
         """Number of SYN-ACKs received per service (popcount of the mask)."""
-        return _POPCOUNT[self.probe_mask]
-
-
-#: Popcount lookup for uint8 probe masks.
-_POPCOUNT = np.array([bin(i).count("1") for i in range(256)],
-                     dtype=np.uint8)
+        return popcount_u8(self.probe_mask)
 
 
 class World:
