@@ -2,7 +2,7 @@
 # package, `make install` falls back to the legacy setuptools path.
 
 .PHONY: install test test-parallel bench bench-show bench-analysis \
-	profile trace examples report all
+	bench-io profile trace examples report all
 
 install:
 	pip install -e . || python setup.py develop
@@ -30,6 +30,14 @@ bench-show:
 bench-analysis:
 	pytest benchmarks/test_perf_analysis.py --benchmark-only -s
 	pytest benchmarks/test_perf_analysis.py::test_perf_packed_speedup_guard -s
+
+# Bracket the columnar snapshot store against NDJSON, the warm world
+# cache against a cold build, and the shared-memory pool handoff
+# against the pickled-world initializer; extends the BENCH_<n>.json
+# trajectory and runs the I/O acceptance guard.
+bench-io:
+	pytest benchmarks/test_perf_io.py --benchmark-only -s
+	pytest benchmarks/test_perf_io.py::test_perf_io_speedup_guard -s
 
 # cProfile the paper-scale observe() hot path (warm compiled plan) and
 # print the per-stage ObserveProfile breakdown.  Pass --unplanned via

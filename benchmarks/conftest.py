@@ -32,12 +32,34 @@ from repro.telemetry import Telemetry
 #: One seed for the whole harness so printed numbers match EXPERIMENTS.md.
 SEED = 1
 
-#: Repo root, where ``BENCH_<n>.json`` trajectory artifacts accumulate.
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Where benchmark outputs land: the committed ``BENCH_<n>.json``
+#: trajectory artifacts plus the per-run scratch journal.
+ARTIFACT_DIR = REPO_ROOT / "bench_artifacts"
 
 #: Telemetry journal of the shared campaign builds (overwritten per run;
 #: the BENCH artifact records its path and plan-cache totals).
-BENCH_JOURNAL = REPO_ROOT / "bench_journal.ndjson"
+BENCH_JOURNAL = ARTIFACT_DIR / "bench_journal.ndjson"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_world_cache(tmp_path_factory):
+    """Pin the world cache to a session-scoped temp dir.
+
+    Benchmarks must never read another run's warm cache (cold-build
+    numbers would silently become load numbers) nor write outside the
+    sandbox.  Individual benchmarks that measure the cache itself make
+    their own directories on top of this.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = \
+        str(tmp_path_factory.mktemp("world-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 def pytest_addoption(parser):
@@ -69,6 +91,7 @@ def bench_telemetry(request):
     reads the plan-cache counters out of this collector into the BENCH
     trajectory artifact.
     """
+    ARTIFACT_DIR.mkdir(exist_ok=True)
     tel = Telemetry(journal=BENCH_JOURNAL)
     request.config._bench_telemetry = tel
     yield tel
@@ -118,11 +141,17 @@ def bench_once(benchmark, fn):
 # ----------------------------------------------------------------------
 
 def _next_bench_path() -> Path:
-    """The next free ``BENCH_<n>.json`` at the repo root (monotonic n)."""
+    """The next free ``BENCH_<n>.json`` in bench_artifacts/ (monotonic).
+
+    Artifacts written before the directory existed still count toward
+    the numbering, so moving them never resets the trajectory.
+    """
     taken = [int(m.group(1))
-             for p in REPO_ROOT.glob("BENCH_*.json")
+             for root in (ARTIFACT_DIR, REPO_ROOT)
+             for p in root.glob("BENCH_*.json")
              if (m := re.fullmatch(r"BENCH_(\d+)\.json", p.name))]
-    return REPO_ROOT / f"BENCH_{max(taken, default=0) + 1}.json"
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    return ARTIFACT_DIR / f"BENCH_{max(taken, default=0) + 1}.json"
 
 
 def _available_cpus() -> int:

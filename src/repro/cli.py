@@ -3,13 +3,16 @@
 Three commands mirror the library's workflow:
 
 * ``simulate`` — build a scenario world, run a synchronized campaign, and
-  write the dataset as ndjson;
-* ``report`` — load a dataset directory and print the full §3–§7 analysis
-  report;
-* ``coverage`` — load a dataset directory and print/export the coverage
-  tables;
+  write the dataset as ndjson (or a columnar snapshot with
+  ``--format columnar``);
+* ``report`` — load a dataset (either format) and print the full §3–§7
+  analysis report;
+* ``coverage`` — load a dataset (either format) and print/export the
+  coverage tables;
 * ``trace`` — summarize a telemetry journal written by
-  ``simulate --telemetry`` (span tree, manifest, top counters).
+  ``simulate --telemetry`` (span tree, manifest, top counters);
+* ``cache`` — inspect or clear the content-addressed world cache that
+  accelerates repeated scenario builds.
 """
 
 from __future__ import annotations
@@ -22,6 +25,8 @@ from repro.core.coverage import coverage_table
 from repro.core.engine import ENGINES
 from repro.core.planning import diminishing_returns_k, recommend_origins
 from repro.core.report import full_report
+from repro.io import load_any_campaign
+from repro.io.columnar import save_campaign as save_campaign_columnar
 from repro.io.csv import write_coverage_csv
 from repro.io.ndjson import load_campaign, save_campaign
 from repro.reporting.tables import render_table
@@ -41,7 +46,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     simulate = commands.add_parser(
         "simulate", help="run a synchronized campaign and save it")
-    simulate.add_argument("output", help="directory for the ndjson dataset")
+    simulate.add_argument("output",
+                          help="ndjson dataset directory, or snapshot "
+                               "file with --format columnar")
+    simulate.add_argument("--format", dest="format",
+                          default="ndjson", choices=("ndjson", "columnar"),
+                          help="on-disk campaign format: ndjson directory "
+                               "(interoperable) or binary columnar "
+                               "snapshot (fast)")
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--scale", type=float, default=0.2,
                           help="world size multiplier (1.0 ≈ 58k HTTP "
@@ -74,19 +86,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
     report = commands.add_parser(
         "report", help="print the full analysis report for a dataset")
-    report.add_argument("dataset", help="directory written by 'simulate'")
+    report.add_argument("dataset",
+                        help="directory or snapshot written by 'simulate'")
     report.add_argument("--engine", choices=list(ENGINES), default=None,
                         help="analysis engine (default: "
                              "$REPRO_ANALYSIS_ENGINE or 'packed')")
 
     coverage = commands.add_parser(
         "coverage", help="print per-origin coverage tables")
-    coverage.add_argument("dataset", help="directory written by 'simulate'")
+    coverage.add_argument("dataset",
+                          help="directory or snapshot written by "
+                               "'simulate'")
     coverage.add_argument("--csv", help="also export rows to this CSV file")
 
     plan = commands.add_parser(
         "plan", help="recommend origins by marginal coverage (§7)")
-    plan.add_argument("dataset", help="directory written by 'simulate'")
+    plan.add_argument("dataset",
+                      help="directory or snapshot written by 'simulate'")
     plan.add_argument("--protocol", default="http")
     plan.add_argument("--single-probe", action="store_true")
 
@@ -96,6 +112,13 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--scale", type=float, default=0.1)
     validate.add_argument("--sample", type=float, default=0.25,
                           help="fraction of the world to probe")
+
+    cache = commands.add_parser(
+        "cache", help="inspect or clear the world cache "
+                      "(REPRO_CACHE_DIR)")
+    cache.add_argument("action", choices=("ls", "clear"),
+                       help="'ls' lists cached worlds; 'clear' deletes "
+                            "them")
 
     profile = commands.add_parser(
         "profile", help="profile the observe() hot path (warm plan)")
@@ -129,9 +152,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"{execution['backend']}×{execution['workers']} in "
           f"{execution['wall_s']:.2f}s "
           f"(speedup {execution['speedup']:.2f}×)", file=sys.stderr)
-    save_campaign(dataset, args.output)
-    print(f"wrote {len(dataset)} trial files to {args.output}/",
-          file=sys.stderr)
+    if args.format == "columnar":
+        nbytes = save_campaign_columnar(dataset, args.output)
+        print(f"wrote {len(dataset)} trials to columnar snapshot "
+              f"{args.output} ({nbytes:,} bytes)", file=sys.stderr)
+    else:
+        save_campaign(dataset, args.output)
+        print(f"wrote {len(dataset)} trial files to {args.output}/",
+              file=sys.stderr)
     if args.telemetry:
         print(f"telemetry journal: {args.telemetry} "
               f"(inspect with 'repro trace {args.telemetry}')",
@@ -154,13 +182,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    dataset = load_campaign(args.dataset)
+    dataset = load_any_campaign(args.dataset)
     print(full_report(dataset, engine=args.engine))
     return 0
 
 
 def _cmd_coverage(args: argparse.Namespace) -> int:
-    dataset = load_campaign(args.dataset)
+    dataset = load_any_campaign(args.dataset)
     for protocol in dataset.protocols:
         table = coverage_table(dataset, protocol)
         print(render_table(["trial"] + table.origins + ["∩", "∪"],
@@ -173,7 +201,7 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    dataset = load_campaign(args.dataset)
+    dataset = load_any_campaign(args.dataset)
     plan = recommend_origins(dataset, args.protocol,
                              single_probe=args.single_probe)
     rows = [[i + 1, step.origin, f"{step.coverage_after:.2%}",
@@ -202,6 +230,32 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     print(render_table(headers, rows,
                        title="§2 rate validation — estimated drop"))
     return 0 if validation.all_safe() else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.io import worldcache
+    root = worldcache.cache_dir()
+    if args.action == "clear":
+        removed = worldcache.clear()
+        print(f"removed {removed} cached world(s) from {root}")
+        return 0
+    entries = worldcache.list_entries()
+    if not entries:
+        print(f"world cache at {root} is empty")
+        return 0
+    rows = []
+    for entry in entries:
+        rows.append([entry.key[:16], entry.seed if entry.valid else "?",
+                     f"{entry.n_services:,}" if entry.n_services
+                     is not None else "?",
+                     f"{entry.n_ases:,}" if entry.n_ases is not None
+                     else "?",
+                     f"{entry.nbytes:,}",
+                     "ok" if entry.valid else "CORRUPT"])
+    print(render_table(["key", "seed", "services", "ases", "bytes",
+                        "state"], rows,
+                       title=f"world cache — {root}"))
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -256,6 +310,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "coverage": _cmd_coverage,
         "plan": _cmd_plan,
         "validate": _cmd_validate,
+        "cache": _cmd_cache,
         "profile": _cmd_profile,
     }
     return handlers[args.command](args)

@@ -107,6 +107,44 @@ class HostTable:
         return "\n".join(lines)
 
     @classmethod
+    def from_sorted_columns(cls, ip: np.ndarray, protocol: np.ndarray,
+                            as_index: np.ndarray,
+                            country_index: np.ndarray) -> "HostTable":
+        """Adopt already-sorted columns without copying or re-sorting.
+
+        This is the zero-copy construction path used by columnar
+        snapshots and the shared-memory world handoff: the arrays (often
+        read-only mmap or shared-memory views) become the table's
+        columns directly.  The columns must be sorted strictly ascending
+        by ``(ip, protocol)`` — exactly what ``__init__`` produces —
+        which also rules out duplicate service rows; anything else
+        raises ``ValueError``.
+        """
+        table = cls.__new__(cls)
+        ip = np.asarray(ip, dtype=np.uint32)
+        protocol = np.asarray(protocol, dtype=np.uint8)
+        as_index = np.asarray(as_index, dtype=np.int64)
+        country_index = np.asarray(country_index, dtype=np.int64)
+        n = len(ip)
+        if not (len(protocol) == len(as_index)
+                == len(country_index) == n):
+            raise ValueError("all columns must have equal length")
+        if n > 1:
+            same_ip = ip[1:] == ip[:-1]
+            ordered = (ip[1:] > ip[:-1]) \
+                | (same_ip & (protocol[1:] > protocol[:-1]))
+            if not bool(np.all(ordered)):
+                raise ValueError(
+                    "columns must be sorted strictly ascending by "
+                    "(ip, protocol)")
+        table.ip = ip
+        table.protocol = protocol
+        table.as_index = as_index
+        table.country_index = country_index
+        table._views = {}
+        return table
+
+    @classmethod
     def concatenate(cls, tables: Sequence["HostTable"]) -> "HostTable":
         """Merge several tables (used by generators building per-AS)."""
         if not tables:

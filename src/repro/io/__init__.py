@@ -1,14 +1,50 @@
-"""Dataset import/export: ndjson scan records and CSV summaries."""
+"""Dataset import/export: ndjson scan records, columnar snapshots, CSV.
 
+Two campaign formats share one data model: NDJSON directories
+(:mod:`repro.io.ndjson`, the interoperability seam) and binary columnar
+snapshots (:mod:`repro.io.columnar`, the fast path).
+:func:`load_any_campaign` tells them apart by shape — a directory is
+NDJSON, a file with the snapshot magic is columnar — so CLI consumers
+accept either.
+"""
+
+import os
+
+from repro.io.columnar import (SnapshotError, is_snapshot, read_snapshot,
+                               write_snapshot)
+from repro.io.columnar import load_campaign as load_campaign_columnar
+from repro.io.columnar import load_world, save_world
+from repro.io.columnar import save_campaign as save_campaign_columnar
+from repro.io.csv import write_coverage_csv
 from repro.io.ndjson import (load_campaign, read_ndjson_records,
                              save_campaign)
-from repro.io.csv import write_coverage_csv
 from repro.io.zmap import assemble_trial, read_zgrab_ndjson, read_zmap_csv
 
+
+def load_any_campaign(path):
+    """Load a campaign from either on-disk format, detected by shape."""
+    if os.path.isdir(path):
+        return load_campaign(path)
+    if is_snapshot(path):
+        return load_campaign_columnar(path)
+    raise ValueError(
+        f"{path}: neither an ndjson campaign directory nor a columnar "
+        f"snapshot file")
+
+
 __all__ = [
+    "SnapshotError",
+    "is_snapshot",
+    "read_snapshot",
+    "write_snapshot",
     "load_campaign",
+    "load_campaign_columnar",
+    "load_any_campaign",
+    "load_world",
+    "save_world",
     "read_ndjson_records",
     "save_campaign",
+    "save_campaign_columnar",
     "write_coverage_csv",
     "assemble_trial",
     "read_zgrab_ndjson",

@@ -1,0 +1,628 @@
+"""Binary columnar snapshots: the fast persistence layer.
+
+NDJSON (:mod:`repro.io.ndjson`) is the interoperability seam — one JSON
+object per observation, readable by anything.  It is also four orders of
+magnitude more bytes-touched than the data it encodes: a paper-scale
+campaign is a handful of numpy arrays, and real scan pipelines (ZMap,
+Censys) long ago moved their hot paths from line-oriented logs to
+columnar stores for exactly this reason.  This module is that columnar
+store: a versioned single-file container holding a JSON manifest plus
+raw little-endian array segments, one per column, each with dtype, shape
+and a CRC-32 checksum.
+
+Container layout::
+
+    magic "RPSNAP01" | u64 manifest length | manifest JSON | pad to 64
+    segment 0 (64-byte aligned) | segment 1 | ...
+
+Segments are the arrays' raw bytes, so loading is ``mmap`` +
+``np.frombuffer`` — zero copies, lazily paged, arrays read-only.  The
+same decomposition (a small pickled *skeleton* of scalar state plus a
+dict of named arrays) is reused by the process executor to broadcast
+worlds through ``multiprocessing.shared_memory`` and by the
+content-addressed world cache (:mod:`repro.io.worldcache`).
+
+Everything a snapshot round-trips is byte-identical to the in-memory
+object (``tests/test_columnar.py``); corruption is detected per segment
+and reported as :class:`SnapshotError`.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap as _mmap
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.telemetry.context import current as _telemetry
+
+#: File magic; the trailing digits version the container layout itself.
+MAGIC = b"RPSNAP01"
+
+#: Manifest schema version (bump on incompatible manifest changes).
+FORMAT_VERSION = 1
+
+#: Segment alignment, generous enough for any vector load width.
+ALIGN = 64
+
+_HEADER = struct.Struct("<8sQ")
+
+PathLike = Union[str, os.PathLike]
+
+
+class SnapshotError(Exception):
+    """A snapshot file is missing, truncated, corrupt, or mismatched."""
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGN - 1) & ~(ALIGN - 1)
+
+
+def _le_dtype(dtype: np.dtype) -> np.dtype:
+    """The little-endian equivalent of ``dtype`` (identity for 1-byte)."""
+    if dtype.hasobject:
+        raise TypeError(f"cannot snapshot object dtype {dtype}")
+    return dtype.newbyteorder("<") if dtype.byteorder == ">" else dtype
+
+
+# ----------------------------------------------------------------------
+# Container read/write
+# ----------------------------------------------------------------------
+
+@dataclass
+class Snapshot:
+    """A loaded snapshot: its kind tag, JSON meta, and named arrays."""
+
+    kind: str
+    meta: dict
+    arrays: Dict[str, np.ndarray]
+    path: str
+
+
+def write_snapshot(path: PathLike, kind: str, meta: Mapping,
+                   arrays: Mapping[str, np.ndarray]) -> int:
+    """Write a snapshot atomically (temp file + rename); returns nbytes.
+
+    Arrays are stored contiguous and little-endian; ``meta`` must be
+    JSON-serializable.  Segment order follows the mapping's iteration
+    order, so identical inputs produce identical files.
+    """
+    tel = _telemetry()
+    with tel.span("io.snapshot_save", kind=kind) as span:
+        segments: List[dict] = []
+        blobs: List[np.ndarray] = []
+        cursor = 0
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array,
+                                         dtype=_le_dtype(np.asarray(array)
+                                                         .dtype))
+            offset = _align(cursor)
+            segments.append({
+                "name": name,
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+                "nbytes": int(array.nbytes),
+                "crc32": zlib.crc32(array.tobytes()) & 0xFFFFFFFF,
+            })
+            blobs.append(array)
+            cursor = offset + array.nbytes
+        manifest = json.dumps({
+            "format": "repro-snapshot",
+            "version": FORMAT_VERSION,
+            "kind": kind,
+            "meta": dict(meta),
+            "segments": segments,
+        }, sort_keys=True).encode("utf-8")
+
+        data_start = _align(_HEADER.size + len(manifest))
+        total = data_start + cursor
+        tmp = f"{os.fspath(path)}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            handle.write(_HEADER.pack(MAGIC, len(manifest)))
+            handle.write(manifest)
+            for segment, blob in zip(segments, blobs):
+                if blob.nbytes == 0:
+                    continue
+                handle.seek(data_start + segment["offset"])
+                handle.write(blob.tobytes())
+            handle.truncate(max(total, handle.tell()))
+        os.replace(tmp, path)
+        span.set(nbytes=total, segments=len(segments))
+        tel.count("io.snapshot_saves", 1)
+        tel.count("io.snapshot_bytes_written", total)
+        return total
+
+
+def _parse_header(blob: bytes, path: PathLike) -> dict:
+    if len(blob) < _HEADER.size:
+        raise SnapshotError(f"{os.fspath(path)}: truncated snapshot header")
+    magic, manifest_len = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise SnapshotError(
+            f"{os.fspath(path)}: not a repro snapshot (bad magic)")
+    raw = blob[_HEADER.size:_HEADER.size + manifest_len]
+    if len(raw) < manifest_len:
+        raise SnapshotError(f"{os.fspath(path)}: truncated manifest")
+    try:
+        manifest = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise SnapshotError(
+            f"{os.fspath(path)}: corrupt manifest JSON ({error})") from None
+    if manifest.get("format") != "repro-snapshot":
+        raise SnapshotError(f"{os.fspath(path)}: unknown snapshot format")
+    if manifest.get("version") != FORMAT_VERSION:
+        raise SnapshotError(
+            f"{os.fspath(path)}: snapshot version "
+            f"{manifest.get('version')} != supported {FORMAT_VERSION}")
+    manifest["__data_start__"] = _align(_HEADER.size + manifest_len)
+    return manifest
+
+
+def read_snapshot_manifest(path: PathLike) -> dict:
+    """Read only the header + manifest (for listings; no array I/O)."""
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(_HEADER.size)
+            if len(head) < _HEADER.size:
+                raise SnapshotError(
+                    f"{os.fspath(path)}: truncated snapshot header")
+            magic, manifest_len = _HEADER.unpack_from(head)
+            if magic != MAGIC:
+                raise SnapshotError(
+                    f"{os.fspath(path)}: not a repro snapshot (bad magic)")
+            return _parse_header(head + handle.read(manifest_len), path)
+    except OSError as error:
+        raise SnapshotError(f"{os.fspath(path)}: {error}") from None
+
+
+def is_snapshot(path: PathLike) -> bool:
+    """True when ``path`` is a file that starts with the snapshot magic."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def read_snapshot(path: PathLike, mmap: bool = True) -> Snapshot:
+    """Load a snapshot; with ``mmap=True`` arrays are zero-copy views.
+
+    Memory-mapped arrays are read-only (the page cache is shared); with
+    ``mmap=False`` they are private writable copies.  Every segment's
+    CRC-32 is verified either way — a flipped byte anywhere raises
+    :class:`SnapshotError` naming the bad segment.
+    """
+    tel = _telemetry()
+    with tel.span("io.snapshot_load", mmap=mmap) as span:
+        try:
+            handle = open(path, "rb")
+        except OSError as error:
+            raise SnapshotError(f"{os.fspath(path)}: {error}") from None
+        with handle:
+            if mmap:
+                try:
+                    buffer = _mmap.mmap(handle.fileno(), 0,
+                                        access=_mmap.ACCESS_READ)
+                except (OSError, ValueError) as error:
+                    raise SnapshotError(
+                        f"{os.fspath(path)}: cannot mmap ({error})") \
+                        from None
+            else:
+                buffer = handle.read()
+        manifest = _parse_manifest_from(buffer, path)
+        data_start = manifest["__data_start__"]
+        arrays: Dict[str, np.ndarray] = {}
+        for segment in manifest["segments"]:
+            arrays[segment["name"]] = _load_segment(
+                buffer, data_start, segment, path, writable=not mmap)
+        span.set(kind=manifest["kind"], segments=len(arrays))
+        tel.count("io.snapshot_loads", 1)
+        tel.count("io.snapshot_bytes_read",
+                  sum(s["nbytes"] for s in manifest["segments"]))
+        return Snapshot(kind=manifest["kind"], meta=manifest["meta"],
+                        arrays=arrays, path=os.fspath(path))
+
+
+def _parse_manifest_from(buffer, path: PathLike) -> dict:
+    header = bytes(buffer[:_HEADER.size])
+    if len(header) < _HEADER.size:
+        raise SnapshotError(f"{os.fspath(path)}: truncated snapshot header")
+    magic, manifest_len = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise SnapshotError(f"{os.fspath(path)}: bad magic "
+                            f"(not a repro snapshot)")
+    end = _HEADER.size + manifest_len
+    if len(buffer) < end:
+        raise SnapshotError(f"{os.fspath(path)}: truncated manifest")
+    return _parse_header(bytes(buffer[:end]), path)
+
+
+def _load_segment(buffer, data_start: int, segment: Mapping,
+                  path: PathLike, writable: bool) -> np.ndarray:
+    name = segment["name"]
+    dtype = np.dtype(segment["dtype"])
+    shape = tuple(segment["shape"])
+    nbytes = int(segment["nbytes"])
+    start = data_start + int(segment["offset"])
+    if nbytes == 0:
+        return np.empty(shape, dtype=dtype)
+    if len(buffer) < start + nbytes:
+        raise SnapshotError(
+            f"{os.fspath(path)}: segment {name!r} extends past end of file")
+    crc = zlib.crc32(memoryview(buffer)[start:start + nbytes]) & 0xFFFFFFFF
+    if crc != segment["crc32"]:
+        raise SnapshotError(
+            f"{os.fspath(path)}: checksum mismatch in segment {name!r} "
+            f"(stored {segment['crc32']:#010x}, computed {crc:#010x})")
+    count = nbytes // dtype.itemsize
+    array = np.frombuffer(buffer, dtype=dtype, count=count,
+                          offset=start).reshape(shape)
+    if writable:
+        array = array.copy()
+    return array
+
+
+# ----------------------------------------------------------------------
+# Shared-memory packing (reused by the process executor)
+# ----------------------------------------------------------------------
+
+def pack_layout(arrays: Mapping[str, np.ndarray]
+                ) -> Tuple[List[dict], int]:
+    """Describe how ``arrays`` pack into one flat buffer.
+
+    Returns ``(layout, total_nbytes)`` where each layout entry carries
+    name/dtype/shape/offset/nbytes — the same vocabulary as snapshot
+    segments, minus checksums (shared memory is not a durability layer).
+    """
+    layout: List[dict] = []
+    cursor = 0
+    for name, array in arrays.items():
+        dtype = _le_dtype(np.asarray(array).dtype)
+        offset = _align(cursor)
+        nbytes = int(np.asarray(array).nbytes)
+        layout.append({"name": name, "dtype": dtype.str,
+                       "shape": list(np.asarray(array).shape),
+                       "offset": offset, "nbytes": nbytes})
+        cursor = offset + nbytes
+    return layout, cursor
+
+
+def pack_into(buffer, arrays: Mapping[str, np.ndarray],
+              layout: Sequence[Mapping]) -> None:
+    """Copy each array's bytes into its layout slot of ``buffer``."""
+    for entry in layout:
+        if entry["nbytes"] == 0:
+            continue
+        dtype = np.dtype(entry["dtype"])
+        count = entry["nbytes"] // dtype.itemsize
+        view = np.frombuffer(buffer, dtype=dtype, count=count,
+                             offset=entry["offset"]).reshape(entry["shape"])
+        np.copyto(view, np.ascontiguousarray(arrays[entry["name"]],
+                                             dtype=dtype))
+
+
+def arrays_from_buffer(buffer, layout: Sequence[Mapping],
+                       writable: bool = False) -> Dict[str, np.ndarray]:
+    """Reconstruct named arrays as zero-copy views over ``buffer``."""
+    arrays: Dict[str, np.ndarray] = {}
+    for entry in layout:
+        dtype = np.dtype(entry["dtype"])
+        if entry["nbytes"] == 0:
+            arrays[entry["name"]] = np.empty(tuple(entry["shape"]),
+                                             dtype=dtype)
+            continue
+        count = entry["nbytes"] // dtype.itemsize
+        array = np.frombuffer(buffer, dtype=dtype, count=count,
+                              offset=entry["offset"]) \
+            .reshape(entry["shape"])
+        if not writable:
+            array.flags.writeable = False
+        arrays[entry["name"]] = array
+    return arrays
+
+
+# ----------------------------------------------------------------------
+# Campaign datasets
+# ----------------------------------------------------------------------
+
+def save_campaign(dataset, path: PathLike) -> int:
+    """Write a :class:`~repro.core.dataset.CampaignDataset` snapshot."""
+    arrays: Dict[str, np.ndarray] = {}
+    trials: List[dict] = []
+    for i, table in enumerate(dataset):
+        key = f"t{i}"
+        trials.append({"key": key, "protocol": table.protocol,
+                       "trial": int(table.trial),
+                       "origins": list(table.origins),
+                       "n_probes": int(table.n_probes)})
+        arrays[f"{key}.ip"] = table.ip
+        arrays[f"{key}.as_index"] = table.as_index
+        arrays[f"{key}.country_index"] = table.country_index
+        arrays[f"{key}.geo_index"] = table.geo_index
+        arrays[f"{key}.probe_mask"] = table.probe_mask
+        arrays[f"{key}.l7"] = table.l7
+        arrays[f"{key}.time"] = table.time
+    meta = {"metadata": dataset.metadata, "trials": trials}
+    return write_snapshot(path, "campaign", meta, arrays)
+
+
+def load_campaign(path: PathLike, mmap: bool = True):
+    """Load a campaign snapshot written by :func:`save_campaign`."""
+    from repro.core.dataset import CampaignDataset, TrialData
+
+    snapshot = read_snapshot(path, mmap=mmap)
+    if snapshot.kind != "campaign":
+        raise SnapshotError(
+            f"{os.fspath(path)}: snapshot holds a {snapshot.kind!r}, "
+            f"not a campaign")
+    tables = []
+    for entry in snapshot.meta["trials"]:
+        key = entry["key"]
+        tables.append(TrialData(
+            protocol=entry["protocol"],
+            trial=int(entry["trial"]),
+            origins=list(entry["origins"]),
+            ip=snapshot.arrays[f"{key}.ip"],
+            as_index=snapshot.arrays[f"{key}.as_index"],
+            country_index=snapshot.arrays[f"{key}.country_index"],
+            geo_index=snapshot.arrays[f"{key}.geo_index"],
+            probe_mask=snapshot.arrays[f"{key}.probe_mask"],
+            l7=snapshot.arrays[f"{key}.l7"],
+            time=snapshot.arrays[f"{key}.time"],
+            n_probes=int(entry["n_probes"])))
+    return CampaignDataset(tables, metadata=snapshot.meta["metadata"])
+
+
+# ----------------------------------------------------------------------
+# Host tables
+# ----------------------------------------------------------------------
+
+def host_arrays(hosts) -> Dict[str, np.ndarray]:
+    """The four aligned columns of a :class:`~repro.hosts.table.HostTable`."""
+    return {"hosts.ip": hosts.ip, "hosts.protocol": hosts.protocol,
+            "hosts.as_index": hosts.as_index,
+            "hosts.country_index": hosts.country_index}
+
+
+def hosts_from_arrays(arrays: Mapping[str, np.ndarray]):
+    """Rebuild a host table from stored columns without re-sorting.
+
+    Snapshot columns were written from an already-sorted table, so this
+    is zero-copy: the arrays (often mmap or shared-memory views) become
+    the table's columns directly.
+    """
+    from repro.hosts.table import HostTable
+
+    return HostTable.from_sorted_columns(
+        ip=arrays["hosts.ip"], protocol=arrays["hosts.protocol"],
+        as_index=arrays["hosts.as_index"],
+        country_index=arrays["hosts.country_index"])
+
+
+def save_hosts(hosts, path: PathLike) -> int:
+    """Write a host table snapshot."""
+    return write_snapshot(path, "hosts", {"n_services": len(hosts)},
+                          host_arrays(hosts))
+
+
+def load_hosts(path: PathLike, mmap: bool = True):
+    """Load a host table snapshot written by :func:`save_hosts`."""
+    snapshot = read_snapshot(path, mmap=mmap)
+    if snapshot.kind != "hosts":
+        raise SnapshotError(
+            f"{os.fspath(path)}: snapshot holds a {snapshot.kind!r}, "
+            f"not a host table")
+    return hosts_from_arrays(snapshot.arrays)
+
+
+# ----------------------------------------------------------------------
+# Topologies and whole worlds
+# ----------------------------------------------------------------------
+#
+# A world splits into a small pickled *skeleton* — seed, defaults, and
+# the topology's registry/trie objects, whose pickled form already
+# preserves post-build mutations (manual GeoIP prefixes, extra routes)
+# exactly like the plain world pickle the process executor used to ship
+# — plus the big aligned arrays: the four host columns and the
+# populated-/24 map flattened CSR-style (keys / lengths / values).
+
+def _slash24_arrays(populated: Mapping[int, np.ndarray]
+                    ) -> Dict[str, np.ndarray]:
+    keys = np.fromiter(populated.keys(), dtype=np.int64,
+                       count=len(populated))
+    lengths = np.fromiter((len(v) for v in populated.values()),
+                          dtype=np.int64, count=len(populated))
+    values = (np.concatenate([np.asarray(v, dtype=np.uint32)
+                              for v in populated.values()])
+              if populated else np.empty(0, dtype=np.uint32))
+    return {"pop24.keys": keys, "pop24.lengths": lengths,
+            "pop24.values": values}
+
+
+def _slash24_map(arrays: Mapping[str, np.ndarray]
+                 ) -> Dict[int, np.ndarray]:
+    keys = arrays["pop24.keys"]
+    lengths = arrays["pop24.lengths"]
+    values = arrays["pop24.values"]
+    populated: Dict[int, np.ndarray] = {}
+    offset = 0
+    for key, length in zip(keys.tolist(), lengths.tolist()):
+        populated[key] = values[offset:offset + length]
+        offset += length
+    return populated
+
+
+def decompose_topology(topology) -> Tuple[bytes, Dict[str, np.ndarray]]:
+    """Split a topology into (pickled skeleton, named arrays)."""
+    skeleton = pickle.dumps(
+        {"countries": topology.countries, "ases": topology.ases,
+         "routing": topology.routing, "geoip": topology.geoip},
+        protocol=pickle.HIGHEST_PROTOCOL)
+    return skeleton, _slash24_arrays(topology.populated_slash24s)
+
+
+_DEFERRED_TOPOLOGY_CLS = None
+
+
+def _deferred_topology_class():
+    """The lazily-materializing Topology subclass (built on first use).
+
+    Defined inside a factory because :mod:`repro.topology.generator` is
+    imported lazily here to avoid an import cycle.  Instances carry the
+    pickled skeleton and array views and unpickle them on first
+    attribute access — the object-plane analogue of mmap's page-in: a
+    warm world load returns in microseconds and the registry/trie
+    objects materialize only if the run actually touches them.
+    """
+    global _DEFERRED_TOPOLOGY_CLS
+    if _DEFERRED_TOPOLOGY_CLS is not None:
+        return _DEFERRED_TOPOLOGY_CLS
+
+    from repro.topology.generator import Topology
+
+    class _DeferredTopology(Topology):
+        def __init__(self, skeleton: bytes,
+                     arrays: Mapping[str, np.ndarray]) -> None:
+            self.__dict__["_pending"] = (skeleton, dict(arrays))
+
+        def _materialize(self) -> None:
+            pending = self.__dict__.pop("_pending", None)
+            if pending is None:
+                return
+            skeleton, arrays = pending
+            state = pickle.loads(skeleton)
+            self.countries = state["countries"]
+            self.ases = state["ases"]
+            self.routing = state["routing"]
+            self.geoip = state["geoip"]
+            self.populated_slash24s = _slash24_map(arrays)
+
+        def __getattr__(self, name):
+            if name.startswith("_"):
+                raise AttributeError(name)
+            self._materialize()
+            try:
+                return self.__dict__[name]
+            except KeyError:
+                raise AttributeError(name) from None
+
+        def __reduce__(self):
+            # Pickle as a plain Topology: the class itself is local to
+            # this factory and must never appear in a pickle stream.
+            self._materialize()
+            return (Topology, (self.countries, self.ases, self.routing,
+                               self.geoip, self.populated_slash24s))
+
+    _DEFERRED_TOPOLOGY_CLS = _DeferredTopology
+    return _DeferredTopology
+
+
+def recompose_topology(skeleton: bytes,
+                       arrays: Mapping[str, np.ndarray],
+                       lazy: bool = False):
+    """Rebuild a topology from :func:`decompose_topology` output.
+
+    With ``lazy=True`` the skeleton stays pickled until the topology's
+    registries or tries are first touched; the returned object is a
+    ``Topology`` subclass that materializes itself on demand.
+    """
+    from repro.topology.generator import Topology
+
+    if lazy:
+        return _deferred_topology_class()(skeleton, arrays)
+    state = pickle.loads(skeleton)
+    return Topology(countries=state["countries"], ases=state["ases"],
+                    routing=state["routing"], geoip=state["geoip"],
+                    populated_slash24s=_slash24_map(arrays))
+
+
+def save_topology(topology, path: PathLike) -> int:
+    """Write a topology snapshot."""
+    skeleton, arrays = decompose_topology(topology)
+    arrays["__skeleton__"] = np.frombuffer(skeleton, dtype=np.uint8)
+    return write_snapshot(path, "topology",
+                          {"n_ases": len(topology.ases)}, arrays)
+
+
+def load_topology(path: PathLike, mmap: bool = True):
+    """Load a topology snapshot written by :func:`save_topology`."""
+    snapshot = read_snapshot(path, mmap=mmap)
+    if snapshot.kind != "topology":
+        raise SnapshotError(
+            f"{os.fspath(path)}: snapshot holds a {snapshot.kind!r}, "
+            f"not a topology")
+    return recompose_topology(snapshot.arrays["__skeleton__"].tobytes(),
+                              snapshot.arrays)
+
+
+def decompose_world(world) -> Tuple[bytes, Dict[str, np.ndarray]]:
+    """Split a world into (pickled skeleton, named zero-copy arrays).
+
+    The arrays dict references the world's live arrays — nothing is
+    copied here.  ``recompose_world(skeleton, arrays)`` builds a world
+    that observes byte-identically (every lazy cache is rebuilt from the
+    counter-addressed RNG, so reconstruction is exact).
+    """
+    topo_skeleton, arrays = decompose_topology(world.topology)
+    skeleton = pickle.dumps(
+        {"seed": world.seed, "defaults": world.defaults,
+         "topology": topo_skeleton},
+        protocol=pickle.HIGHEST_PROTOCOL)
+    arrays.update(host_arrays(world.hosts))
+    return skeleton, arrays
+
+
+def recompose_world(skeleton: bytes, arrays: Mapping[str, np.ndarray],
+                    lazy_topology: bool = False):
+    """Rebuild a world from :func:`decompose_world` output.
+
+    ``lazy_topology=True`` defers unpickling the registry/trie objects
+    until first use (see :func:`recompose_topology`); the host columns
+    are adopted immediately either way.
+    """
+    from repro.sim.world import World
+
+    state = pickle.loads(skeleton)
+    topology = recompose_topology(state["topology"], arrays,
+                                  lazy=lazy_topology)
+    hosts = hosts_from_arrays(arrays)
+    return World(topology, hosts, state["seed"],
+                 defaults=state["defaults"])
+
+
+def save_world(world, path: PathLike,
+               extra_meta: Optional[Mapping] = None) -> int:
+    """Write a full world snapshot (topology + hosts + seed/defaults)."""
+    skeleton, arrays = decompose_world(world)
+    arrays["__skeleton__"] = np.frombuffer(skeleton, dtype=np.uint8)
+    meta = {"seed": int(world.seed), "n_services": len(world.hosts),
+            "n_ases": len(world.topology.ases)}
+    if extra_meta:
+        meta.update(extra_meta)
+    return write_snapshot(path, "world", meta, arrays)
+
+
+def load_world(path: PathLike, mmap: bool = True,
+               lazy_topology: bool = False):
+    """Load a world snapshot written by :func:`save_world`.
+
+    With ``mmap=True`` the host columns and populated-/24 arrays are
+    read-only views over the file — a warm load touches only the bytes
+    the run actually uses.  ``lazy_topology=True`` extends the same
+    treatment to the object plane: the pickled registries and tries stay
+    frozen until the run first touches ``world.topology``.
+    """
+    snapshot = read_snapshot(path, mmap=mmap)
+    if snapshot.kind != "world":
+        raise SnapshotError(
+            f"{os.fspath(path)}: snapshot holds a {snapshot.kind!r}, "
+            f"not a world")
+    return recompose_world(snapshot.arrays["__skeleton__"].tobytes(),
+                           snapshot.arrays, lazy_topology=lazy_topology)

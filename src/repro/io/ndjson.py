@@ -50,6 +50,8 @@ def read_ndjson_records(path: Union[str, os.PathLike]
     than raised.  Telemetry journals are read through this (a crashed run
     leaves a truncated final line exactly when the journal matters most),
     and real scan data imported from elsewhere gets the same tolerance.
+    Skips are also reported on the ambient telemetry counter
+    ``io.ndjson_malformed``, so silent tolerance still leaves a trace.
     """
     records: List[dict] = []
     skipped = 0
@@ -67,6 +69,10 @@ def read_ndjson_records(path: Union[str, os.PathLike]
                 skipped += 1
                 continue
             records.append(record)
+    if skipped:
+        # Imported lazily: telemetry's journal reader imports this module.
+        from repro.telemetry.context import current
+        current().count("io.ndjson_malformed", skipped)
     return records, skipped
 
 
@@ -98,7 +104,9 @@ def save_campaign(dataset: CampaignDataset, directory: str) -> None:
                         "origin": origin,
                         "probe_mask": int(table.probe_mask[oi, i]),
                         "l7": _L7_NAMES[L7Status(int(table.l7[oi, i]))],
-                        "time": round(float(table.time[oi, i]), 3),
+                        # Full precision: float32 → float64 → decimal is
+                        # exact, so load(save(ds)) is byte-identical.
+                        "time": float(table.time[oi, i]),
                         "asn": int(table.as_index[i]),
                         "country": int(table.country_index[i]),
                         "geo": int(table.geo_index[i]),

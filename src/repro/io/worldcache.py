@@ -1,0 +1,217 @@
+"""Content-addressed cache of compiled worlds.
+
+Building a paper-scale world costs ~100 ms of topology allocation and
+population draws, repeated by every CLI invocation, every test session,
+and every sweep over seeds.  The output, though, is a pure function of
+its inputs: the AS spec list, the seed, the world defaults, and the
+country registry that seeds the GeoIP database.  This module hashes
+those inputs into a cache key and stores the finished world as a
+columnar snapshot (:mod:`repro.io.columnar`), so a warm
+``build_world_from_specs`` is an mmap load instead of a rebuild.
+
+The key is a SHA-256 over a *canonical pickle* of the inputs: a
+C-speed pickle at a pinned protocol whose one source of nondeterminism
+— set/frozenset iteration order, which varies with ``PYTHONHASHSEED``
+— is removed by a dispatch-table override that pickles sets as sorted
+tuples.  Pickle bytes decode to exactly one value, so two different
+inputs can never share a key (no false hits); at worst an equal value
+constructed with different internal sharing re-pickles differently and
+misses spuriously, which only costs a rebuild.  Any input change (a
+spec field, the seed, the scale folded into the specs, a GeoIP country
+entry, the snapshot format itself) changes the key; stale entries are
+simply never addressed again.
+
+Environment:
+
+* ``REPRO_CACHE_DIR`` — cache root (default ``$XDG_CACHE_HOME/repro``
+  or ``~/.cache/repro``).
+* ``REPRO_WORLD_CACHE=0`` — disable the cache entirely.
+
+Corrupt or truncated entries (a killed writer, a flipped bit — CRCs are
+verified per segment) are treated as misses and rebuilt; writes are
+atomic, so concurrent builders race benignly.  Hits load with a *lazy*
+topology: the pickled registries and tries stay frozen until first
+touched, so a warm ``build_world_from_specs`` pays only the key hash,
+the manifest read, and the host-column adoption.  (An entry whose CRCs
+pass but whose pickled classes have drifted surfaces at first topology
+access rather than at load — bump :data:`BUILDER_VERSION` when class
+layouts change.)  Hits and misses are
+counted as ``cache.world_hit`` / ``cache.world_miss`` — a ``cache.``
+namespace excluded from telemetry's cross-backend determinism contract,
+since warmth is process-local state.
+"""
+
+from __future__ import annotations
+
+import copyreg
+import hashlib
+import io
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.io.columnar import (FORMAT_VERSION, SnapshotError, load_world,
+                               read_snapshot_manifest, save_world)
+from repro.telemetry.context import current as _telemetry
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_WORLD_CACHE = "REPRO_WORLD_CACHE"
+
+#: Bump when world *construction* changes meaning for identical inputs
+#: (topology allocation, population draws, ...): old entries must not
+#: satisfy new builds.
+BUILDER_VERSION = 1
+
+_SUFFIX = ".world"
+
+PathLike = Union[str, os.PathLike]
+
+
+def cache_enabled() -> bool:
+    """Whether the world cache is on (``REPRO_WORLD_CACHE`` != ``0``)."""
+    return os.environ.get(ENV_WORLD_CACHE, "1") != "0"
+
+
+def cache_dir(directory: Optional[PathLike] = None) -> Path:
+    """Resolve the cache root: argument > env > XDG default."""
+    if directory is not None:
+        return Path(directory)
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+# ----------------------------------------------------------------------
+# Canonical fingerprinting
+# ----------------------------------------------------------------------
+
+#: Pinned pickle protocol for cache keys: a protocol bump in a future
+#: Python must not silently re-key (and orphan) every cached world.
+_KEY_PROTOCOL = 5
+
+_KEY_DISPATCH = copyreg.dispatch_table.copy()
+_KEY_DISPATCH[frozenset] = \
+    lambda s: (frozenset, (tuple(sorted(s, key=repr)),))
+_KEY_DISPATCH[set] = lambda s: (set, (tuple(sorted(s, key=repr)),))
+
+
+def _canonical_bytes(value) -> bytes:
+    """Deterministic pickle of ``value`` (sets pickled as sorted tuples).
+
+    Dicts pickle in insertion order and dataclasses/enums by structure,
+    both deterministic; set iteration order — the one place
+    ``PYTHONHASHSEED`` leaks into pickle output — is canonicalized by
+    the dispatch-table overrides.
+    """
+    buffer = io.BytesIO()
+    pickler = pickle.Pickler(buffer, protocol=_KEY_PROTOCOL)
+    pickler.dispatch_table = _KEY_DISPATCH
+    pickler.dump(value)
+    return buffer.getvalue()
+
+
+def world_key(specs: Sequence, seed: int, defaults,
+              countries: Sequence) -> str:
+    """The content address of a world build (64 hex chars)."""
+    payload = {
+        "builder": BUILDER_VERSION,
+        "snapshot_format": FORMAT_VERSION,
+        "seed": int(seed),
+        "specs": list(specs),
+        "defaults": defaults,
+        "countries": list(countries),
+    }
+    return hashlib.sha256(_canonical_bytes(payload)).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The cache proper
+# ----------------------------------------------------------------------
+
+def entry_path(key: str, directory: Optional[PathLike] = None) -> Path:
+    return cache_dir(directory) / f"{key}{_SUFFIX}"
+
+
+def cached_build_world(specs: Sequence, seed: int, defaults,
+                       countries: Sequence, builder: Callable[[], object],
+                       directory: Optional[PathLike] = None):
+    """Return the world for these inputs, building at most once per key.
+
+    A readable entry is mmap-loaded (``cache.world_hit``); a missing or
+    corrupt one falls back to ``builder()`` and the result is written
+    back atomically (``cache.world_miss``).  Failures to *write* never
+    fail the build — the cache is an accelerator, not a dependency.
+    """
+    tel = _telemetry()
+    key = world_key(specs, seed, defaults, countries)
+    path = entry_path(key, directory)
+    if path.exists():
+        try:
+            with tel.span("cache.world_load", key=key[:12]):
+                world = load_world(path, lazy_topology=True)
+            tel.count("cache.world_hit", 1)
+            return world
+        except (SnapshotError, pickle.UnpicklingError, OSError,
+                ValueError, KeyError, AttributeError, ImportError):
+            # Unreadable entry (truncated write, stale class layout):
+            # treat as a miss and overwrite below.
+            pass
+    tel.count("cache.world_miss", 1)
+    world = builder()
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with tel.span("cache.world_save", key=key[:12]):
+            save_world(world, path, extra_meta={"cache_key": key})
+    except OSError:
+        pass
+    return world
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached world, as listed by :func:`list_entries`."""
+
+    key: str
+    path: Path
+    nbytes: int
+    seed: Optional[int] = None
+    n_services: Optional[int] = None
+    n_ases: Optional[int] = None
+    valid: bool = True
+
+
+def list_entries(directory: Optional[PathLike] = None) -> List[CacheEntry]:
+    """Enumerate cache entries (manifest-only reads; no array I/O)."""
+    root = cache_dir(directory)
+    entries: List[CacheEntry] = []
+    if not root.is_dir():
+        return entries
+    for path in sorted(root.glob(f"*{_SUFFIX}")):
+        nbytes = path.stat().st_size
+        try:
+            meta = read_snapshot_manifest(path)["meta"]
+            entries.append(CacheEntry(
+                key=path.stem, path=path, nbytes=nbytes,
+                seed=meta.get("seed"), n_services=meta.get("n_services"),
+                n_ases=meta.get("n_ases")))
+        except SnapshotError:
+            entries.append(CacheEntry(key=path.stem, path=path,
+                                      nbytes=nbytes, valid=False))
+    return entries
+
+
+def clear(directory: Optional[PathLike] = None) -> int:
+    """Delete every cache entry; returns how many were removed."""
+    removed = 0
+    for entry in list_entries(directory):
+        try:
+            entry.path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed

@@ -14,10 +14,14 @@ Three backends share one interface:
 * :class:`ThreadExecutor` — a thread pool; the world is shared, which is
   safe because its lazy caches memoize pure counter-addressed functions
   (a racing rebuild produces the identical value).
-* :class:`ProcessExecutor` — a process pool; the world is pickled once
-  per worker via the pool initializer, and each worker rebuilds the lazy
-  per-AS caches locally.  Job payloads stay small (an :class:`Origin`,
-  a trial-reseeded :class:`ZMapConfig`, and indices).
+* :class:`ProcessExecutor` — a process pool; the world's array plane is
+  broadcast once through ``multiprocessing.shared_memory`` (workers
+  attach zero-copy read-only views and rebuild the world around them),
+  with the small scalar skeleton pickled per worker.  Job payloads stay
+  small (an :class:`Origin`, a trial-reseeded :class:`ZMapConfig`, and
+  indices).  ``REPRO_WORLD_TRANSPORT=pickle`` — or any failure to
+  create the shared block — falls back to pickling the whole world into
+  the pool initializer, the pre-shared-memory behaviour.
 
 Every job carries everything a worker needs — including the origin's
 ``first_trial`` (rate-IDS state carries over from it), which must travel
@@ -43,6 +47,10 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from multiprocessing import shared_memory
+
+from repro.io.columnar import (arrays_from_buffer, decompose_world,
+                               pack_into, pack_layout, recompose_world)
 from repro.origins import Origin
 from repro.scanner.zmap import ZMapConfig, ZMapScanner
 from repro.sim.plan import ObserveProfile
@@ -54,6 +62,12 @@ from repro.telemetry.context import Telemetry, current as _telemetry, use
 #: parallel path without touching call sites.
 ENV_EXECUTOR = "REPRO_EXECUTOR"
 ENV_WORKERS = "REPRO_WORKERS"
+#: How the process backend ships the world: ``shm`` (default) or
+#: ``pickle`` (the reference path shared memory falls back to).
+ENV_TRANSPORT = "REPRO_WORLD_TRANSPORT"
+
+#: Registered world transports for the process backend.
+TRANSPORTS = ("shm", "pickle")
 
 #: Progress callback signature: ``(jobs_done, jobs_total, job)``.
 ProgressCallback = Callable[[int, int, "ObservationJob"], None]
@@ -118,6 +132,9 @@ class ExecutionReport:
     #: Observe-stage → total seconds, summed over every planned job (see
     #: :class:`repro.sim.plan.ObserveProfile`); empty for unplanned runs.
     stage_s: Tuple[Tuple[str, float], ...] = ()
+    #: How the world reached the workers (``"shm"`` or ``"pickle"``);
+    #: empty for backends that share the world in-process.
+    transport: str = ""
 
     @property
     def busy_s(self) -> float:
@@ -132,7 +149,7 @@ class ExecutionReport:
         return self.busy_s / self.wall_s
 
     def to_metadata(self) -> Dict[str, object]:
-        return {
+        out = {
             "backend": self.backend,
             "workers": self.workers,
             "workers_used": self.workers_used,
@@ -145,6 +162,9 @@ class ExecutionReport:
             "stages": {stage: round(seconds, 6)
                        for stage, seconds in self.stage_s},
         }
+        if self.transport:
+            out["transport"] = self.transport
+        return out
 
 
 def run_job(world: World, job: ObservationJob,
@@ -191,6 +211,10 @@ class Executor(ABC):
 
     #: Backend name recorded in the :class:`ExecutionReport`.
     name: str = "abstract"
+
+    #: Set by backends that ship the world across a process boundary;
+    #: recorded as :attr:`ExecutionReport.transport`.
+    _transport_used: str = ""
 
     def __init__(self, workers: Optional[int] = None) -> None:
         if workers is not None and workers < 1:
@@ -259,7 +283,8 @@ class Executor(ABC):
             workers_used=len({r.worker for r in ordered}),
             # Sorted by stage name: completion order must never leak into
             # metadata (thread workers finish in nondeterministic order).
-            stage_s=tuple(sorted(stage_totals.items())))
+            stage_s=tuple(sorted(stage_totals.items())),
+            transport=self._transport_used)
         return [r.observation for r in ordered], report
 
 
@@ -302,14 +327,37 @@ class ThreadExecutor(Executor):
 
 
 # Module-level slots for the per-process world and telemetry flag; set
-# by the pool initializer, read by every job the worker runs.
+# by the pool initializer, read by every job the worker runs.  The
+# shared-memory mapping must stay referenced for the worker's lifetime:
+# the world's host columns are views into it.
 _WORKER_WORLD: Optional[World] = None
 _WORKER_COLLECT: bool = False
+_WORKER_SHM: Optional[shared_memory.SharedMemory] = None
 
 
 def _process_init(payload: bytes, collect: bool = False) -> None:
     global _WORKER_WORLD, _WORKER_COLLECT
     _WORKER_WORLD = pickle.loads(payload)
+    _WORKER_COLLECT = collect
+
+
+def _process_init_shm(name: str, skeleton: bytes, layout: Sequence[dict],
+                      collect: bool = False) -> None:
+    """Attach the parent's shared block and rebuild the world around it.
+
+    The arrays become read-only zero-copy views over the mapping — no
+    bytes are copied, and an accidental in-place write in a worker
+    raises instead of corrupting every sibling.  Pool workers share the
+    parent's resource tracker, so attaching here re-registers the same
+    name (an idempotent set-add); the parent's ``unlink`` performs the
+    single unregister.  Unregistering per worker would strip the
+    parent's entry and break that accounting.
+    """
+    global _WORKER_WORLD, _WORKER_COLLECT, _WORKER_SHM
+    shm = shared_memory.SharedMemory(name=name)
+    _WORKER_SHM = shm
+    _WORKER_WORLD = recompose_world(skeleton,
+                                    arrays_from_buffer(shm.buf, layout))
     _WORKER_COLLECT = collect
 
 
@@ -319,38 +367,112 @@ def _process_run_job(job: ObservationJob) -> JobResult:
     return run_job(_WORKER_WORLD, job, collect=_WORKER_COLLECT)
 
 
+class SharedWorld:
+    """A world's array plane packed into one shared-memory block.
+
+    ``decompose_world`` splits the world into a small pickled skeleton
+    (seed, defaults, topology registries) and its big arrays (host
+    columns, populated /24s); the arrays are copied once into a single
+    ``multiprocessing.shared_memory`` block that every worker maps
+    zero-copy.  The creator must call :meth:`close` (which also unlinks)
+    when the pool is done.
+    """
+
+    def __init__(self, world: World) -> None:
+        self.skeleton, arrays = decompose_world(world)
+        self.layout, self.nbytes = pack_layout(arrays)
+        self._shm: Optional[shared_memory.SharedMemory] = \
+            shared_memory.SharedMemory(create=True,
+                                       size=max(self.nbytes, 1))
+        pack_into(self._shm.buf, arrays, self.layout)
+        self.name = self._shm.name
+
+    def initargs(self, collect: bool) -> Tuple:
+        """Arguments for :func:`_process_init_shm` (small: no arrays)."""
+        return (self.name, self.skeleton, self.layout, collect)
+
+    def close(self) -> None:
+        """Release and unlink the block (idempotent)."""
+        if self._shm is None:
+            return
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        self._shm = None
+
+
 class ProcessExecutor(Executor):
     """Process-pool backend: the world ships to each worker exactly once.
 
-    The world is pickled into the pool initializer rather than into every
-    job, so per-job payloads stay a few hundred bytes.  Workers rebuild
-    the lazy per-AS caches locally; because every draw is pure in
-    ``(seed, key, counters)``, the rebuilt caches are identical to the
-    parent's and the output is bit-identical to serial execution.
+    By default the world's arrays travel through one shared-memory block
+    (:class:`SharedWorld`) that workers map zero-copy, and only the
+    scalar skeleton is pickled per worker; ``transport="pickle"`` (or
+    ``REPRO_WORLD_TRANSPORT=pickle``, or shared-memory creation
+    failing) pickles the whole world into the pool initializer instead.
+    Either way nothing world-sized rides in job payloads, and workers
+    rebuild the lazy per-AS caches locally; because every draw is pure
+    in ``(seed, key, counters)``, the rebuilt caches are identical to
+    the parent's and the output is bit-identical to serial execution.
     """
 
     name = "process"
 
     def __init__(self, workers: Optional[int] = None,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 transport: Optional[str] = None) -> None:
         super().__init__(workers)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
+        if transport is None:
+            transport = os.environ.get(ENV_TRANSPORT, "shm")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown world transport {transport!r}; "
+                f"expected one of {TRANSPORTS}")
+        self.transport = transport
 
     def _execute(self, world: World, jobs: Sequence[ObservationJob],
                  progress: Optional[ProgressCallback],
                  collect: bool) -> List[JobResult]:
-        payload = pickle.dumps(world, protocol=pickle.HIGHEST_PROTOCOL)
-        context = multiprocessing.get_context(self.start_method)
-        with ProcessPoolExecutor(max_workers=self.workers,
-                                 mp_context=context,
-                                 initializer=_process_init,
-                                 initargs=(payload, collect)) as pool:
-            futures = {pool.submit(_process_run_job, job): job
-                       for job in jobs}
-            return _drain(futures, len(jobs), progress)
+        tel = _telemetry()
+        shared: Optional[SharedWorld] = None
+        if self.transport == "shm":
+            try:
+                shared = SharedWorld(world)
+            except Exception:
+                # No usable /dev/shm, unpicklable skeleton, size limits:
+                # the pickle path handles every world the old way.
+                shared = None
+        try:
+            if shared is not None:
+                initializer, initargs = \
+                    _process_init_shm, shared.initargs(collect)
+                self._transport_used = "shm"
+                if tel.enabled:
+                    tel.count("runtime.world_shm_bytes", shared.nbytes)
+            else:
+                payload = pickle.dumps(world,
+                                       protocol=pickle.HIGHEST_PROTOCOL)
+                initializer, initargs = _process_init, (payload, collect)
+                self._transport_used = "pickle"
+            if tel.enabled:
+                tel.count("runtime.world_transport", 1,
+                          transport=self._transport_used)
+            context = multiprocessing.get_context(self.start_method)
+            with ProcessPoolExecutor(max_workers=self.workers,
+                                     mp_context=context,
+                                     initializer=initializer,
+                                     initargs=initargs) as pool:
+                futures = {pool.submit(_process_run_job, job): job
+                           for job in jobs}
+                return _drain(futures, len(jobs), progress)
+        finally:
+            if shared is not None:
+                shared.close()
 
 
 def _drain(futures: Dict, total: int,

@@ -17,7 +17,8 @@ the comparison per table/figure.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+import os
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.blocking.firewall import ReputationFirewallSpec, StaticBlockSpec
 from repro.blocking.flaky import L7FlakySpec
@@ -584,12 +585,35 @@ def paper_specs(seed: int = 0, scale: float = 1.0) -> List[ASSpec]:
 
 
 def build_world_from_specs(specs: List[ASSpec], seed: int,
-                           defaults: WorldDefaults) -> World:
-    """Assemble a world from an explicit spec list (variant support)."""
-    rng = CounterRNG(seed, "scenario")
-    topology = build_topology(specs, default_countries())
-    hosts = populate(topology, rng.derive("population"))
-    return World(topology, hosts, seed, defaults=defaults)
+                           defaults: WorldDefaults,
+                           cache: Union[bool, str, None] = None) -> World:
+    """Assemble a world from an explicit spec list (variant support).
+
+    Construction is a pure function of ``(specs, seed, defaults)`` plus
+    the default country registry, so finished worlds are cached
+    content-addressed on disk (:mod:`repro.io.worldcache`): a warm call
+    mmap-loads the compiled world instead of re-running topology
+    allocation and population.  ``cache`` controls the behaviour:
+    ``None`` honors ``REPRO_WORLD_CACHE`` (default on), ``False``
+    bypasses the cache, ``True`` forces it, and a path string selects an
+    explicit cache directory.
+    """
+    def assemble() -> World:
+        rng = CounterRNG(seed, "scenario")
+        topology = build_topology(specs, default_countries())
+        hosts = populate(topology, rng.derive("population"))
+        return World(topology, hosts, seed, defaults=defaults)
+
+    from repro.io import worldcache
+    directory = None
+    if isinstance(cache, (str, os.PathLike)):
+        directory, cache = cache, True
+    use_cache = worldcache.cache_enabled() if cache is None else bool(cache)
+    if not use_cache:
+        return assemble()
+    return worldcache.cached_build_world(
+        specs, seed, defaults, default_countries(), assemble,
+        directory=directory)
 
 
 def paper_defaults() -> WorldDefaults:

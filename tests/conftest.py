@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -11,6 +12,25 @@ from repro.core.dataset import CampaignDataset, TrialData
 from repro.core.records import L7Status
 from repro.sim.campaign import run_campaign
 from repro.sim.scenario import small_scenario
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_world_cache(tmp_path_factory):
+    """Pin the content-addressed world cache to a session temp dir.
+
+    World builds are cached on disk by default (repro.io.worldcache);
+    the suite must stay hermetic — no reads of a developer's warm
+    ``~/.cache/repro``, no writes outside the test sandbox — while still
+    exercising the cache code path itself.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = \
+        str(tmp_path_factory.mktemp("world-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 # ----------------------------------------------------------------------
 # Hand-built TrialData

@@ -1,0 +1,226 @@
+"""Differential round-trip tests for the columnar snapshot store.
+
+Both on-disk campaign formats must reproduce the in-memory dataset
+byte-for-byte: the columnar container because it stores the raw array
+bytes, NDJSON because floats travel at full precision.  Snapshots must
+also load identically via mmap and plain reads, and reject corruption
+(flipped bytes, truncation, alien files) with a clear error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io import columnar
+from repro.io.columnar import SnapshotError
+from repro.io.ndjson import load_campaign as load_ndjson
+from repro.io.ndjson import save_campaign as save_ndjson
+from repro.scanner.zmap import ZMapScanner
+from repro.sim.campaign import run_campaign
+from repro.sim.scenario import paper_scenario
+
+TRIAL_ARRAYS = ("ip", "as_index", "country_index", "geo_index",
+                "probe_mask", "l7", "time")
+
+ROUND_TRIP_SEEDS = (3, 17, 29)
+
+
+def build_campaign(seed: int):
+    world, origins, config = paper_scenario(seed=seed, scale=0.02)
+    return run_campaign(world, origins, config,
+                        protocols=("http", "ssh"), n_trials=2)
+
+
+def assert_datasets_byte_identical(a, b) -> None:
+    assert a.metadata == b.metadata
+    assert len(a) == len(b)
+    for table in a:
+        other = b.trial_data(table.protocol, table.trial)
+        assert other.origins == table.origins
+        assert other.n_probes == table.n_probes
+        for name in TRIAL_ARRAYS:
+            ours, theirs = getattr(table, name), getattr(other, name)
+            assert theirs.dtype == ours.dtype, (name, table.protocol)
+            assert theirs.shape == ours.shape, (name, table.protocol)
+            assert theirs.tobytes() == ours.tobytes(), \
+                (name, table.protocol, table.trial)
+
+
+@pytest.mark.parametrize("seed", ROUND_TRIP_SEEDS)
+def test_columnar_round_trip_byte_identical(seed, tmp_path):
+    dataset = build_campaign(seed)
+    path = tmp_path / "campaign.snap"
+    columnar.save_campaign(dataset, path)
+    assert_datasets_byte_identical(dataset,
+                                   columnar.load_campaign(path))
+
+
+@pytest.mark.parametrize("seed", ROUND_TRIP_SEEDS)
+def test_ndjson_round_trip_byte_identical(seed, tmp_path):
+    dataset = build_campaign(seed)
+    save_ndjson(dataset, str(tmp_path / "campaign"))
+    assert_datasets_byte_identical(dataset,
+                                   load_ndjson(str(tmp_path / "campaign")))
+
+
+def test_mmap_and_memory_loads_identical(tmp_path):
+    dataset = build_campaign(5)
+    path = tmp_path / "campaign.snap"
+    columnar.save_campaign(dataset, path)
+    mapped = columnar.load_campaign(path, mmap=True)
+    copied = columnar.load_campaign(path, mmap=False)
+    assert_datasets_byte_identical(mapped, copied)
+    # mmap arrays are read-only views; plain loads are private copies.
+    table = next(iter(mapped))
+    assert not table.ip.flags.writeable
+    assert next(iter(copied)).ip.flags.writeable
+
+
+def test_snapshot_segments_and_manifest(tmp_path):
+    arrays = {"a": np.arange(7, dtype=np.uint32),
+              "b": np.zeros((2, 3), dtype=np.float32),
+              "empty": np.empty(0, dtype=np.int64)}
+    path = tmp_path / "x.snap"
+    columnar.write_snapshot(path, "test", {"k": 1}, arrays)
+    assert columnar.is_snapshot(path)
+    manifest = columnar.read_snapshot_manifest(path)
+    assert manifest["kind"] == "test"
+    assert [s["name"] for s in manifest["segments"]] == list(arrays)
+    for segment in manifest["segments"]:
+        assert segment["offset"] % columnar.ALIGN == 0
+    snapshot = columnar.read_snapshot(path)
+    for name, array in arrays.items():
+        assert snapshot.arrays[name].dtype == array.dtype
+        assert snapshot.arrays[name].shape == array.shape
+        assert np.array_equal(snapshot.arrays[name], array)
+
+
+@pytest.mark.parametrize("mmap", [True, False])
+def test_corrupted_segment_rejected(tmp_path, mmap):
+    dataset = build_campaign(5)
+    path = tmp_path / "campaign.snap"
+    columnar.save_campaign(dataset, path)
+    blob = bytearray(path.read_bytes())
+    blob[-3] ^= 0xFF  # inside the last segment's bytes
+    path.write_bytes(bytes(blob))
+    with pytest.raises(SnapshotError, match="checksum mismatch"):
+        columnar.load_campaign(path, mmap=mmap)
+
+
+def test_truncated_snapshot_rejected(tmp_path):
+    dataset = build_campaign(5)
+    path = tmp_path / "campaign.snap"
+    columnar.save_campaign(dataset, path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[:len(blob) // 2])
+    with pytest.raises(SnapshotError,
+                       match="past end of file|checksum"):
+        columnar.load_campaign(path)
+    path.write_bytes(blob[:4])
+    with pytest.raises(SnapshotError, match="truncated"):
+        columnar.read_snapshot(path)
+
+
+def test_alien_file_rejected(tmp_path):
+    path = tmp_path / "not-a-snapshot"
+    path.write_bytes(b"definitely not columnar data, long enough header")
+    assert not columnar.is_snapshot(path)
+    with pytest.raises(SnapshotError, match="bad magic"):
+        columnar.read_snapshot(path)
+    with pytest.raises(SnapshotError):
+        columnar.read_snapshot(tmp_path / "missing.snap")
+
+
+def test_kind_mismatch_rejected(tmp_path):
+    world, _, _ = paper_scenario(seed=5, scale=0.02)
+    path = tmp_path / "world.snap"
+    columnar.save_world(world, path)
+    with pytest.raises(SnapshotError, match="holds a 'world'"):
+        columnar.load_campaign(path)
+
+
+def test_world_snapshot_observes_identically(tmp_path):
+    world, origins, config = paper_scenario(seed=13, scale=0.02)
+    path = tmp_path / "world.snap"
+    columnar.save_world(world, path)
+    loaded = columnar.load_world(path)
+    names = tuple(o.name for o in origins)
+    scanner = ZMapScanner(config)
+    for origin in (origins[0], origins[4]):
+        ours = world.observe("http", 1, origin, scanner, names)
+        theirs = loaded.observe("http", 1, origin, scanner, names)
+        for name in ("ip", "as_index", "country_index", "geo_index",
+                     "probe_mask", "l7", "time"):
+            assert getattr(ours, name).tobytes() \
+                == getattr(theirs, name).tobytes(), (origin.name, name)
+
+
+def test_lazy_world_load_defers_topology(tmp_path):
+    import pickle
+
+    from repro.topology.generator import Topology
+
+    world, origins, config = paper_scenario(seed=13, scale=0.02)
+    path = tmp_path / "world.snap"
+    columnar.save_world(world, path)
+    loaded = columnar.load_world(path, lazy_topology=True)
+    # The skeleton stays pickled until the topology is first touched.
+    assert "_pending" in loaded.topology.__dict__
+    assert len(loaded.topology.ases) == len(world.topology.ases)
+    assert "_pending" not in loaded.topology.__dict__
+    # A still-frozen lazy world observes identically (thaws on demand)
+    # and re-pickles as a plain Topology, never the deferred subclass.
+    fresh = columnar.load_world(path, lazy_topology=True)
+    names = tuple(o.name for o in origins)
+    scanner = ZMapScanner(config)
+    ours = world.observe("http", 0, origins[0], scanner, names)
+    theirs = fresh.observe("http", 0, origins[0], scanner, names)
+    assert ours.probe_mask.tobytes() == theirs.probe_mask.tobytes()
+    clone = pickle.loads(pickle.dumps(
+        columnar.load_world(path, lazy_topology=True)))
+    assert type(clone.topology) is Topology
+    assert len(clone.topology.ases) == len(world.topology.ases)
+
+
+def test_hosts_and_topology_round_trip(tmp_path):
+    world, _, _ = paper_scenario(seed=13, scale=0.02)
+    hosts_path = tmp_path / "hosts.snap"
+    columnar.save_hosts(world.hosts, hosts_path)
+    hosts = columnar.load_hosts(hosts_path)
+    for column in ("ip", "protocol", "as_index", "country_index"):
+        assert getattr(hosts, column).tobytes() \
+            == getattr(world.hosts, column).tobytes()
+    assert hosts.counts_by_protocol() == world.hosts.counts_by_protocol()
+
+    topo_path = tmp_path / "topology.snap"
+    columnar.save_topology(world.topology, topo_path)
+    topology = columnar.load_topology(topo_path)
+    original = world.topology
+    assert len(topology.ases) == len(original.ases)
+    assert list(topology.populated_slash24s) \
+        == list(original.populated_slash24s)
+    for key, value in original.populated_slash24s.items():
+        assert np.array_equal(topology.populated_slash24s[key], value)
+    sample = world.hosts.ip[:64]
+    assert np.array_equal(topology.routing.as_index_array(sample),
+                          original.routing.as_index_array(sample))
+    assert np.array_equal(topology.geoip.geolocate_index_array(sample),
+                          original.geoip.geolocate_index_array(sample))
+
+
+def test_pack_round_trip_through_flat_buffer():
+    world, _, _ = paper_scenario(seed=13, scale=0.02)
+    skeleton, arrays = columnar.decompose_world(world)
+    layout, nbytes = columnar.pack_layout(arrays)
+    buffer = bytearray(nbytes)
+    columnar.pack_into(buffer, arrays, layout)
+    views = columnar.arrays_from_buffer(buffer, layout)
+    for name, array in arrays.items():
+        assert views[name].tobytes() == np.asarray(array).tobytes(), name
+        assert views[name].size == 0 or not views[name].flags.writeable
+    rebuilt = columnar.recompose_world(skeleton, views)
+    assert len(rebuilt.hosts) == len(world.hosts)
+    # The rebuilt host columns are views into the flat buffer: zero-copy.
+    assert np.shares_memory(rebuilt.hosts.ip,
+                            np.frombuffer(buffer, dtype=np.uint8))

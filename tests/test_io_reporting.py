@@ -47,7 +47,7 @@ class TestNdjsonRoundTrip:
             assert np.array_equal(a.l7, b.l7)
             assert np.array_equal(a.as_index, b.as_index)
             assert np.array_equal(a.geo_index, b.geo_index)
-            assert np.allclose(a.time, b.time, atol=0.01)
+            assert np.array_equal(a.time, b.time)
             assert a.n_probes == b.n_probes
         assert loaded.metadata["seed"] == 9
 
@@ -70,6 +70,23 @@ class TestNdjsonRoundTrip:
     def test_missing_manifest_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_campaign(str(tmp_path))
+
+    def test_malformed_lines_skipped_and_counted(self, tmp_path):
+        from repro.io.ndjson import read_ndjson_records
+        from repro.telemetry.context import Telemetry, use
+
+        path = tmp_path / "records.ndjson"
+        path.write_text('{"ip": "1.2.3.4"}\n'
+                        'not json at all\n'
+                        '[1, 2]\n'
+                        '\n'
+                        '{"ip": "5.6.7.8"}\n')
+        tel = Telemetry()
+        with use(tel):
+            records, skipped = read_ndjson_records(path)
+        assert [r["ip"] for r in records] == ["1.2.3.4", "5.6.7.8"]
+        assert skipped == 2
+        assert tel.counters.total("io.ndjson_malformed") == 2
 
 
 class TestCoverageCsv:
