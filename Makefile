@@ -1,8 +1,9 @@
 # Convenience targets.  In offline environments without the `wheel`
 # package, `make install` falls back to the legacy setuptools path.
 
-.PHONY: install test test-parallel bench bench-show bench-analysis \
-	bench-io profile trace examples report all
+.PHONY: install test test-parallel test-serve bench bench-show \
+	bench-analysis bench-io bench-serve serve profile trace examples \
+	report all
 
 install:
 	pip install -e . || python setup.py develop
@@ -17,6 +18,12 @@ test:
 # run alongside as part of tests/.
 test-parallel:
 	REPRO_EXECUTOR=process REPRO_WORKERS=2 pytest tests/
+
+# The serving layer end to end: e2e serving/caching/dedup plus the
+# fault-injection suite (corruption repair, timeouts, backpressure,
+# graceful drain).
+test-serve:
+	pytest tests/test_serve.py tests/test_serve_faults.py
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -38,6 +45,17 @@ bench-analysis:
 bench-io:
 	pytest benchmarks/test_perf_io.py --benchmark-only -s
 	pytest benchmarks/test_perf_io.py::test_perf_io_speedup_guard -s
+
+# Load-generate against an in-process campaign service: records
+# hit/miss p50/p99 latency and warm RPS into the BENCH_<n>.json
+# trajectory and asserts the warm-hit floor (p50 >= 20x cheaper than
+# recompute).
+bench-serve:
+	pytest benchmarks/test_perf_serve.py -s
+
+# Run the campaign service in the foreground (Ctrl-C drains).
+serve:
+	python -m repro serve $(SERVE_ARGS)
 
 # cProfile the paper-scale observe() hot path (warm compiled plan) and
 # print the per-stage ObserveProfile breakdown.  Pass --unplanned via

@@ -62,6 +62,19 @@ def _isolated_world_cache(tmp_path_factory):
         os.environ["REPRO_CACHE_DIR"] = previous
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Pin the serving layer's result cache, for the same isolation."""
+    previous = os.environ.get("REPRO_RESULT_CACHE_DIR")
+    os.environ["REPRO_RESULT_CACHE_DIR"] = \
+        str(tmp_path_factory.mktemp("result-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_RESULT_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_RESULT_CACHE_DIR"] = previous
+
+
 def pytest_addoption(parser):
     """Route the shared campaign fixtures through a parallel backend.
 

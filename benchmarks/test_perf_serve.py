@@ -1,0 +1,149 @@
+"""Serving-layer performance: warm-hit latency, miss latency, and RPS.
+
+A load generator (plain threads + the stdlib client, no extra harness)
+drives one in-process :class:`~repro.serve.server.ThreadedServer` and
+records the two latencies that justify the serving layer's existence:
+
+* **miss** — a cold campaign: world build (warm world cache), full
+  simulation, report render, and the atomic cache write;
+* **hit** — the content-addressed fast path: key memo, CRC-checked mmap
+  load, bytes streamed back.
+
+The guard asserts the acceptance floor: warm-hit p50 at least
+:data:`HIT_SPEEDUP_FLOOR`× cheaper than a recompute.  The gap is
+algorithmic (a campaign's worth of simulation and analysis vs one mmap
+load), so it is asserted on any hardware; the RPS numbers are recorded
+without a floor since concurrency scaling is machine-dependent.
+
+Results land in their own ``BENCH_<n>.json`` trajectory artifact
+(schema ``repro-bench-serve-v1``).  Run with::
+
+    make bench-serve
+    # = pytest benchmarks/test_perf_serve.py -s
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import datetime
+import json
+import platform
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig, ThreadedServer
+
+from benchmarks.conftest import _available_cpus, _next_bench_path
+
+#: Acceptance floor: warm-hit p50 vs miss p50 (both served end-to-end
+#: through HTTP, so transport overhead is common to both sides).
+HIT_SPEEDUP_FLOOR = 20.0
+
+#: Load-generator shape.
+SCALE = 0.05
+MISS_SEEDS = (101, 102, 103)
+WARM_SPEC = {"seed": 101, "scale": SCALE}
+N_WARM = 200
+RPS_THREADS = 4
+RPS_PER_THREAD = 50
+
+
+def _percentile(samples, q: float) -> float:
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+@pytest.fixture(scope="module")
+def serve_endpoint(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("serve-bench-results")
+    config = ServeConfig(port=0, cache_dir=str(cache_dir),
+                         queue_depth=64, request_timeout=600.0)
+    with ThreadedServer(config=config) as ts:
+        yield ServeClient(port=ts.port, timeout=600.0)
+
+
+def test_perf_serve_hit_vs_miss(serve_endpoint):
+    client = serve_endpoint
+
+    miss_samples = []
+    for seed in MISS_SEEDS:
+        start = time.perf_counter()
+        result = client.report(seed=seed, scale=SCALE)
+        miss_samples.append(time.perf_counter() - start)
+        assert result.source == "miss"
+
+    hit_samples = []
+    for _ in range(N_WARM):
+        start = time.perf_counter()
+        result = client.report(**WARM_SPEC)
+        hit_samples.append(time.perf_counter() - start)
+        assert result.source == "hit"
+
+    with concurrent.futures.ThreadPoolExecutor(RPS_THREADS) as pool:
+        start = time.perf_counter()
+        futures = [pool.submit(client.report, **WARM_SPEC)
+                   for _ in range(RPS_THREADS * RPS_PER_THREAD)]
+        for future in futures:
+            assert future.result().source == "hit"
+        rps_wall = time.perf_counter() - start
+    warm_rps = RPS_THREADS * RPS_PER_THREAD / rps_wall
+
+    miss_p50 = statistics.median(miss_samples)
+    hit_p50 = statistics.median(hit_samples)
+    hit_p99 = _percentile(hit_samples, 99)
+    speedup = miss_p50 / hit_p50
+
+    counters = client.metrics()["counters"]
+    print(f"\n[perf-serve] miss p50 {miss_p50 * 1e3:.0f}ms "
+          f"({len(MISS_SEEDS)} cold campaigns, scale {SCALE})")
+    print(f"[perf-serve] hit  p50 {hit_p50 * 1e3:.2f}ms  "
+          f"p99 {hit_p99 * 1e3:.2f}ms  ({N_WARM} warm requests)")
+    print(f"[perf-serve] warm throughput {warm_rps:.0f} req/s "
+          f"({RPS_THREADS} clients x {RPS_PER_THREAD})")
+    print(f"[perf-serve] hit is {speedup:.0f}x cheaper than recompute "
+          f"(floor {HIT_SPEEDUP_FLOOR:.0f}x)")
+
+    payload = {
+        "schema": "repro-bench-serve-v1",
+        "written_utc": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": _available_cpus(),
+        },
+        "load": {
+            "scale": SCALE,
+            "miss_seeds": list(MISS_SEEDS),
+            "warm_requests": N_WARM,
+            "rps_clients": RPS_THREADS,
+            "rps_requests": RPS_THREADS * RPS_PER_THREAD,
+        },
+        "serving": {
+            "miss_p50_s": round(miss_p50, 6),
+            "hit_p50_s": round(hit_p50, 6),
+            "hit_p99_s": round(hit_p99, 6),
+            "warm_rps": round(warm_rps, 1),
+            "hit_speedup": round(speedup, 1),
+            "counters": {name: value for name, value in counters.items()
+                         if name.startswith("serve.")},
+        },
+    }
+    path = _next_bench_path()
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[perf-serve] wrote {path.name}")
+
+    assert counters["serve.cache_miss"] == len(MISS_SEEDS)
+    # concurrent identical warm requests may join one flight, so hits
+    # plus joins must cover every warm request served
+    assert counters["serve.cache_hit"] \
+        + counters.get("serve.dedup_joined", 0) \
+        == N_WARM + RPS_THREADS * RPS_PER_THREAD
+    assert speedup >= HIT_SPEEDUP_FLOOR, (
+        f"warm hit only {speedup:.1f}x cheaper than recompute "
+        f"(< {HIT_SPEEDUP_FLOOR}x): hit p50 {hit_p50 * 1e3:.2f}ms, "
+        f"miss p50 {miss_p50 * 1e3:.0f}ms")

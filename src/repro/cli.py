@@ -12,7 +12,9 @@ Three commands mirror the library's workflow:
 * ``trace`` — summarize a telemetry journal written by
   ``simulate --telemetry`` (span tree, manifest, top counters);
 * ``cache`` — inspect or clear the content-addressed world cache that
-  accelerates repeated scenario builds.
+  accelerates repeated scenario builds;
+* ``serve`` — run the long-lived campaign service (asyncio HTTP/JSON
+  front with a content-addressed result cache; see docs/SERVING.md).
 """
 
 from __future__ import annotations
@@ -119,6 +121,32 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=("ls", "clear"),
                        help="'ls' lists cached worlds; 'clear' deletes "
                             "them")
+
+    serve = commands.add_parser(
+        "serve", help="run the campaign service (HTTP/JSON + result "
+                      "cache); stop with SIGTERM/Ctrl-C for a graceful "
+                      "drain")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8351,
+                       help="listen port (0 picks an ephemeral port)")
+    serve.add_argument("--queue-depth", type=int, default=8,
+                       help="admitted-request cap; beyond it requests "
+                            "get 429")
+    serve.add_argument("--timeout", type=float, default=300.0,
+                       help="per-request wall budget in seconds (504 "
+                            "past it; compute continues and is cached)")
+    serve.add_argument("--pool-size", type=int, default=2,
+                       help="campaigns computed concurrently")
+    serve.add_argument("--executor", default=None, choices=BACKENDS,
+                       help="campaign execution backend "
+                            "(default: REPRO_EXECUTOR env or serial)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="campaign pool width for thread/process "
+                            "backends")
+    serve.add_argument("--cache-dir", default=None,
+                       help="result-cache root (default: "
+                            "REPRO_RESULT_CACHE_DIR or the world-cache "
+                            "root /results)")
 
     profile = commands.add_parser(
         "profile", help="profile the observe() hot path (warm plan)")
@@ -258,6 +286,32 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import ServeConfig, serve_async
+
+    config = ServeConfig(host=args.host, port=args.port,
+                         queue_depth=args.queue_depth,
+                         request_timeout=args.timeout,
+                         pool_size=args.pool_size,
+                         executor=args.executor, workers=args.workers,
+                         cache_dir=args.cache_dir)
+
+    def ready(server) -> None:
+        print(f"repro serve: listening on "
+              f"http://{config.host}:{server.port} "
+              f"(queue_depth={config.queue_depth}, "
+              f"timeout={config.request_timeout:g}s)", file=sys.stderr)
+
+    try:
+        asyncio.run(serve_async(config, ready=ready))
+    except KeyboardInterrupt:
+        pass
+    print("repro serve: drained, bye", file=sys.stderr)
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import cProfile
     import pstats
@@ -311,6 +365,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": _cmd_plan,
         "validate": _cmd_validate,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
         "profile": _cmd_profile,
     }
     return handlers[args.command](args)

@@ -29,11 +29,13 @@ and reported as :class:`SnapshotError`.
 
 from __future__ import annotations
 
+import itertools
 import json
 import mmap as _mmap
 import os
 import pickle
 import struct
+import threading
 import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -58,6 +60,18 @@ PathLike = Union[str, os.PathLike]
 
 class SnapshotError(Exception):
     """A snapshot file is missing, truncated, corrupt, or mismatched."""
+
+
+#: Distinguishes concurrent writers *within* one process: two threads
+#: racing the same destination must never share a temp file (the pid
+#: alone cannot tell them apart).
+_TMP_COUNTER = itertools.count()
+
+
+def _tmp_path(path: PathLike) -> str:
+    """A collision-free temp name next to ``path`` for atomic writes."""
+    return (f"{os.fspath(path)}.tmp.{os.getpid()}."
+            f"{threading.get_ident()}.{next(_TMP_COUNTER)}")
 
 
 def _align(offset: int) -> int:
@@ -123,7 +137,7 @@ def write_snapshot(path: PathLike, kind: str, meta: Mapping,
 
         data_start = _align(_HEADER.size + len(manifest))
         total = data_start + cursor
-        tmp = f"{os.fspath(path)}.tmp.{os.getpid()}"
+        tmp = _tmp_path(path)
         with open(tmp, "wb") as handle:
             handle.write(_HEADER.pack(MAGIC, len(manifest)))
             handle.write(manifest)
@@ -332,8 +346,18 @@ def arrays_from_buffer(buffer, layout: Sequence[Mapping],
 # Campaign datasets
 # ----------------------------------------------------------------------
 
-def save_campaign(dataset, path: PathLike) -> int:
-    """Write a :class:`~repro.core.dataset.CampaignDataset` snapshot."""
+#: Per-trial array columns stored for each campaign table.
+_TRIAL_COLUMNS = ("ip", "as_index", "country_index", "geo_index",
+                  "probe_mask", "l7", "time")
+
+
+def campaign_arrays(dataset) -> Tuple[List[dict], Dict[str, np.ndarray]]:
+    """Decompose a campaign into (per-trial meta entries, named arrays).
+
+    The inverse is :func:`campaign_from_parts`; both are shared by the
+    plain campaign snapshot and the serving layer's result snapshots,
+    which bundle the same arrays next to a rendered report.
+    """
     arrays: Dict[str, np.ndarray] = {}
     trials: List[dict] = []
     for i, table in enumerate(dataset):
@@ -342,42 +366,103 @@ def save_campaign(dataset, path: PathLike) -> int:
                        "trial": int(table.trial),
                        "origins": list(table.origins),
                        "n_probes": int(table.n_probes)})
-        arrays[f"{key}.ip"] = table.ip
-        arrays[f"{key}.as_index"] = table.as_index
-        arrays[f"{key}.country_index"] = table.country_index
-        arrays[f"{key}.geo_index"] = table.geo_index
-        arrays[f"{key}.probe_mask"] = table.probe_mask
-        arrays[f"{key}.l7"] = table.l7
-        arrays[f"{key}.time"] = table.time
+        for column in _TRIAL_COLUMNS:
+            arrays[f"{key}.{column}"] = getattr(table, column)
+    return trials, arrays
+
+
+def campaign_from_parts(trials: Sequence[Mapping],
+                        arrays: Mapping[str, np.ndarray],
+                        metadata: Mapping):
+    """Rebuild a :class:`~repro.core.dataset.CampaignDataset`."""
+    from repro.core.dataset import CampaignDataset, TrialData
+
+    tables = []
+    for entry in trials:
+        key = entry["key"]
+        columns = {column: arrays[f"{key}.{column}"]
+                   for column in _TRIAL_COLUMNS}
+        tables.append(TrialData(
+            protocol=entry["protocol"],
+            trial=int(entry["trial"]),
+            origins=list(entry["origins"]),
+            n_probes=int(entry["n_probes"]),
+            **columns))
+    return CampaignDataset(tables, metadata=dict(metadata))
+
+
+def save_campaign(dataset, path: PathLike) -> int:
+    """Write a :class:`~repro.core.dataset.CampaignDataset` snapshot."""
+    trials, arrays = campaign_arrays(dataset)
     meta = {"metadata": dataset.metadata, "trials": trials}
     return write_snapshot(path, "campaign", meta, arrays)
 
 
 def load_campaign(path: PathLike, mmap: bool = True):
     """Load a campaign snapshot written by :func:`save_campaign`."""
-    from repro.core.dataset import CampaignDataset, TrialData
-
     snapshot = read_snapshot(path, mmap=mmap)
     if snapshot.kind != "campaign":
         raise SnapshotError(
             f"{os.fspath(path)}: snapshot holds a {snapshot.kind!r}, "
             f"not a campaign")
-    tables = []
-    for entry in snapshot.meta["trials"]:
-        key = entry["key"]
-        tables.append(TrialData(
-            protocol=entry["protocol"],
-            trial=int(entry["trial"]),
-            origins=list(entry["origins"]),
-            ip=snapshot.arrays[f"{key}.ip"],
-            as_index=snapshot.arrays[f"{key}.as_index"],
-            country_index=snapshot.arrays[f"{key}.country_index"],
-            geo_index=snapshot.arrays[f"{key}.geo_index"],
-            probe_mask=snapshot.arrays[f"{key}.probe_mask"],
-            l7=snapshot.arrays[f"{key}.l7"],
-            time=snapshot.arrays[f"{key}.time"],
-            n_probes=int(entry["n_probes"])))
-    return CampaignDataset(tables, metadata=snapshot.meta["metadata"])
+    return campaign_from_parts(snapshot.meta["trials"], snapshot.arrays,
+                               snapshot.meta["metadata"])
+
+
+# ----------------------------------------------------------------------
+# Served results: a rendered report bundled with its campaign
+# ----------------------------------------------------------------------
+
+@dataclass
+class ResultSnapshot:
+    """A loaded result entry: the exact report bytes plus the campaign.
+
+    ``report`` is the rendered analysis report exactly as first computed
+    — the serving layer streams these bytes back on a cache hit, which
+    is what makes hit and miss responses byte-identical.  ``dataset`` is
+    the backing campaign (mmap-loaded, read-only), available for future
+    endpoints that need more than the rendered text.
+    """
+
+    report: str
+    meta: dict
+    dataset: object
+    path: str
+
+
+def save_result(path: PathLike, report: str, dataset,
+                meta: Optional[Mapping] = None) -> int:
+    """Write a result snapshot: report text + campaign arrays, atomic.
+
+    The write inherits :func:`write_snapshot`'s temp-file + rename
+    protocol and per-segment CRCs, so a reader either sees a complete,
+    checksummed entry or no entry at all — a cancelled or killed writer
+    can never publish partial bytes.
+    """
+    trials, arrays = campaign_arrays(dataset)
+    arrays["__report__"] = np.frombuffer(report.encode("utf-8"),
+                                         dtype=np.uint8)
+    snapshot_meta = {"metadata": dataset.metadata, "trials": trials,
+                     "result": dict(meta or {})}
+    return write_snapshot(path, "result", snapshot_meta, arrays)
+
+
+def load_result(path: PathLike, mmap: bool = True) -> ResultSnapshot:
+    """Load a result snapshot written by :func:`save_result`.
+
+    Every segment's CRC is verified (report bytes included); corruption
+    raises :class:`SnapshotError` rather than returning wrong bytes.
+    """
+    snapshot = read_snapshot(path, mmap=mmap)
+    if snapshot.kind != "result":
+        raise SnapshotError(
+            f"{os.fspath(path)}: snapshot holds a {snapshot.kind!r}, "
+            f"not a served result")
+    report = snapshot.arrays["__report__"].tobytes().decode("utf-8")
+    dataset = campaign_from_parts(snapshot.meta["trials"], snapshot.arrays,
+                                  snapshot.meta["metadata"])
+    return ResultSnapshot(report=report, meta=snapshot.meta["result"],
+                          dataset=dataset, path=os.fspath(path))
 
 
 # ----------------------------------------------------------------------

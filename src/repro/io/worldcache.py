@@ -29,7 +29,10 @@ Environment:
 
 Corrupt or truncated entries (a killed writer, a flipped bit — CRCs are
 verified per segment) are treated as misses and rebuilt; writes are
-atomic, so concurrent builders race benignly.  Hits load with a *lazy*
+atomic (temp file + rename), and concurrent cold builders elect a single
+writer through an ``O_EXCL`` claim lockfile so racing builds — threads
+or processes — can never interleave writes to one entry (stale claims
+from killed writers are broken after :data:`STALE_CLAIM_S`).  Hits load with a *lazy*
 topology: the pickled registries and tries stay frozen until first
 touched, so a warm ``build_world_from_specs`` pays only the key hash,
 the manifest read, and the host-column adoption.  (An entry whose CRCs
@@ -48,6 +51,7 @@ import hashlib
 import io
 import os
 import pickle
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
@@ -137,6 +141,50 @@ def entry_path(key: str, directory: Optional[PathLike] = None) -> Path:
     return cache_dir(directory) / f"{key}{_SUFFIX}"
 
 
+#: A writer claim older than this is presumed dead (a killed builder)
+#: and broken, so one crash can never wedge a cache key forever.
+STALE_CLAIM_S = 300.0
+
+
+def _claim_write(path: Path) -> Optional[Path]:
+    """Atomically claim the right to write ``path``; None if already held.
+
+    The claim is an ``O_CREAT | O_EXCL`` lockfile next to the entry —
+    exactly one concurrent builder (thread *or* process) wins it, so
+    racing cold builds produce a single writer instead of interleaved
+    partial writes.  Losers simply skip the write: their built world is
+    still returned, and the winner's entry serves every later call.
+    """
+    lock = path.with_name(path.name + ".lock")
+    for attempt in range(2):
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            if attempt:
+                return None
+            try:
+                age = time.time() - lock.stat().st_mtime
+            except OSError:
+                continue  # holder just released; retry the claim
+            if age < STALE_CLAIM_S:
+                return None
+            try:  # break a dead builder's claim and retry once
+                lock.unlink()
+            except OSError:
+                return None
+        else:
+            os.close(fd)
+            return lock
+    return None
+
+
+def _release_claim(lock: Path) -> None:
+    try:
+        lock.unlink()
+    except OSError:
+        pass
+
+
 def cached_build_world(specs: Sequence, seed: int, defaults,
                        countries: Sequence, builder: Callable[[], object],
                        directory: Optional[PathLike] = None):
@@ -165,8 +213,17 @@ def cached_build_world(specs: Sequence, seed: int, defaults,
     world = builder()
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        with tel.span("cache.world_save", key=key[:12]):
-            save_world(world, path, extra_meta={"cache_key": key})
+        claim = _claim_write(path)
+        if claim is None:
+            # Another builder holds the write claim for this key; its
+            # atomic rename will publish an equivalent entry.
+            tel.count("cache.world_write_skipped", 1)
+            return world
+        try:
+            with tel.span("cache.world_save", key=key[:12]):
+                save_world(world, path, extra_meta={"cache_key": key})
+        finally:
+            _release_claim(claim)
     except OSError:
         pass
     return world

@@ -1,0 +1,16 @@
+"""Campaign-as-a-service: the long-lived serving layer.
+
+``repro serve`` runs campaigns behind an asyncio HTTP/JSON front with a
+content-addressed result cache; see :mod:`repro.serve.server` for the
+design and ``docs/SERVING.md`` for the operational story.  Submodules:
+
+* :mod:`repro.serve.handlers` — request model + blocking compute path
+* :mod:`repro.serve.resultcache` — content-addressed result cache
+* :mod:`repro.serve.server` — asyncio server, flights, lifecycle
+* :mod:`repro.serve.client` — stdlib client
+"""
+
+from repro.serve.handlers import (BadRequest, CampaignRequest,  # noqa: F401
+                                  ServeState, parse_request, run_request)
+from repro.serve.server import (ReproServer, ServeConfig,  # noqa: F401
+                                ThreadedServer, serve_async)

@@ -1,0 +1,122 @@
+"""A small stdlib client for the campaign service.
+
+Wraps ``http.client`` (no dependencies, like the server) with the
+service's routes and error contract: non-2xx responses raise
+:class:`ServeError` carrying the status code and the server's decoded
+error body, so callers branch on ``error.status`` (429 back-off, 503
+draining, 504 timed out) instead of parsing strings.
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(port=8351)
+    result = client.report(seed=3, scale=0.02)
+    print(result.source, len(result.text))   # "miss" first, "hit" after
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+
+class ServeError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str,
+                 body: Optional[dict] = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.body = body or {}
+
+
+@dataclass(frozen=True)
+class ReportResult:
+    """A served report: the exact bytes plus serving metadata."""
+
+    key: str
+    source: str          # "hit" | "miss" | "repair"
+    text: str
+
+
+class ServeClient:
+    """One service endpoint; each call is an independent connection.
+
+    (The server speaks ``Connection: close``, so there is no pooling to
+    manage — a client object is just an address plus a timeout.)
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8351,
+                 timeout: float = 600.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return json.loads(self._request("GET", "/healthz")[1])
+
+    def metrics(self) -> dict:
+        """The aggregated counters/histograms (JSON form)."""
+        return json.loads(self._request("GET", "/metrics?format=json")[1])
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition."""
+        return self._request("GET", "/metrics")[1].decode("utf-8")
+
+    def cache(self) -> list:
+        return json.loads(self._request("GET", "/cache")[1])["entries"]
+
+    def campaign(self, **spec) -> dict:
+        """Run (or serve from cache) a campaign; JSON summary, no report."""
+        _, body, _ = self._post("/campaign", spec)
+        return json.loads(body)
+
+    def report(self, **spec) -> ReportResult:
+        """Run (or serve from cache) a campaign and fetch its report."""
+        _, body, headers = self._post("/report", spec)
+        return ReportResult(key=headers.get("x-repro-key", ""),
+                            source=headers.get("x-repro-source", ""),
+                            text=body.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _post(self, path: str, spec: dict):
+        return self._request("POST", path, body=_spec_body(spec))
+
+    def _request(self, method: str, path: str,
+                 body: Optional[bytes] = None):
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+            header_map: Dict[str, str] = {
+                k.lower(): v for k, v in response.getheaders()}
+            if not 200 <= response.status < 300:
+                try:
+                    decoded = json.loads(payload)
+                except ValueError:
+                    decoded = {"error": payload.decode("utf-8", "replace")}
+                raise ServeError(response.status,
+                                 decoded.get("error", "request failed"),
+                                 decoded)
+            return response.status, payload, header_map
+        finally:
+            conn.close()
+
+
+def _spec_body(spec: dict) -> bytes:
+    spec = dict(spec)
+    protocols: Optional[Sequence[str]] = spec.get("protocols")
+    if protocols is not None:
+        spec["protocols"] = list(protocols)
+    return json.dumps(spec, sort_keys=True).encode("utf-8")

@@ -1,0 +1,250 @@
+"""Request model and compute path of the campaign service.
+
+This module is the service's *logic* layer, deliberately free of any
+transport detail: :func:`parse_request` turns a decoded JSON body into a
+validated :class:`CampaignRequest`, and :func:`run_request` — the
+blocking function the server dispatches to its worker pool — resolves
+the request against the content-addressed result cache or computes it
+with the existing pipeline (scenario build → ``run_campaign`` →
+``full_report`` → cache write).  Keeping it transport-free is what lets
+the fault-injection suite drive the exact production compute path with
+injected failures, and the server swap in a faulty runner without
+touching HTTP code.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.engine import ENGINES
+from repro.core.report import full_report
+from repro.serve import resultcache
+from repro.sim.campaign import campaign_fingerprint, run_campaign
+from repro.sim.executor import BACKENDS
+from repro.sim.scenario import followup_scenario, paper_scenario
+from repro.telemetry.context import current as _telemetry
+from repro.telemetry.manifest import config_hash, world_fingerprint
+from repro.topology.asn import PROTOCOLS
+
+#: Scenario name → (world, origins, config) builder.
+SCENARIOS = {
+    "paper": paper_scenario,
+    "followup": followup_scenario,
+}
+
+#: Validation bounds: requests are untrusted input.
+MAX_SEED = 2**32
+MAX_TRIALS = 16
+MIN_SCALE, MAX_SCALE = 1e-3, 2.0
+
+
+class BadRequest(Exception):
+    """The request body is malformed or out of bounds (an HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class CampaignRequest:
+    """A validated campaign/report request.
+
+    The *request spec* deliberately names scenario inputs (scenario,
+    seed, scale) rather than raw worlds: the world itself is recovered
+    through the content-addressed world cache, and the result key is
+    then derived from the *built* world's fingerprint — so two specs
+    that produce the same world share cache entries, and a spec whose
+    world construction changed (new builder version) can never alias a
+    stale result.
+    """
+
+    scenario: str = "paper"
+    seed: int = 0
+    scale: float = 0.05
+    protocols: Tuple[str, ...] = PROTOCOLS
+    n_trials: int = 3
+    engine: Optional[str] = None
+
+    def canonical(self) -> str:
+        """The canonical JSON identity (single-flight / memo key)."""
+        return json.dumps({
+            "scenario": self.scenario, "seed": self.seed,
+            "scale": self.scale, "protocols": list(self.protocols),
+            "n_trials": self.n_trials, "engine": self.engine,
+        }, sort_keys=True, separators=(",", ":"))
+
+    def to_json(self) -> dict:
+        return json.loads(self.canonical())
+
+
+def parse_request(payload: object) -> CampaignRequest:
+    """Validate an untrusted JSON body into a :class:`CampaignRequest`."""
+    if not isinstance(payload, dict):
+        raise BadRequest("request body must be a JSON object")
+    unknown = set(payload) - {"scenario", "seed", "scale", "protocols",
+                              "n_trials", "engine"}
+    if unknown:
+        raise BadRequest(f"unknown request fields: {sorted(unknown)}")
+
+    scenario = payload.get("scenario", "paper")
+    if scenario not in SCENARIOS:
+        raise BadRequest(f"unknown scenario {scenario!r}; "
+                         f"expected one of {sorted(SCENARIOS)}")
+
+    seed = payload.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool) \
+            or not 0 <= seed < MAX_SEED:
+        raise BadRequest(f"seed must be an integer in [0, {MAX_SEED})")
+
+    scale = payload.get("scale", 0.05)
+    if isinstance(scale, int) and not isinstance(scale, bool):
+        scale = float(scale)
+    if not isinstance(scale, float) or not MIN_SCALE <= scale <= MAX_SCALE:
+        raise BadRequest(
+            f"scale must be a number in [{MIN_SCALE}, {MAX_SCALE}]")
+
+    protocols = payload.get("protocols", list(PROTOCOLS))
+    if not isinstance(protocols, (list, tuple)) or not protocols \
+            or not all(p in PROTOCOLS for p in protocols) \
+            or len(set(protocols)) != len(protocols):
+        raise BadRequest(
+            f"protocols must be a non-empty subset of {list(PROTOCOLS)}")
+    # Normalize to canonical protocol order so request identity (and
+    # therefore dedup/cache keys) ignores listing order.
+    protocols = tuple(p for p in PROTOCOLS if p in protocols)
+
+    n_trials = payload.get("n_trials", 3)
+    if not isinstance(n_trials, int) or isinstance(n_trials, bool) \
+            or not 1 <= n_trials <= MAX_TRIALS:
+        raise BadRequest(f"n_trials must be an integer in [1, {MAX_TRIALS}]")
+
+    engine = payload.get("engine")
+    if engine is not None and engine not in ENGINES:
+        raise BadRequest(f"unknown engine {engine!r}; "
+                         f"expected one of {list(ENGINES)}")
+
+    return CampaignRequest(scenario=scenario, seed=seed, scale=scale,
+                           protocols=protocols, n_trials=n_trials,
+                           engine=engine)
+
+
+@dataclass
+class ResultPayload:
+    """What one compute produces: the report plus serving metadata.
+
+    ``source`` records how the bytes were obtained — ``"hit"`` (cache
+    read), ``"miss"`` (computed cold), or ``"repair"`` (corrupt entry
+    detected, recomputed, overwritten).  The server maps these onto the
+    ``serve.cache_*`` counters and response metadata.
+    """
+
+    key: str
+    report: str
+    meta: dict
+    source: str
+
+
+@dataclass
+class ServeState:
+    """Shared, thread-safe compute-side state of one server instance.
+
+    Holds a small LRU of built worlds (a warm request must not pay a
+    world rebuild just to derive its cache key) and a memo from
+    canonical request spec to result key (so a repeat request resolves
+    its key without touching the world at all).  Both caches only ever
+    *accelerate*: every value is a pure function of the spec.
+    """
+
+    cache_dir: Optional[str] = None
+    executor: Optional[str] = None
+    workers: Optional[int] = None
+    world_lru: int = 4
+    _worlds: "OrderedDict[str, tuple]" = field(default_factory=OrderedDict)
+    _keys: Dict[str, str] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def __post_init__(self) -> None:
+        if self.executor is not None and self.executor not in BACKENDS:
+            raise ValueError(f"unknown executor backend {self.executor!r}; "
+                             f"expected one of {BACKENDS}")
+
+    def world_for(self, request: CampaignRequest) -> tuple:
+        """(world, origins, config) for a request, via the world LRU."""
+        lru_key = json.dumps([request.scenario, request.seed,
+                              request.scale])
+        with self._lock:
+            hit = self._worlds.get(lru_key)
+            if hit is not None:
+                self._worlds.move_to_end(lru_key)
+                return hit
+        built = SCENARIOS[request.scenario](seed=request.seed,
+                                            scale=request.scale)
+        with self._lock:
+            self._worlds[lru_key] = built
+            while len(self._worlds) > self.world_lru:
+                self._worlds.popitem(last=False)
+        return built
+
+    def result_key(self, request: CampaignRequest) -> str:
+        """The content address of a request's result (memoized)."""
+        spec = request.canonical()
+        with self._lock:
+            key = self._keys.get(spec)
+        if key is not None:
+            return key
+        world, origins, config = self.world_for(request)
+        key = campaign_fingerprint(
+            world, config, origins, request.protocols, request.n_trials,
+            extra={"engine": request.engine or "", "surface": "report"})
+        with self._lock:
+            self._keys[spec] = key
+        return key
+
+
+def run_request(request: CampaignRequest, state: ServeState) -> ResultPayload:
+    """The blocking compute path: cache hit, or compute-and-repair.
+
+    Runs on a worker thread under a request-local telemetry context (the
+    server adopts its snapshot afterwards).  The served bytes are
+    byte-identical between the hit and miss paths by construction: the
+    miss path renders ``full_report`` once and stores those exact bytes;
+    the hit path streams them back out of the CRC-checked snapshot.
+    """
+    tel = _telemetry()
+    key = state.result_key(request)
+    source = "miss"
+    if resultcache.cache_enabled():
+        try:
+            entry = resultcache.load(key, state.cache_dir)
+        except resultcache.CorruptEntry:
+            source = "repair"
+        else:
+            if entry is not None:
+                return ResultPayload(key=key, report=entry.report,
+                                     meta=dict(entry.meta), source="hit")
+
+    world, origins, config = state.world_for(request)
+    with tel.span("serve.compute", key=key[:12],
+                  scenario=request.scenario, seed=request.seed):
+        dataset = run_campaign(world, origins, config,
+                               protocols=request.protocols,
+                               n_trials=request.n_trials,
+                               executor=state.executor,
+                               workers=state.workers)
+        report = full_report(dataset, engine=request.engine)
+    meta = {
+        "request": request.to_json(),
+        "seed": int(config.seed),
+        "config_hash": config_hash(config),
+        "world": world_fingerprint(world),
+        "origins": [o.name for o in origins],
+        "protocols": list(request.protocols),
+        "n_trials": request.n_trials,
+        "engine": request.engine,
+        "report_nbytes": len(report.encode("utf-8")),
+    }
+    if resultcache.cache_enabled():
+        resultcache.store(key, report, dataset, meta=meta,
+                          directory=state.cache_dir)
+    return ResultPayload(key=key, report=report, meta=meta, source=source)

@@ -16,11 +16,15 @@ bit-identical regardless of backend or scheduling.
 
 from __future__ import annotations
 
+import concurrent.futures
 import contextlib
 import dataclasses
+import hashlib
+import json
 import os
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -204,6 +208,101 @@ def _run_campaign(world: World, origins: Sequence[Origin],
             metadata["telemetry"] = {"journal": tel.journal_path,
                                      "manifest": manifest}
     return CampaignDataset(tables, metadata=metadata)
+
+
+def campaign_fingerprint(world: World, zmap: ZMapConfig,
+                         origins: Sequence[Origin],
+                         protocols: Sequence[str] = PROTOCOLS,
+                         n_trials: int = 3,
+                         extra: Optional[Mapping] = None) -> str:
+    """The content address of a campaign run (64 hex chars).
+
+    Two :func:`run_campaign` invocations with equal fingerprints produce
+    byte-identical datasets: the simulator is a pure function of the
+    world, the scanner configuration, and the grid shape, and every
+    component here pins one of those inputs — the ``config_hash`` /
+    ``world_fingerprint`` pair the telemetry manifest already emits, the
+    world's own seed, the origin set, and the (protocols × trials) grid.
+    The serving layer keys its content-addressed result cache and its
+    in-flight request deduplication on this value; ``extra`` folds in
+    serving-side parameters (e.g. the analysis engine) that change the
+    rendered output without changing the dataset.
+    """
+    from repro.telemetry.manifest import config_hash, world_fingerprint
+
+    payload = {
+        "config": config_hash(zmap),
+        "seed": int(zmap.seed),
+        "world": world_fingerprint(world),
+        "world_seed": int(world.seed),
+        "origins": [o.name for o in origins],
+        "protocols": list(protocols),
+        "n_trials": int(n_trials),
+    }
+    if extra:
+        payload["extra"] = dict(extra)
+    blob = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class SingleFlight:
+    """Keyed single-flight execution: identical concurrent work runs once.
+
+    ``begin(key)`` returns ``(future, leader)``: exactly one concurrent
+    caller per key is the leader (``leader=True``) and must eventually
+    call ``finish(key, ...)``; everyone else shares the same future and
+    simply waits.  The synchronous :meth:`run` wraps the whole protocol
+    for blocking callers; async callers (the serving layer) drive
+    ``begin``/``finish`` themselves and await the future however suits
+    their event loop.
+
+    Thread-safe; keys are whatever hashable identity makes two requests
+    "the same work" — the serving layer uses the canonical request spec,
+    whose executions converge on :func:`campaign_fingerprint`-keyed
+    cache entries.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[object, concurrent.futures.Future] = {}
+
+    def begin(self, key) -> Tuple[concurrent.futures.Future, bool]:
+        """Join or open the flight for ``key``; True means "you lead"."""
+        with self._lock:
+            future = self._flights.get(key)
+            if future is not None:
+                return future, False
+            future = concurrent.futures.Future()
+            self._flights[key] = future
+            return future, True
+
+    def finish(self, key, result=None,
+               error: Optional[BaseException] = None) -> None:
+        """Resolve ``key``'s flight, waking every joined waiter."""
+        with self._lock:
+            future = self._flights.pop(key)
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+
+    def run(self, key, fn) -> Tuple[object, bool]:
+        """Blocking convenience: ``(fn(), False)`` for the leader, or
+        ``(shared result, True)`` after joining an in-flight call."""
+        future, leader = self.begin(key)
+        if not leader:
+            return future.result(), True
+        try:
+            value = fn()
+        except BaseException as exc:
+            self.finish(key, error=exc)
+            raise
+        self.finish(key, result=value)
+        return value, False
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._flights)
 
 
 def _first_trial(origin: Origin, n_trials: int) -> int:

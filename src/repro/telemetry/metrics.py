@@ -11,9 +11,11 @@ is deterministic too.
 Determinism contract
 --------------------
 Metric (and span) names under the :data:`EXCLUDED_PREFIXES` namespaces —
-``cache.`` and ``runtime.`` — are *process-local diagnostics*: plan-cache
-hits depend on how many workers rebuilt a plan, worker-labelled job counts
-depend on scheduling, and wall-time histograms depend on the hardware.
+``cache.``, ``runtime.``, and ``serve.`` — are *process-local
+diagnostics*: plan-cache hits depend on how many workers rebuilt a plan,
+worker-labelled job counts depend on scheduling, wall-time histograms
+depend on the hardware, and serving counters (hits, misses, joined
+requests) depend on request arrival order and cache warmth.
 Everything else is a pure function of ``(seed, campaign definition)`` and
 is byte-identical across serial/thread/process execution (tested in
 ``tests/test_executor_equivalence.py``).  Use
@@ -27,7 +29,7 @@ from typing import Dict, Iterable, List, Tuple
 
 #: Metric/span name prefixes excluded from the cross-backend determinism
 #: contract (see module docstring).
-EXCLUDED_PREFIXES = ("cache.", "runtime.")
+EXCLUDED_PREFIXES = ("cache.", "runtime.", "serve.")
 
 #: Aggregation key: (name, ((attr, value), ...)) with attrs sorted.
 MetricKey = Tuple[str, Tuple[Tuple[str, object], ...]]
@@ -78,6 +80,13 @@ class CounterSet:
         """Sum of one counter over every attribute combination."""
         return sum(value for (n, _), value in self._data.items()
                    if n == name)
+
+    def by_name(self) -> Dict[str, float]:
+        """Totals folded over attributes, keyed by bare counter name."""
+        out: Dict[str, float] = {}
+        for (name, _), value in sorted(self._data.items()):
+            out[name] = out.get(name, 0) + value
+        return out
 
     def records(self) -> List[dict]:
         """One JSON-able ``{"t": "counter", ...}`` record per counter."""
@@ -172,3 +181,79 @@ def _plain(value: object) -> object:
     if hasattr(value, "item"):  # numpy scalar
         return value.item()
     return str(value)
+
+
+# ----------------------------------------------------------------------
+# Metrics-endpoint rendering (the serving layer's /metrics)
+# ----------------------------------------------------------------------
+
+def _exposition_name(name: str) -> str:
+    """A metric name valid in the Prometheus text exposition format."""
+    sanitized = "".join(c if c.isalnum() or c == "_" else "_"
+                        for c in name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _exposition_labels(attrs: Tuple[Tuple[str, object], ...]) -> str:
+    if not attrs:
+        return ""
+    pairs = ",".join(
+        f'{key}="{_escape_label(value)}"' for key, value in attrs)
+    return "{" + pairs + "}"
+
+
+def _escape_label(value: object) -> str:
+    return str(_plain(value)).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def exposition_text(counters: CounterSet, histograms: HistogramSet) -> str:
+    """Render counters + histograms in Prometheus text format.
+
+    Counters become ``repro_<name>_total`` samples (attributes as
+    labels); each histogram is flattened to ``_count``/``_sum``/
+    ``_min``/``_max`` gauges — the fixed geometric buckets stay internal.
+    This backs the serving layer's ``/metrics`` endpoint without taking
+    on a client-library dependency.
+    """
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+    for (name, attrs), value in counters.totals().items():
+        metric = _exposition_name(name) + "_total"
+        if seen_types.get(metric) is None:
+            seen_types[metric] = "counter"
+            lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}{_exposition_labels(attrs)} {_plain(value)}")
+    for record in histograms.records():
+        base = _exposition_name(record["name"])
+        attrs = tuple(sorted((record.get("attrs") or {}).items()))
+        labels = _exposition_labels(attrs)
+        for suffix, field in (("_count", "count"), ("_sum", "sum"),
+                              ("_min", "min"), ("_max", "max")):
+            metric = base + suffix
+            if seen_types.get(metric) is None:
+                seen_types[metric] = "gauge"
+                lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric}{labels} {record[field]}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_json(counters: CounterSet,
+                 histograms: HistogramSet) -> Dict[str, object]:
+    """Counters and histogram summaries as one JSON-able mapping.
+
+    Counter totals are folded over attributes (``by_name``); tests and
+    dashboards that need exact per-attribute streams should read the
+    NDJSON journal instead.
+    """
+    hists: Dict[str, dict] = {}
+    for record in histograms.records():
+        entry = hists.setdefault(
+            record["name"], {"count": 0, "sum": 0.0,
+                             "min": record["min"], "max": record["max"]})
+        entry["count"] += record["count"]
+        entry["sum"] += record["sum"]
+        entry["min"] = min(entry["min"], record["min"])
+        entry["max"] = max(entry["max"], record["max"])
+    return {"counters": counters.by_name(), "histograms": hists}

@@ -224,3 +224,40 @@ def test_pack_round_trip_through_flat_buffer():
     # The rebuilt host columns are views into the flat buffer: zero-copy.
     assert np.shares_memory(rebuilt.hosts.ip,
                             np.frombuffer(buffer, dtype=np.uint8))
+
+
+def test_concurrent_writers_to_one_path_never_interleave(tmp_path):
+    """Racing ``write_snapshot`` calls publish whole files, not shreds.
+
+    Temp names are per-thread and per-call, so two writers in one
+    process (same PID — the old scheme collided here) each stage a
+    private file; the atomic rename means the survivor is exactly one
+    writer's bytes, which the per-segment CRC check proves.
+    """
+    import threading
+
+    path = tmp_path / "contended.snap"
+    n_writers, rounds = 8, 5
+    barrier = threading.Barrier(n_writers)
+
+    def hammer(writer: int) -> None:
+        payload = np.full(65536, writer, dtype=np.uint8)
+        barrier.wait()
+        for _ in range(rounds):
+            columnar.write_snapshot(path, "blob", {"writer": writer},
+                                    {"data": payload})
+
+    threads = [threading.Thread(target=hammer, args=(i,))
+               for i in range(n_writers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+
+    snap = columnar.read_snapshot(path)  # CRC-verified load
+    writer = snap.meta["writer"]
+    assert writer in range(n_writers)
+    assert np.array_equal(snap.arrays["data"],
+                          np.full(65536, writer, dtype=np.uint8))
+    assert [p.name for p in tmp_path.iterdir()] == ["contended.snap"]

@@ -1,0 +1,233 @@
+"""Fault injection for the campaign service.
+
+Each test breaks one thing the robustness contract names — a worker that
+dies mid-job, a cache entry truncated or bit-flipped on disk, a client
+that disconnects mid-stream, a request that outlives its wall budget, a
+queue pushed past its depth, a drain racing live traffic — and asserts
+the service's promised reaction: errors are reported (never wedged
+flights), corruption is detected and repaired (never served), timeouts
+abandon the *wait* but not the compute or its cache write, and the
+server answers health checks through all of it.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve import resultcache
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.handlers import run_request
+from repro.serve.server import ServeConfig, ThreadedServer
+from tests.test_serve import SPEC, make_server, offline_report, wait_until
+
+
+# ----------------------------------------------------------------------
+# Worker death: a runner that raises must not wedge the flight
+# ----------------------------------------------------------------------
+
+def test_worker_death_returns_500_then_recovers(tmp_path):
+    failures = [RuntimeError("worker died mid-campaign")]
+
+    def dying(request, state):
+        if failures:
+            raise failures.pop()
+        return run_request(request, state)
+
+    with make_server(tmp_path, runner=dying) as ts:
+        client = ServeClient(port=ts.port)
+        with pytest.raises(ServeError) as err:
+            client.report(**SPEC)
+        assert err.value.status == 500
+        assert "worker died" in err.value.body["error"]
+        assert client.healthz()["status"] == "ok"
+        # the failed flight was resolved, so a retry runs fresh — and
+        # nothing half-written is in the cache to poison it
+        retry = client.report(**SPEC)
+        counters = client.metrics()["counters"]
+    assert retry.source == "miss"
+    assert retry.text == offline_report(**SPEC)
+    assert counters["serve.error"] == 1
+    assert counters["serve.cache_miss"] == 1
+
+
+# ----------------------------------------------------------------------
+# Cache corruption: truncation and bit flips are repaired, not served
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("damage", ["truncate", "bitflip"])
+def test_corrupt_entry_is_recomputed_and_repaired(tmp_path, damage):
+    with make_server(tmp_path) as ts:
+        client = ServeClient(port=ts.port)
+        original = client.report(**SPEC)
+        path = resultcache.entry_path(original.key,
+                                      ts.server.state.cache_dir)
+        blob = path.read_bytes()
+        if damage == "truncate":
+            path.write_bytes(blob[:len(blob) // 3])
+        else:
+            mutated = bytearray(blob)
+            mutated[len(mutated) // 2] ^= 0x40
+            path.write_bytes(bytes(mutated))
+
+        repaired = client.report(**SPEC)
+        after = client.report(**SPEC)
+        counters = client.metrics()["counters"]
+
+    assert repaired.source == "repair"
+    assert repaired.text == original.text
+    assert counters["serve.cache_repair"] == 1
+    # the repair overwrote the damaged entry: next read is a clean hit
+    assert after.source == "hit"
+    assert after.text == original.text
+    entry = resultcache.load(original.key, ts.server.state.cache_dir)
+    assert entry is not None and entry.report == original.text
+
+
+# ----------------------------------------------------------------------
+# Request timeout: the wait dies, the compute and cache write do not
+# ----------------------------------------------------------------------
+
+def test_timeout_responds_504_and_cache_stays_intact(tmp_path):
+    release = threading.Event()
+
+    def slow(request, state):
+        assert release.wait(timeout=60)
+        return run_request(request, state)
+
+    with make_server(tmp_path, runner=slow, request_timeout=0.3) as ts:
+        client = ServeClient(port=ts.port)
+        with pytest.raises(ServeError) as err:
+            client.report(**SPEC)
+        assert err.value.status == 504
+        assert client.metrics()["counters"]["serve.timeout"] == 1
+
+        # the abandoned compute finishes and lands atomically
+        release.set()
+        assert wait_until(lambda: client.metrics()["counters"].get(
+            "serve.cache_miss", 0) == 1)
+        hit = client.report(**SPEC)  # warm: well inside the 0.3 s budget
+        cache_dir = ts.server.state.cache_dir
+    assert hit.source == "hit"
+    assert hit.text == offline_report(**SPEC)
+    leftovers = [p.name for p in resultcache.cache_dir(cache_dir).iterdir()
+                 if ".tmp." in p.name]
+    assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# Client disconnect mid-stream: the server shrugs and stays healthy
+# ----------------------------------------------------------------------
+
+def test_client_disconnect_mid_request_leaves_server_healthy(tmp_path):
+    with make_server(tmp_path) as ts:
+        raw = socket.create_connection(("127.0.0.1", ts.port))
+        body = b'{"seed": 3, "scale": 0.02}'
+        raw.sendall(b"POST /report HTTP/1.1\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: %d\r\n\r\n%s" % (len(body), body))
+        raw.close()  # gone before the campaign even starts
+
+        client = ServeClient(port=ts.port)
+        assert client.healthz()["status"] == "ok"
+        # the abandoned request still computed and cached its result
+        assert wait_until(lambda: client.metrics()["counters"].get(
+            "serve.cache_miss", 0) == 1)
+        served = client.report(**SPEC)
+    assert served.source == "hit"
+    assert served.text == offline_report(**SPEC)
+
+
+def test_half_request_disconnect_is_tolerated(tmp_path):
+    with make_server(tmp_path) as ts:
+        raw = socket.create_connection(("127.0.0.1", ts.port))
+        raw.sendall(b"POST /report HTTP/1.1\r\n"
+                    b"Content-Length: 400\r\n\r\n{\"seed\"")
+        raw.close()  # promised 400 body bytes, delivered 7
+        client = ServeClient(port=ts.port)
+        assert wait_until(lambda: client.metrics()["counters"].get(
+            "serve.client_disconnect", 0) == 1)
+        assert client.healthz()["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# Backpressure: queue depth caps admitted work with 429
+# ----------------------------------------------------------------------
+
+def test_queue_full_responds_429(tmp_path):
+    release = threading.Event()
+
+    def blocking(request, state):
+        assert release.wait(timeout=60)
+        return run_request(request, state)
+
+    with make_server(tmp_path, runner=blocking, queue_depth=1) as ts:
+        client = ServeClient(port=ts.port)
+        holder = threading.Thread(
+            target=lambda: client.report(**SPEC), daemon=True)
+        holder.start()
+        assert wait_until(lambda: client.healthz()["active"] == 1)
+
+        with pytest.raises(ServeError) as err:
+            client.report(seed=9, scale=SPEC["scale"])
+        assert err.value.status == 429
+        assert err.value.body["queue_depth"] == 1
+        # health and metrics stay reachable while the queue is full
+        assert client.healthz()["status"] == "ok"
+        assert client.metrics()["counters"]["serve.rejected"] == 1
+
+        release.set()
+        holder.join(timeout=60)
+        assert not holder.is_alive()
+        assert client.report(**SPEC).source == "hit"
+
+
+# ----------------------------------------------------------------------
+# Graceful drain: in-flight completes, new work is refused
+# ----------------------------------------------------------------------
+
+def test_drain_finishes_in_flight_and_refuses_new(tmp_path):
+    release = threading.Event()
+    served = {}
+
+    def gated(request, state):
+        assert release.wait(timeout=60)
+        return run_request(request, state)
+
+    ts = make_server(tmp_path, runner=gated).start()
+    try:
+        client = ServeClient(port=ts.port)
+
+        def in_flight():
+            served["result"] = client.report(**SPEC)
+
+        requester = threading.Thread(target=in_flight, daemon=True)
+        requester.start()
+        assert wait_until(lambda: client.healthz()["active"] == 1)
+
+        stopper = threading.Thread(target=ts.stop, daemon=True)
+        stopper.start()
+        assert wait_until(lambda: ts.server.draining)
+
+        # draining: new campaign work is refused, liveness still answers
+        with pytest.raises(ServeError) as err:
+            client.campaign(**SPEC)
+        assert err.value.status == 503
+        assert client.healthz()["status"] == "draining"
+
+        release.set()
+        requester.join(timeout=60)
+        stopper.join(timeout=60)
+        assert not requester.is_alive() and not stopper.is_alive()
+    finally:
+        release.set()
+        ts.stop()
+
+    assert served["result"].source == "miss"
+    assert served["result"].text == offline_report(**SPEC)
+    # fully closed: the port no longer accepts connections
+    with pytest.raises(OSError):
+        socket.create_connection(("127.0.0.1", ts.port), timeout=1).close()

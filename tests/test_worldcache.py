@@ -145,3 +145,52 @@ def test_scenarios_share_the_session_cache():
     assert tel.counters.total("cache.world_hit") == 1
     assert second.hosts.ip.tobytes() == first.hosts.ip.tobytes()
     assert np.array_equal(second.hosts.as_index, first.hosts.as_index)
+
+
+def test_concurrent_cold_builders_elect_single_writer(tmp_path):
+    """Regression: racing cold builds must never interleave one entry.
+
+    Before the O_EXCL write claim, two builders missing on the same key
+    could write the same temp path and rename a half-interleaved file
+    into place.  Four synchronized builders now elect one writer; the
+    losers still return their built worlds, and the published entry is
+    CRC-valid and equivalent to every racer's result.
+    """
+    import threading
+
+    n = 4
+    barrier = threading.Barrier(n)
+    worlds: list = [None] * n
+    tels = [Telemetry() for _ in range(n)]
+
+    def race(i: int) -> None:
+        with use(tels[i]):
+            barrier.wait()
+            worlds[i] = build(31, cache=str(tmp_path))
+
+    threads = [threading.Thread(target=race, args=(i,)) for i in range(n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+
+    [entry] = worldcache.list_entries(tmp_path)
+    assert entry.valid
+    # no claim or temp litter survives the race
+    assert [p.name for p in tmp_path.iterdir()
+            if not p.name.endswith(".world")] == []
+    # every racer built (all missed) and at most one wrote concurrently
+    assert sum(t.counters.total("cache.world_miss") for t in tels) == n
+    skipped = sum(t.counters.total("cache.world_write_skipped")
+                  for t in tels)
+    assert 0 <= skipped <= n - 1
+    # the published entry serves bytes equivalent to every racer's world
+    tel = Telemetry()
+    with use(tel):
+        loaded = build(31, cache=str(tmp_path))
+    assert tel.counters.total("cache.world_hit") == 1
+    for world in worlds:
+        assert world.hosts.ip.tobytes() == loaded.hosts.ip.tobytes()
+        assert world.hosts.protocol.tobytes() \
+            == loaded.hosts.protocol.tobytes()
