@@ -1,9 +1,9 @@
 # Convenience targets.  In offline environments without the `wheel`
 # package, `make install` falls back to the legacy setuptools path.
 
-.PHONY: install test test-parallel test-serve bench bench-show \
-	bench-analysis bench-io bench-serve serve profile trace examples \
-	report all
+.PHONY: install test test-parallel test-serve test-shard bench \
+	bench-show bench-analysis bench-io bench-serve bench-scale serve \
+	profile trace examples report all
 
 install:
 	pip install -e . || python setup.py develop
@@ -24,6 +24,13 @@ test-parallel:
 # graceful drain).
 test-serve:
 	pytest tests/test_serve.py tests/test_serve_faults.py
+
+# The sharded out-of-core pipeline: differential byte-identity against
+# the monolithic build (all executor backends), shard-boundary RNG
+# property tests, and the 10x-vs-1x scale-invariance check.
+test-shard:
+	pytest tests/test_shard_world.py tests/test_shard_world_properties.py \
+		tests/test_shard_world_scale.py
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -52,6 +59,13 @@ bench-io:
 # recompute).
 bench-serve:
 	pytest benchmarks/test_perf_serve.py -s
+
+# Stream the full paper grid through the sharded pipeline: monolithic
+# vs sharded at 1x and sharded at 10x (~1.2 M host rows) under the
+# 512 MB memory budget; records hosts/second and per-phase peak RSS
+# into the BENCH_<n>.json trajectory.
+bench-scale:
+	pytest benchmarks/test_perf_shard.py -s
 
 # Run the campaign service in the foreground (Ctrl-C drains).
 serve:

@@ -174,16 +174,81 @@ def _available_cpus() -> int:
         return os.cpu_count() or 1
 
 
+def _artifact_summary(path: Path) -> dict:
+    """One TRAJECTORY row for a ``BENCH_<n>.json`` — schema-tolerant.
+
+    Custom schemas (``repro-bench-serve-v1``, ``repro-bench-shard-v1``)
+    carry their own result keys; only the fields every artifact shares
+    are normalized, and per-benchmark medians are extracted when the
+    standard ``benchmarks`` table is present.
+    """
+    row: dict = {"file": path.name}
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        row["error"] = str(error)
+        return row
+    row["schema"] = payload.get("schema")
+    row["written_utc"] = payload.get("written_utc")
+    machine = payload.get("machine") or {}
+    row["cpus"] = machine.get("cpus")
+    benchmarks = payload.get("benchmarks")
+    if isinstance(benchmarks, dict):
+        row["median_s"] = {
+            name: stats.get("median_s")
+            for name, stats in benchmarks.items()
+            if isinstance(stats, dict)}
+    extra = {key: value for key, value in payload.items()
+             if key not in ("schema", "written_utc", "machine",
+                            "benchmarks", "seed", "telemetry")}
+    if extra:
+        row["results"] = extra
+    return row
+
+
+def write_trajectory() -> Path:
+    """Aggregate every ``BENCH_<n>.json`` into ``TRAJECTORY.json``.
+
+    Regenerated after each benchmark session: one row per artifact in
+    numeric order, so the repo's performance history reads as a single
+    file instead of N schema-divergent snapshots.
+    """
+    numbered = sorted(
+        ((int(m.group(1)), p)
+         for root in (ARTIFACT_DIR, REPO_ROOT)
+         for p in root.glob("BENCH_*.json")
+         if (m := re.fullmatch(r"BENCH_(\d+)\.json", p.name))),
+        key=lambda pair: pair[0])
+    rows = []
+    for number, path in numbered:
+        row = _artifact_summary(path)
+        row["n"] = number
+        rows.append(row)
+    payload = {
+        "schema": "repro-bench-trajectory-v1",
+        "artifacts": rows,
+    }
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    out = ARTIFACT_DIR / "TRAJECTORY.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write per-benchmark median wall times to a ``BENCH_<n>.json``.
 
     Each benchmark run appends one numbered artifact (never overwriting
     earlier ones), so the repo accumulates a performance trajectory that
     survives hardware changes — every file records the machine it ran on.
-    Skipped when no benchmarks ran (e.g. plain test collection).
+    Skipped when no benchmarks ran (e.g. plain test collection); the
+    ``TRAJECTORY.json`` aggregate is refreshed whenever any artifact
+    exists, covering benches that write their own custom payloads.
     """
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None or not bench_session.benchmarks:
+        if any(ARTIFACT_DIR.glob("BENCH_*.json")) \
+                or any(REPO_ROOT.glob("BENCH_*.json")):
+            write_trajectory()
         return
     benchmarks = {}
     for bench in bench_session.benchmarks:
@@ -221,3 +286,5 @@ def pytest_sessionfinish(session, exitstatus):
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\n[bench] wrote {path.name} "
           f"({len(benchmarks)} benchmarks, {payload['machine']['cpus']} CPUs)")
+    trajectory = write_trajectory()
+    print(f"[bench] refreshed {trajectory.name}")

@@ -116,11 +116,15 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="fraction of the world to probe")
 
     cache = commands.add_parser(
-        "cache", help="inspect or clear the world cache "
-                      "(REPRO_CACHE_DIR)")
+        "cache", help="inspect or clear the world, shard, and result "
+                      "caches (REPRO_CACHE_DIR)")
     cache.add_argument("action", choices=("ls", "clear"),
-                       help="'ls' lists cached worlds; 'clear' deletes "
-                            "them")
+                       help="'ls' lists cached worlds, shard segments, "
+                            "and served results; 'clear' deletes worlds "
+                            "and shard segments")
+    cache.add_argument("--results", action="store_true",
+                       help="with 'clear': also delete result-cache "
+                            "entries (REPRO_RESULT_CACHE_DIR)")
 
     serve = commands.add_parser(
         "serve", help="run the campaign service (HTTP/JSON + result "
@@ -262,27 +266,64 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.io import worldcache
+    from repro.serve import resultcache
+
     root = worldcache.cache_dir()
+    result_root = resultcache.cache_dir()
     if args.action == "clear":
         removed = worldcache.clear()
-        print(f"removed {removed} cached world(s) from {root}")
+        shards = worldcache.clear_shards()
+        print(f"removed {removed} cached world(s) and {shards} shard "
+              f"segment(s) from {root}")
+        if args.results:
+            results = resultcache.clear()
+            print(f"removed {results} cached result(s) from "
+                  f"{result_root}")
         return 0
+
+    printed = False
     entries = worldcache.list_entries()
-    if not entries:
-        print(f"world cache at {root} is empty")
-        return 0
-    rows = []
-    for entry in entries:
-        rows.append([entry.key[:16], entry.seed if entry.valid else "?",
-                     f"{entry.n_services:,}" if entry.n_services
-                     is not None else "?",
-                     f"{entry.n_ases:,}" if entry.n_ases is not None
-                     else "?",
-                     f"{entry.nbytes:,}",
-                     "ok" if entry.valid else "CORRUPT"])
-    print(render_table(["key", "seed", "services", "ases", "bytes",
-                        "state"], rows,
-                       title=f"world cache — {root}"))
+    if entries:
+        printed = True
+        rows = []
+        for entry in entries:
+            rows.append([entry.key[:16], entry.seed if entry.valid else "?",
+                         f"{entry.n_services:,}" if entry.n_services
+                         is not None else "?",
+                         f"{entry.n_ases:,}" if entry.n_ases is not None
+                         else "?",
+                         f"{entry.nbytes:,}",
+                         "ok" if entry.valid else "CORRUPT"])
+        print(render_table(["key", "seed", "services", "ases", "bytes",
+                            "state"], rows,
+                           title=f"world cache — {root}"))
+    shard_entries = worldcache.list_shard_entries()
+    if shard_entries:
+        printed = True
+        rows = [[entry.key[:16],
+                 f"{entry.n_services:,}" if entry.n_services is not None
+                 else "?",
+                 f"{entry.nbytes:,}",
+                 "ok" if entry.valid else "CORRUPT"]
+                for entry in shard_entries]
+        print(render_table(["key", "services", "bytes", "state"], rows,
+                           title=f"shard segments — {root}"))
+    result_entries = resultcache.list_entries()
+    if result_entries:
+        printed = True
+        rows = []
+        for entry in result_entries:
+            meta = entry.meta or {}
+            fingerprint = meta.get("key", entry.key)
+            rows.append([fingerprint[:16],
+                         str(meta.get("engine", "?")),
+                         f"{entry.nbytes:,}",
+                         "ok" if entry.valid else "CORRUPT"])
+        print(render_table(["fingerprint", "engine", "bytes", "state"],
+                           rows,
+                           title=f"result cache — {result_root}"))
+    if not printed:
+        print(f"caches at {root} and {result_root} are empty")
     return 0
 
 

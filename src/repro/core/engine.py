@@ -124,6 +124,29 @@ class PackedTrial:
         self.n_hosts = len(truth)
         self._rows = {origin: oi for oi, origin in enumerate(self.origins)}
 
+    @classmethod
+    def from_parts(cls, protocol: str, trial: int, origins: Sequence[str],
+                   packed: np.ndarray, total: int, n_hosts: int,
+                   single_probe: bool = False) -> "PackedTrial":
+        """Adopt pre-packed planes without a backing :class:`TrialData`.
+
+        The streaming reducer (:mod:`repro.core.streaming`) accumulates
+        per-shard bit planes and assembles the final packed trial here;
+        the result is indistinguishable from one built on the
+        concatenated dataset because OR/popcount are associative across
+        the shard boundary.
+        """
+        self = cls.__new__(cls)
+        self.protocol = protocol
+        self.trial = int(trial)
+        self.single_probe = bool(single_probe)
+        self.origins = list(origins)
+        self.packed = packed
+        self.total = int(total)
+        self.n_hosts = int(n_hosts)
+        self._rows = {origin: oi for oi, origin in enumerate(self.origins)}
+        return self
+
     def rows_for(self, origins: Sequence[str]) -> np.ndarray:
         """Packed-row indices of ``origins`` (KeyError when absent)."""
         return np.array([self._rows[o] for o in origins], dtype=np.intp)

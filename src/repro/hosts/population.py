@@ -10,7 +10,7 @@ protocol (a web server that also runs SSH).
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,14 +27,28 @@ _HOSTS_PER_SLASH24 = 254
 _OVERLAP = 1.3
 
 
-def populate(topology: Topology, rng: CounterRNG) -> HostTable:
-    """Place every spec'd service onto concrete addresses."""
+def populate(topology: Topology, rng: CounterRNG,
+             as_range: Optional[Tuple[int, int]] = None) -> HostTable:
+    """Place every spec'd service onto concrete addresses.
+
+    ``as_range=(start, stop)`` restricts placement to the ASes whose
+    dense index falls in ``[start, stop)`` — the shard-generation path
+    (:mod:`repro.sim.shard`).  Every per-AS draw is keyed only on the AS
+    index (``rng.derive("offsets", index)`` / ``rng.derive("assign",
+    index)``), so a restricted call produces byte-identical columns to
+    the same ASes' slice of a full build: shard K never needs shards
+    0..K-1 materialized.
+    """
     ips: List[np.ndarray] = []
     protocols: List[np.ndarray] = []
     as_indices: List[np.ndarray] = []
     country_indices: List[np.ndarray] = []
+    start, stop = as_range if as_range is not None \
+        else (0, len(topology.ases))
 
     for system in topology.ases:
+        if not start <= system.index < stop:
+            continue
         spec = system.spec
         counts = {p: spec.hosts_for(p) for p in PROTOCOLS}
         total = sum(counts.values())
@@ -55,6 +69,11 @@ def populate(topology: Topology, rng: CounterRNG) -> HostTable:
                                            dtype=np.int64))
 
     if not ips:
+        if as_range is not None:
+            return HostTable(ip=np.zeros(0, dtype=np.uint32),
+                             protocol=np.zeros(0, dtype=np.uint8),
+                             as_index=np.zeros(0, dtype=np.int64),
+                             country_index=np.zeros(0, dtype=np.int64))
         raise ValueError("the topology contains no hosts")
     return HostTable(ip=np.concatenate(ips),
                      protocol=np.concatenate(protocols),

@@ -56,8 +56,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
 
-from repro.io.columnar import (FORMAT_VERSION, SnapshotError, load_world,
-                               read_snapshot_manifest, save_world)
+from repro.io.columnar import (FORMAT_VERSION, SnapshotError, load_hosts,
+                               load_world, read_snapshot_manifest,
+                               save_hosts, save_world)
 from repro.telemetry.context import current as _telemetry
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -69,6 +70,7 @@ ENV_WORLD_CACHE = "REPRO_WORLD_CACHE"
 BUILDER_VERSION = 1
 
 _SUFFIX = ".world"
+_SHARD_SUFFIX = ".shard"
 
 PathLike = Union[str, os.PathLike]
 
@@ -227,6 +229,101 @@ def cached_build_world(specs: Sequence, seed: int, defaults,
     except OSError:
         pass
     return world
+
+
+# ----------------------------------------------------------------------
+# Per-shard entries (sharded worlds: repro.sim.shard)
+# ----------------------------------------------------------------------
+
+def shard_key(base_key: str, index: int,
+              boundaries: Sequence[int]) -> str:
+    """The content address of one shard of a sharded world.
+
+    ``base_key`` is the :func:`world_key` of the monolithic build these
+    shards concatenate to; the key folds in the shard index *and* the
+    full boundary vector, so re-planning the partition (different shard
+    count, different AS grouping) re-keys every shard — a shard segment
+    is only ever reused for the exact (world, partition, index) that
+    produced it.
+    """
+    payload = f"{base_key}:shard:{index}:{','.join(str(b) for b in boundaries)}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def shard_entry_path(key: str,
+                     directory: Optional[PathLike] = None) -> Path:
+    return cache_dir(directory) / f"{key}{_SHARD_SUFFIX}"
+
+
+def cached_build_shard(base_key: str, index: int,
+                       boundaries: Sequence[int],
+                       builder: Callable[[], object],
+                       directory: Optional[PathLike] = None):
+    """Return one shard's host table, building at most once per key.
+
+    The shard analog of :func:`cached_build_world`: a readable entry is
+    mmap-loaded zero-copy (``cache.shard_hit``), a missing or corrupt
+    one is rebuilt by ``builder()`` and written back under the same
+    single-writer claim protocol (``cache.shard_miss``).  Write
+    failures never fail the build.
+    """
+    tel = _telemetry()
+    key = shard_key(base_key, index, boundaries)
+    path = shard_entry_path(key, directory)
+    if path.exists():
+        try:
+            hosts = load_hosts(path, mmap=True)
+            tel.count("cache.shard_hit", 1)
+            return hosts
+        except (SnapshotError, OSError, ValueError, KeyError):
+            pass
+    tel.count("cache.shard_miss", 1)
+    hosts = builder()
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        claim = _claim_write(path)
+        if claim is None:
+            tel.count("cache.shard_write_skipped", 1)
+            return hosts
+        try:
+            save_hosts(hosts, path)
+        finally:
+            _release_claim(claim)
+    except OSError:
+        pass
+    return hosts
+
+
+def list_shard_entries(directory: Optional[PathLike] = None
+                       ) -> List["CacheEntry"]:
+    """Enumerate per-shard cache entries (manifest-only reads)."""
+    root = cache_dir(directory)
+    entries: List[CacheEntry] = []
+    if not root.is_dir():
+        return entries
+    for path in sorted(root.glob(f"*{_SHARD_SUFFIX}")):
+        nbytes = path.stat().st_size
+        try:
+            meta = read_snapshot_manifest(path)["meta"]
+            entries.append(CacheEntry(
+                key=path.stem, path=path, nbytes=nbytes,
+                n_services=meta.get("n_services")))
+        except SnapshotError:
+            entries.append(CacheEntry(key=path.stem, path=path,
+                                      nbytes=nbytes, valid=False))
+    return entries
+
+
+def clear_shards(directory: Optional[PathLike] = None) -> int:
+    """Delete every per-shard entry; returns how many were removed."""
+    removed = 0
+    for entry in list_shard_entries(directory):
+        try:
+            entry.path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
 
 
 @dataclass(frozen=True)

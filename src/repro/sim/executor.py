@@ -55,7 +55,8 @@ from repro.origins import Origin
 from repro.scanner.zmap import ZMapConfig, ZMapScanner
 from repro.sim.plan import ObserveProfile
 from repro.sim.world import Observation, World
-from repro.telemetry.context import Telemetry, current as _telemetry, use
+from repro.telemetry.context import Telemetry, current as _telemetry, \
+    peak_rss_bytes as _peak_rss, use
 
 #: Environment variables consulted when no executor is passed explicitly;
 #: they let an entire test run (``make test-parallel``) exercise the
@@ -111,6 +112,10 @@ class JobResult:
     #: when the grid ran under an active telemetry context.  Plain data,
     #: so it crosses the process-pool pickle boundary unchanged.
     telemetry: Optional[dict] = None
+    #: Peak RSS of the process that ran the job, in bytes (0 unknown).
+    #: Sampled post-observation so process-pool workers report their own
+    #: high-water mark across the pickle boundary.
+    peak_rss_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -135,6 +140,9 @@ class ExecutionReport:
     #: How the world reached the workers (``"shm"`` or ``"pickle"``);
     #: empty for backends that share the world in-process.
     transport: str = ""
+    #: High-water resident memory over the run, in bytes: the max of the
+    #: parent process and every worker that ran a job (0 if unknown).
+    peak_rss_bytes: int = 0
 
     @property
     def busy_s(self) -> float:
@@ -164,6 +172,8 @@ class ExecutionReport:
         }
         if self.transport:
             out["transport"] = self.transport
+        if self.peak_rss_bytes:
+            out["peak_rss_bytes"] = self.peak_rss_bytes
         return out
 
 
@@ -203,7 +213,7 @@ def run_job(world: World, job: ObservationJob,
     wall = time.perf_counter() - start
     stages = tuple(profile.stage_s.items()) if profile is not None else ()
     return JobResult(job.index, observation, wall, worker, stages,
-                     snapshot)
+                     snapshot, _peak_rss())
 
 
 class Executor(ABC):
@@ -284,7 +294,9 @@ class Executor(ABC):
             # Sorted by stage name: completion order must never leak into
             # metadata (thread workers finish in nondeterministic order).
             stage_s=tuple(sorted(stage_totals.items())),
-            transport=self._transport_used)
+            transport=self._transport_used,
+            peak_rss_bytes=max([_peak_rss()]
+                               + [r.peak_rss_bytes for r in ordered]))
         return [r.observation for r in ordered], report
 
 

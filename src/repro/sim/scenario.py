@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 import os
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.blocking.firewall import ReputationFirewallSpec, StaticBlockSpec
 from repro.blocking.flaky import L7FlakySpec
@@ -652,6 +652,28 @@ def paper_scenario(seed: int = 0, scale: float = 1.0
     world = _build_world(seed, scale, _paper_defaults())
     config = ZMapConfig(seed=seed, pps=100_000.0, n_probes=2)
     return world, paper_origins(), config
+
+
+def paper_sharded_scenario(seed: int = 0, scale: float = 1.0,
+                           n_shards: Optional[int] = None,
+                           max_hosts: Optional[int] = None,
+                           cache: Union[bool, str, None] = None):
+    """The paper scenario as a sharded, out-of-core world.
+
+    Same specs, seed, defaults, origins, and scan configuration as
+    :func:`paper_scenario`, but the host population stays virtual —
+    partitioned into contiguous AS-index shards that are generated (or
+    mmap-loaded) one at a time by :mod:`repro.sim.shard`.  This is the
+    entry point for running the paper grid at scales whose monolithic
+    world would not fit in memory (see docs/SCALING.md).
+    """
+    from repro.sim.shard import build_sharded_world
+
+    sharded = build_sharded_world(
+        paper_specs(seed, scale), seed, _paper_defaults(),
+        n_shards=n_shards, max_hosts=max_hosts, cache=cache)
+    config = ZMapConfig(seed=seed, pps=100_000.0, n_probes=2)
+    return sharded, paper_origins(), config
 
 
 def followup_scenario(seed: int = 0, scale: float = 1.0

@@ -31,6 +31,7 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import sys
 import time
 from contextvars import ContextVar
 from typing import Dict, Iterator, List, Optional, Union
@@ -39,6 +40,25 @@ from repro.telemetry.metrics import CounterSet, HistogramSet
 
 #: Schema tag stamped on every journal's leading ``run`` record.
 SCHEMA = "repro-telemetry-v1"
+
+try:
+    import resource as _resource
+except ImportError:  # non-Unix platform
+    _resource = None
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (0 if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalized
+    here so gauges and reports are always bytes.
+    """
+    if _resource is None:
+        return 0
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
 
 
 class _NullSpan:
@@ -161,6 +181,13 @@ class _Span:
         if exc_type is not None:
             record["error"] = exc_type.__name__
         tel.emit(record)
+        # High-water memory gauge: sampling at every span exit makes the
+        # max track the run's hot phases with no dedicated poller.  The
+        # ``runtime.`` prefix keeps it out of the cross-backend
+        # determinism contract (it is genuinely process-local).
+        rss = peak_rss_bytes()
+        if rss:
+            tel.observe_value("runtime.peak_rss_bytes", rss)
         return False
 
 

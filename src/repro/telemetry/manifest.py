@@ -33,7 +33,15 @@ def config_hash(config) -> str:
 
 
 def world_fingerprint(world) -> Dict[str, object]:
-    """A small structural identity for a simulated world."""
+    """A small structural identity for a simulated world.
+
+    Worlds that know their own identity (``ShardedWorld`` folds its
+    shard-manifest digest in) provide ``fingerprint_payload``; plain
+    worlds are fingerprinted structurally.
+    """
+    payload = getattr(world, "fingerprint_payload", None)
+    if payload is not None:
+        return payload()
     return {
         "seed": world.seed,
         "n_ases": len(world.topology.ases),

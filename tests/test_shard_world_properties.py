@@ -1,0 +1,159 @@
+"""Property tests for shard-boundary RNG determinism (repro.sim.shard).
+
+The whole sharding design rests on one invariant: every per-AS draw in
+:func:`repro.hosts.population.populate` is keyed on the AS index alone,
+so building any contiguous AS range in isolation yields exactly the rows
+the monolithic build places there — for *every* seed, every topology
+shape, and every shard count, including topologies carrying per-AS
+loss/flakiness/maxstartups/outage parameter arrays (which must not
+perturb the population RNG stream).  Hypothesis searches that space;
+``tests/test_shard_world.py`` pins the paper world specifically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.blocking.flaky import L7FlakySpec
+from repro.blocking.maxstartups import MaxStartupsSpec
+from repro.conditions.loss import LossDraw, PathLossSpec
+from repro.conditions.outages import BurstOutageSpec
+from repro.hosts.population import populate
+from repro.rng import CounterRNG
+from repro.sim.shard import build_sharded_world, plan_shards
+from repro.topology.asn import ASKind, ASSpec, PROTOCOLS
+from repro.topology.generator import build_topology
+from repro.topology.geo import default_countries
+
+COUNTRIES = ("US", "DE", "JP", "BR", "AU", "CA", "AT")
+KINDS = (ASKind.HOSTING, ASKind.ISP, ASKind.CLOUD, ASKind.ACADEMIC)
+
+HOST_COLUMNS = ("ip", "protocol", "as_index", "country_index")
+
+
+@st.composite
+def spec_lists(draw):
+    """Random small AS spec lists, some with behavioural parameters.
+
+    Host counts may be zero per protocol (and even per AS), so shards
+    with empty protocols — and entirely empty ASes — stay in the search
+    space.  Behavioural specs (loss, flakiness, MaxStartups, outages)
+    are attached to a random subset: they parameterize observation, and
+    must be invisible to population.
+    """
+    n_ases = draw(st.integers(min_value=1, max_value=10))
+    specs = []
+    for i in range(n_ases):
+        hosts = {p: draw(st.integers(min_value=0, max_value=30))
+                 for p in PROTOCOLS}
+        kwargs = {}
+        if draw(st.booleans()):
+            kwargs["path_loss"] = PathLossSpec(default=LossDraw(
+                epoch_rate=draw(st.floats(0.0, 0.05)),
+                random_rate=draw(st.floats(0.0, 0.02)),
+                persistent_fraction=draw(st.floats(0.0, 0.1))))
+        if draw(st.booleans()):
+            kwargs["l7_flaky"] = L7FlakySpec(
+                flaky_fraction=draw(st.floats(0.0, 0.2)),
+                dead_fraction=draw(st.floats(0.0, 0.05)))
+        if draw(st.booleans()):
+            kwargs["maxstartups"] = MaxStartupsSpec(
+                fraction=draw(st.floats(0.0, 0.3)))
+        if draw(st.booleans()):
+            kwargs["burst_outages"] = BurstOutageSpec(
+                events_per_origin_trial=draw(st.floats(0.0, 0.5)))
+        specs.append(ASSpec(
+            name=f"AS{i}",
+            country=draw(st.sampled_from(COUNTRIES)),
+            kind=draw(st.sampled_from(KINDS)),
+            hosts=hosts, **kwargs))
+    # populate() refuses a world with no hosts at all.
+    if not any(sum(s.hosts.values()) for s in specs):
+        specs[0] = ASSpec(name="AS0", country="US", kind=ASKind.HOSTING,
+                          hosts={"http": 1})
+    return specs
+
+
+@st.composite
+def shard_cases(draw):
+    specs = draw(spec_lists())
+    seed = draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    n_shards = draw(st.integers(min_value=1, max_value=len(specs)))
+    return specs, seed, n_shards
+
+
+def _populate(topology, seed, as_range=None):
+    rng = CounterRNG(seed, "scenario").derive("population")
+    return populate(topology, rng, as_range=as_range)
+
+
+class TestShardBoundaryDeterminism:
+    @given(shard_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_isolated_range_equals_monolithic_slice(self, case):
+        """populate(as_range) == the monolithic build's rows in range,
+        for every contiguous range a shard plan can produce."""
+        specs, seed, n_shards = case
+        topology = build_topology(specs, default_countries())
+        whole = _populate(topology, seed)
+        boundaries = plan_shards(topology, n_shards=n_shards)
+        for lo, hi in zip(boundaries, boundaries[1:]):
+            part = _populate(topology, seed, as_range=(lo, hi))
+            mask = (whole.as_index >= lo) & (whole.as_index < hi)
+            for column in HOST_COLUMNS:
+                np.testing.assert_array_equal(
+                    getattr(part, column),
+                    getattr(whole, column)[mask])
+
+    @given(shard_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_sharded_world_materializes_to_monolithic(self, case):
+        """The full ShardedWorld pipeline (plan → per-shard loaders →
+        concatenate) reproduces the monolithic columns byte for byte."""
+        specs, seed, n_shards = case
+        topology = build_topology(specs, default_countries())
+        whole = _populate(topology, seed)
+        sharded = build_sharded_world(specs, seed, n_shards=n_shards,
+                                      cache=False)
+        assert sum(sharded.manifest.n_hosts) == len(whole.ip)
+        world = sharded.materialize()
+        for column in HOST_COLUMNS:
+            np.testing.assert_array_equal(getattr(world.hosts, column),
+                                          getattr(whole, column))
+
+    @given(shard_cases(), st.integers(min_value=1, max_value=9))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_choice_is_invisible(self, case, other_n):
+        """Two different partitions of the same world materialize to the
+        same table — shard boundaries carry no entropy."""
+        specs, seed, n_shards = case
+        a = build_sharded_world(specs, seed, n_shards=n_shards,
+                                cache=False)
+        b = build_sharded_world(
+            specs, seed, n_shards=min(other_n, len(specs)), cache=False)
+        table_a = a.materialize().hosts
+        table_b = b.materialize().hosts
+        for column in HOST_COLUMNS:
+            np.testing.assert_array_equal(getattr(table_a, column),
+                                          getattr(table_b, column))
+
+    @given(shard_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_plan_invariants(self, case):
+        """Boundaries are a monotone cover of [0, n_ases] with no empty
+        shard, and per-shard row counts sum to the world total."""
+        specs, seed, n_shards = case
+        topology = build_topology(specs, default_countries())
+        boundaries = plan_shards(topology, n_shards=n_shards)
+        assert boundaries[0] == 0
+        assert boundaries[-1] == len(specs)
+        assert all(lo < hi for lo, hi in zip(boundaries, boundaries[1:]))
+        assert len(boundaries) - 1 <= n_shards
+        sharded = build_sharded_world(specs, seed, n_shards=n_shards,
+                                      cache=False)
+        total = sum(sum(s.hosts.values()) for s in specs)
+        assert sum(sharded.manifest.n_hosts) == total

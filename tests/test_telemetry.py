@@ -195,8 +195,10 @@ class TestJournal:
 
         records, skipped = read_ndjson_records(path)
         assert skipped == 0
+        # Two hist records: the explicit observation plus the
+        # runtime.peak_rss_bytes gauge sampled at span exit.
         assert [r["t"] for r in records] == \
-            ["run", "event", "span", "counter", "hist"]
+            ["run", "event", "span", "counter", "hist", "hist"]
         assert records[0]["schema"] == SCHEMA
         # Streamed records equal the in-memory collector's view.
         assert records[1:3] == tel.records
