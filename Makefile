@@ -2,8 +2,8 @@
 # package, `make install` falls back to the legacy setuptools path.
 
 .PHONY: install test test-parallel test-serve test-shard bench \
-	bench-show bench-analysis bench-io bench-serve bench-scale serve \
-	profile trace examples report all
+	bench-show bench-analysis bench-io bench-serve bench-scale \
+	bench-diff serve profile trace examples report all
 
 install:
 	pip install -e . || python setup.py develop
@@ -66,6 +66,12 @@ bench-serve:
 # into the BENCH_<n>.json trajectory.
 bench-scale:
 	pytest benchmarks/test_perf_shard.py -s
+
+# Perf-regression sentinel: compare the newest BENCH_<n>.json against
+# the TRAJECTORY.json history with noise-tolerant thresholds; exits
+# non-zero when any benchmark's median regresses past tolerance.
+bench-diff:
+	python -m repro bench diff --dir bench_artifacts
 
 # Run the campaign service in the foreground (Ctrl-C drains).
 serve:

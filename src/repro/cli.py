@@ -10,11 +10,18 @@ Three commands mirror the library's workflow:
 * ``coverage`` — load a dataset (either format) and print/export the
   coverage tables;
 * ``trace`` — summarize a telemetry journal written by
-  ``simulate --telemetry`` (span tree, manifest, top counters);
+  ``simulate --telemetry`` or ``serve --journal`` (span tree, manifest,
+  top counters), or export it (``--export chrome`` for
+  chrome://tracing / Perfetto, ``--export collapsed`` for flamegraphs);
+  ``--last`` picks the newest journal without an explicit path;
 * ``cache`` — inspect or clear the content-addressed world cache that
   accelerates repeated scenario builds;
 * ``serve`` — run the long-lived campaign service (asyncio HTTP/JSON
-  front with a content-addressed result cache; see docs/SERVING.md).
+  front with a content-addressed result cache; see docs/SERVING.md);
+* ``top`` — live console over a running server's ``/metrics/history``;
+* ``bench`` — the perf-regression sentinel (``bench diff`` compares the
+  newest ``BENCH_<n>.json`` against the trajectory; non-zero exit on
+  regression).
 """
 
 from __future__ import annotations
@@ -78,9 +85,21 @@ def _build_parser() -> argparse.ArgumentParser:
                                "inspect it with 'repro trace PATH'")
 
     trace = commands.add_parser(
-        "trace", help="summarize a telemetry journal "
-                      "(simulate --telemetry)")
-    trace.add_argument("journal", help="NDJSON journal file")
+        "trace", help="summarize or export a telemetry journal "
+                      "(simulate --telemetry / serve --journal)")
+    trace.add_argument("journal", nargs="?", default=None,
+                       help="NDJSON journal file (omit with --last)")
+    trace.add_argument("--last", action="store_true",
+                       help="use the newest journal under the journal "
+                            "dir (REPRO_JOURNAL_DIR or the cache root)")
+    trace.add_argument("--export", choices=("chrome", "collapsed"),
+                       default=None,
+                       help="export instead of summarizing: 'chrome' "
+                            "writes trace-event JSON (chrome://tracing, "
+                            "Perfetto), 'collapsed' writes flamegraph "
+                            "collapsed stacks")
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="export destination (default: stdout)")
     trace.add_argument("--depth", type=int, default=6,
                        help="maximum span-tree depth to render")
     trace.add_argument("--top", type=int, default=20,
@@ -151,6 +170,45 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="result-cache root (default: "
                             "REPRO_RESULT_CACHE_DIR or the world-cache "
                             "root /results)")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="write the server's NDJSON telemetry journal "
+                            "here (inspect with 'repro trace')")
+    serve.add_argument("--journal-max-bytes", type=int, default=None,
+                       help="rotate the journal and access log past this "
+                            "size (.1/.2 backups)")
+    serve.add_argument("--access-log", default=None, metavar="PATH",
+                       help="write one NDJSON line per request (trace "
+                            "ID, route, status, cache source, latency)")
+
+    top = commands.add_parser(
+        "top", help="live console over a running server's "
+                    "/metrics/history window")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8351)
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between polls")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit (no screen "
+                          "clearing; scripting/tests)")
+
+    bench = commands.add_parser(
+        "bench", help="benchmark-trajectory tooling (regression sentinel)")
+    bench.add_argument("action", choices=("diff",),
+                       help="'diff' compares the newest BENCH_<n>.json "
+                            "against TRAJECTORY.json history")
+    bench.add_argument("--dir", default="bench_artifacts",
+                       help="artifact directory (default: bench_artifacts)")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       help="relative slowdown tolerated before failing "
+                            "(default 0.25 = ±25%%)")
+    bench.add_argument("--min-history", type=int, default=None,
+                       help="comparable artifacts required before a "
+                            "benchmark can regress (default 2)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the machine-readable verdict instead "
+                            "of the table")
+    bench.add_argument("--output", default=None, metavar="PATH",
+                       help="also write the JSON verdict to this file")
 
     profile = commands.add_parser(
         "profile", help="profile the observe() hot path (warm plan)")
@@ -200,13 +258,41 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.telemetry import read_journal, render_trace
+    import json as _json
+
+    from repro.telemetry import (chrome_trace, collapsed_stacks,
+                                 default_journal_dir, find_latest_journal,
+                                 read_journal, render_trace)
+    path = args.journal
+    if path is None:
+        if not args.last:
+            print("trace: give a journal path or --last", file=sys.stderr)
+            return 2
+        path = find_latest_journal()
+        if path is None:
+            print(f"trace: no journals under {default_journal_dir()}",
+                  file=sys.stderr)
+            return 1
+        print(f"trace: using {path}", file=sys.stderr)
     try:
-        journal = read_journal(args.journal)
+        journal = read_journal(path)
     except OSError as error:
         print(f"cannot read journal: {error}", file=sys.stderr)
         return 1
-    print(render_trace(journal, max_depth=args.depth, top=args.top))
+    if args.export == "chrome":
+        rendered = _json.dumps(chrome_trace(journal), indent=1,
+                               sort_keys=True) + "\n"
+    elif args.export == "collapsed":
+        rendered = "\n".join(collapsed_stacks(journal)) + "\n"
+    else:
+        rendered = render_trace(journal, max_depth=args.depth,
+                                top=args.top)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
     if journal.skipped:
         print(f"({journal.skipped} malformed record(s) skipped)",
               file=sys.stderr)
@@ -337,7 +423,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                          request_timeout=args.timeout,
                          pool_size=args.pool_size,
                          executor=args.executor, workers=args.workers,
-                         cache_dir=args.cache_dir)
+                         cache_dir=args.cache_dir,
+                         journal=args.journal,
+                         journal_max_bytes=args.journal_max_bytes,
+                         access_log=args.access_log)
 
     def ready(server) -> None:
         print(f"repro serve: listening on "
@@ -351,6 +440,103 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     print("repro serve: drained, bye", file=sys.stderr)
     return 0
+
+
+def _render_top(history: dict, health: dict) -> str:
+    """One ``repro top`` frame from a /metrics/history window."""
+    samples = history.get("samples") or []
+    lines = [f"repro top — {health.get('status', '?')}, "
+             f"active={health.get('active', 0)} "
+             f"flights={health.get('flights', 0)} "
+             f"queue_depth={health.get('queue_depth', 0)} "
+             f"({len(samples)}/{history.get('max_samples', 0)} samples, "
+             f"every {history.get('interval_s', 0)}s)"]
+    if not samples:
+        lines.append("  (no samples yet)")
+        return "\n".join(lines) + "\n"
+    latest = samples[-1]
+    previous = samples[-2] if len(samples) > 1 else None
+    rss = latest.get("rss_bytes") or 0
+    lines.append(f"uptime {latest.get('uptime_s', 0.0):.0f}s   "
+                 f"peak rss {rss / 2**20:.1f} MiB")
+    gauges = latest.get("gauges") or {}
+    if gauges:
+        lines.append("  " + "  ".join(f"{name}={value:g}"
+                                      for name, value in gauges.items()))
+    counters = latest.get("counters") or {}
+    if counters:
+        dt = (latest.get("uptime_s", 0.0)
+              - (previous or {}).get("uptime_s", 0.0)) or None
+        lines.append(f"  {'counter':<32} {'total':>12} {'rate/s':>10}")
+        for name, value in counters.items():
+            if previous is not None and dt:
+                delta = value - (previous.get("counters") or {}).get(name, 0)
+                rate = f"{delta / dt:10.2f}"
+            else:
+                rate = f"{'—':>10}"
+            lines.append(f"  {name:<32} {value:>12g} {rate}")
+    hists = latest.get("hists") or {}
+    if hists:
+        lines.append(f"  {'histogram':<32} {'count':>8} {'p50':>10} "
+                     f"{'p95':>10} {'p99':>10}")
+        for name, summary in hists.items():
+            if not summary:
+                continue
+            lines.append(f"  {name:<32} {summary['count']:>8} "
+                         f"{summary['p50']:>10.4g} {summary['p95']:>10.4g} "
+                         f"{summary['p99']:>10.4g}")
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(host=args.host, port=args.port)
+    try:
+        while True:
+            try:
+                history = client.metrics_history()
+                health = client.healthz()
+            except (ServeError, OSError) as error:
+                print(f"repro top: {args.host}:{args.port} unreachable: "
+                      f"{error}", file=sys.stderr)
+                return 1
+            frame = _render_top(history, health)
+            if args.once:
+                print(frame, end="")
+                return 0
+            # ANSI clear + home: a live console without a curses dep.
+            print("\x1b[2J\x1b[H" + frame, end="", flush=True)
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.telemetry.regress import (DEFAULT_MIN_HISTORY,
+                                         DEFAULT_TOLERANCE, bench_diff,
+                                         render_diff)
+
+    report = bench_diff(
+        args.dir,
+        tolerance=args.tolerance if args.tolerance is not None
+        else DEFAULT_TOLERANCE,
+        min_history=args.min_history if args.min_history is not None
+        else DEFAULT_MIN_HISTORY)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            _json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_diff(report), end="")
+    return 1 if report["verdict"] == "regression" else 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -407,6 +593,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "cache": _cmd_cache,
         "serve": _cmd_serve,
+        "top": _cmd_top,
+        "bench": _cmd_bench,
         "profile": _cmd_profile,
     }
     return handlers[args.command](args)

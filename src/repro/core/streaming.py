@@ -41,6 +41,7 @@ from repro.core.dataset import TrialData
 from repro.core.engine import PackedTrial, resolve_engine
 from repro.core.multi_origin import ComboCoverage, KOriginSummary
 from repro.rng import CounterRNG
+from repro import telemetry
 
 
 class BitPlaneWriter:
@@ -127,6 +128,10 @@ class StreamingTrial:
             self._origin_writers[oi].append(seen)
             self.seen_by_as[oi] += np.bincount(table.as_index[seen],
                                                minlength=self.n_ases)
+        # Deterministic by construction — shard order and row counts are
+        # fixed by the manifest — so this stays outside EXCLUDED_PREFIXES.
+        telemetry.count("streaming.rows_reduced", len(truth),
+                        protocol=self.protocol)
 
     def finish(self) -> PackedTrial:
         """Freeze into a :class:`PackedTrial` (idempotent)."""

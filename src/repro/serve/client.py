@@ -38,6 +38,8 @@ class ReportResult:
     key: str
     source: str          # "hit" | "miss" | "repair"
     text: str
+    #: The request's trace ID (``X-Repro-Trace`` response header).
+    trace: str = ""
 
 
 class ServeClient:
@@ -68,6 +70,13 @@ class ServeClient:
         """The Prometheus text exposition."""
         return self._request("GET", "/metrics")[1].decode("utf-8")
 
+    def metrics_history(self, last: Optional[int] = None) -> dict:
+        """The server's time-series window (``/metrics/history``)."""
+        path = "/metrics/history"
+        if last is not None:
+            path += f"?last={int(last)}"
+        return json.loads(self._request("GET", path)[1])
+
     def cache(self) -> list:
         return json.loads(self._request("GET", "/cache")[1])["entries"]
 
@@ -81,7 +90,8 @@ class ServeClient:
         _, body, headers = self._post("/report", spec)
         return ReportResult(key=headers.get("x-repro-key", ""),
                             source=headers.get("x-repro-source", ""),
-                            text=body.decode("utf-8"))
+                            text=body.decode("utf-8"),
+                            trace=headers.get("x-repro-trace", ""))
 
     # ------------------------------------------------------------------
     # Transport

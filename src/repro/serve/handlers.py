@@ -25,7 +25,9 @@ from repro.core.report import full_report
 from repro.serve import resultcache
 from repro.sim.campaign import campaign_fingerprint, run_campaign
 from repro.sim.executor import BACKENDS
-from repro.sim.scenario import followup_scenario, paper_scenario
+from repro.sim.scenario import (followup_scenario, paper_scenario,
+                                paper_sharded_scenario)
+from repro.sim.shard import run_sharded_campaign
 from repro.telemetry.context import current as _telemetry
 from repro.telemetry.manifest import config_hash, world_fingerprint
 from repro.topology.asn import PROTOCOLS
@@ -40,6 +42,7 @@ SCENARIOS = {
 MAX_SEED = 2**32
 MAX_TRIALS = 16
 MIN_SCALE, MAX_SCALE = 1e-3, 2.0
+MAX_SHARDS = 64
 
 
 class BadRequest(Exception):
@@ -65,6 +68,10 @@ class CampaignRequest:
     protocols: Tuple[str, ...] = PROTOCOLS
     n_trials: int = 3
     engine: Optional[str] = None
+    #: ``> 1`` serves the campaign through the sharded streaming path
+    #: (``paper_sharded_scenario`` + ``run_sharded_campaign``) — same
+    #: bytes, bounded memory, one ``shard.stream`` span per shard.
+    shards: int = 1
 
     def canonical(self) -> str:
         """The canonical JSON identity (single-flight / memo key)."""
@@ -72,6 +79,7 @@ class CampaignRequest:
             "scenario": self.scenario, "seed": self.seed,
             "scale": self.scale, "protocols": list(self.protocols),
             "n_trials": self.n_trials, "engine": self.engine,
+            "shards": self.shards,
         }, sort_keys=True, separators=(",", ":"))
 
     def to_json(self) -> dict:
@@ -83,7 +91,7 @@ def parse_request(payload: object) -> CampaignRequest:
     if not isinstance(payload, dict):
         raise BadRequest("request body must be a JSON object")
     unknown = set(payload) - {"scenario", "seed", "scale", "protocols",
-                              "n_trials", "engine"}
+                              "n_trials", "engine", "shards"}
     if unknown:
         raise BadRequest(f"unknown request fields: {sorted(unknown)}")
 
@@ -124,9 +132,17 @@ def parse_request(payload: object) -> CampaignRequest:
         raise BadRequest(f"unknown engine {engine!r}; "
                          f"expected one of {list(ENGINES)}")
 
+    shards = payload.get("shards", 1)
+    if not isinstance(shards, int) or isinstance(shards, bool) \
+            or not 1 <= shards <= MAX_SHARDS:
+        raise BadRequest(f"shards must be an integer in [1, {MAX_SHARDS}]")
+    if shards > 1 and scenario != "paper":
+        raise BadRequest("sharded serving is only available for the "
+                         "'paper' scenario")
+
     return CampaignRequest(scenario=scenario, seed=seed, scale=scale,
                            protocols=protocols, n_trials=n_trials,
-                           engine=engine)
+                           engine=engine, shards=shards)
 
 
 @dataclass
@@ -143,6 +159,9 @@ class ResultPayload:
     report: str
     meta: dict
     source: str
+    #: Trace ID of the request whose compute produced these bytes (the
+    #: server fills it in; cache hits reuse the requesting trace).
+    trace: str = ""
 
 
 @dataclass
@@ -170,16 +189,27 @@ class ServeState:
                              f"expected one of {BACKENDS}")
 
     def world_for(self, request: CampaignRequest) -> tuple:
-        """(world, origins, config) for a request, via the world LRU."""
+        """(world, origins, config) for a request, via the world LRU.
+
+        ``shards > 1`` builds a :class:`~repro.sim.shard.ShardedWorld`
+        through :func:`~repro.sim.scenario.paper_sharded_scenario`
+        instead of a monolithic world; the LRU key includes the shard
+        count so the two never alias.
+        """
         lru_key = json.dumps([request.scenario, request.seed,
-                              request.scale])
+                              request.scale, request.shards])
         with self._lock:
             hit = self._worlds.get(lru_key)
             if hit is not None:
                 self._worlds.move_to_end(lru_key)
                 return hit
-        built = SCENARIOS[request.scenario](seed=request.seed,
-                                            scale=request.scale)
+        if request.shards > 1:
+            built = paper_sharded_scenario(seed=request.seed,
+                                           scale=request.scale,
+                                           n_shards=request.shards)
+        else:
+            built = SCENARIOS[request.scenario](seed=request.seed,
+                                                scale=request.scale)
         with self._lock:
             self._worlds[lru_key] = built
             while len(self._worlds) > self.world_lru:
@@ -226,12 +256,21 @@ def run_request(request: CampaignRequest, state: ServeState) -> ResultPayload:
 
     world, origins, config = state.world_for(request)
     with tel.span("serve.compute", key=key[:12],
-                  scenario=request.scenario, seed=request.seed):
-        dataset = run_campaign(world, origins, config,
-                               protocols=request.protocols,
-                               n_trials=request.n_trials,
-                               executor=state.executor,
-                               workers=state.workers)
+                  scenario=request.scenario, seed=request.seed,
+                  shards=request.shards):
+        if request.shards > 1:
+            _, dataset = run_sharded_campaign(world, origins, config,
+                                              protocols=request.protocols,
+                                              n_trials=request.n_trials,
+                                              executor=state.executor,
+                                              workers=state.workers,
+                                              collect=True)
+        else:
+            dataset = run_campaign(world, origins, config,
+                                   protocols=request.protocols,
+                                   n_trials=request.n_trials,
+                                   executor=state.executor,
+                                   workers=state.workers)
         report = full_report(dataset, engine=request.engine)
     meta = {
         "request": request.to_json(),

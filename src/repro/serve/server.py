@@ -28,9 +28,16 @@ Routes::
 
     GET  /healthz            liveness + drain state + queue occupancy
     GET  /metrics            Prometheus text (``?format=json`` for JSON)
+    GET  /metrics/history    bounded time-series window (``?last=N``)
     GET  /cache              result-cache entries (manifest-only reads)
     POST /campaign           run/serve a campaign; JSON summary
     POST /report             run/serve a campaign; text/plain report
+
+Every request carries a 128-bit trace ID — minted per request, or
+honored from an ``X-Repro-Trace`` header — that is stamped on the
+request span, the flight, the compute's whole span tree (executor jobs
+across the pickle boundary, per-shard streams), the access log, and
+the ``X-Repro-Trace`` response header; see ``repro.telemetry.tracing``.
 
 Backpressure contract: ``queue_depth`` caps admitted-but-unfinished
 requests (429 beyond it), and a draining server (SIGTERM) refuses new
@@ -47,12 +54,17 @@ import urllib.parse
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
+import os
+import time
+
 from repro.serve import resultcache
 from repro.serve.handlers import (BadRequest, CampaignRequest, ResultPayload,
                                   ServeState, parse_request, run_request)
 from repro.sim.campaign import SingleFlight
 from repro.telemetry.context import Telemetry, use
 from repro.telemetry.metrics import exposition_text, metrics_json
+from repro.telemetry.timeseries import TimeSeriesRecorder
+from repro.telemetry.tracing import new_trace_id, valid_trace_id
 
 #: Sane cap on request bodies: specs are a few hundred bytes.
 MAX_BODY_BYTES = 64 * 1024
@@ -80,6 +92,60 @@ class ServeConfig:
     workers: Optional[int] = None  # campaign pool width
     cache_dir: Optional[str] = None
     world_lru: int = 4
+    journal: Optional[str] = None  # NDJSON telemetry journal path
+    #: Size-based journal rotation budget (``.1``/``.2`` backups); a
+    #: long-lived server must not grow an unbounded NDJSON file.
+    journal_max_bytes: Optional[int] = None
+    access_log: Optional[str] = None  # per-request NDJSON access log
+    history_interval: float = 1.0  # /metrics/history sampling tick (s)
+    history_samples: int = 512     # /metrics/history ring-buffer depth
+
+
+class _AccessLog:
+    """Append-only NDJSON access log with the journal's rotation scheme.
+
+    One line per completed request — trace ID, route, status, cache
+    source, queue wait, latency — written on the event loop (a few
+    hundred bytes, no fsync).  When ``max_bytes`` is set, the file
+    rotates through ``.1``/``.2`` backups exactly like the telemetry
+    journal, so a long-lived server is bounded on both artifacts.
+    """
+
+    def __init__(self, path: str, max_bytes: Optional[int] = None,
+                 backups: int = 2) -> None:
+        self.path = path
+        self.max_bytes = max_bytes
+        self.backups = max(int(backups), 1)
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+        self._bytes = self._handle.tell()
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        if self.max_bytes is not None and self._bytes \
+                and self._bytes + len(line) > self.max_bytes:
+            self._rotate()
+        self._handle.write(line)
+        self._handle.flush()
+        self._bytes += len(line)
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        for index in range(self.backups, 0, -1):
+            source = self.path if index == 1 else f"{self.path}.{index - 1}"
+            try:
+                os.replace(source, f"{self.path}.{index}")
+            except FileNotFoundError:
+                pass
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._bytes = 0
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
 
 
 class ReproServer:
@@ -102,9 +168,21 @@ class ReproServer:
             workers=self.config.workers,
             world_lru=self.config.world_lru)
         self.runner = runner
-        self.telemetry = Telemetry()
+        self.history = TimeSeriesRecorder(
+            max_samples=self.config.history_samples,
+            interval_s=self.config.history_interval)
+        self.telemetry = Telemetry(
+            journal=self.config.journal,
+            max_journal_bytes=self.config.journal_max_bytes,
+            timeseries=self.history)
+        self.access_log: Optional[_AccessLog] = None
+        if self.config.access_log:
+            self.access_log = _AccessLog(
+                self.config.access_log,
+                max_bytes=self.config.journal_max_bytes)
         self.port: Optional[int] = None
         self._flights = SingleFlight()
+        self._sampler: Optional[asyncio.Task] = None
         self._pool = concurrent.futures.ThreadPoolExecutor(
             max_workers=self.config.pool_size,
             thread_name_prefix="repro-serve")
@@ -124,7 +202,21 @@ class ReproServer:
         self._server = await asyncio.start_server(
             self._handle_conn, self.config.host, self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        self._sampler = asyncio.ensure_future(self._sample_loop())
         return self
+
+    async def _sample_loop(self) -> None:
+        """Feed ``/metrics/history`` one sample per tick, with gauges.
+
+        Span exits also sample opportunistically (the recorder
+        rate-limits), but an idle server emits no spans — this tick
+        keeps the window alive so ``repro top`` always has fresh rows.
+        """
+        while not self._draining:
+            await asyncio.sleep(self.config.history_interval)
+            self.history.sample(self.telemetry, active=self._active,
+                                flights=self._flights.in_flight(),
+                                queue_depth=self.config.queue_depth)
 
     async def drain(self) -> None:
         """Graceful shutdown: refuse new work, finish in-flight, close.
@@ -136,6 +228,12 @@ class ReproServer:
             await self._closed.wait()
             return
         self._draining = True
+        if self._sampler is not None:
+            self._sampler.cancel()
+            try:
+                await self._sampler
+            except asyncio.CancelledError:
+                pass
         if self._flight_tasks:
             await asyncio.gather(*tuple(self._flight_tasks),
                                  return_exceptions=True)
@@ -148,6 +246,8 @@ class ReproServer:
         # on thread join from the loop.
         self._pool.shutdown(wait=False)
         self.telemetry.close()
+        if self.access_log is not None:
+            self.access_log.close()
         self._closed.set()
 
     async def wait_closed(self) -> None:
@@ -161,14 +261,25 @@ class ReproServer:
     # Compute dispatch (single-flight + independent leader task)
     # ------------------------------------------------------------------
 
-    def _job(self, request: CampaignRequest) -> Tuple[ResultPayload, dict]:
-        """Worker-thread body: run under a job-local telemetry context."""
-        tel = Telemetry()
+    def _job(self, request: CampaignRequest, trace: str,
+             submitted: float) -> Tuple[ResultPayload, dict, float]:
+        """Worker-thread body: run under a job-local telemetry context.
+
+        The leading request's trace ID seeds the job-local collector, so
+        every span the compute opens — ``serve.compute``, the executor
+        grid, per-shard streams, worker jobs across the pickle boundary —
+        carries it; the snapshot rides back for loop-side adoption.
+        ``submitted`` times the queue wait (pool submit → thread start).
+        """
+        wait_s = time.monotonic() - submitted
+        tel = Telemetry(trace_id=trace or None)
+        tel.observe_value("serve.queue_wait", wait_s)
         with use(tel):
             payload = self.runner(request, self.state)
-        return payload, tel.snapshot()
+        payload.trace = trace
+        return payload, tel.snapshot(), wait_s
 
-    async def _finish_flight(self, spec: str,
+    async def _finish_flight(self, spec: str, trace: str, started: float,
                              pending: concurrent.futures.Future) -> None:
         """Loop-side completion of one flight's compute.
 
@@ -179,7 +290,7 @@ class ReproServer:
         """
         tel = self.telemetry
         try:
-            payload, snap = await asyncio.wrap_future(pending)
+            payload, snap, wait_s = await asyncio.wrap_future(pending)
         except BaseException as error:  # noqa: BLE001 — forwarded to waiters
             tel.count("serve.error", kind=type(error).__name__)
             self._flights.finish(spec, error=error)
@@ -187,15 +298,23 @@ class ReproServer:
         self._n_flights += 1
         tel.adopt(snap, prefix=f"f{self._n_flights}.")
         tel.count(f"serve.cache_{payload.source}")
+        tel.span_event("serve.flight",
+                       wall_s=asyncio.get_event_loop().time() - started,
+                       trace=trace or None, key=payload.key[:12],
+                       source=payload.source,
+                       queue_wait_s=round(wait_s, 6))
         self._flights.finish(spec, result=payload)
 
-    async def _serve_request(self, request: CampaignRequest) -> ResultPayload:
+    async def _serve_request(self, request: CampaignRequest,
+                             trace: str = "") -> ResultPayload:
         """Join or lead the flight for ``request``; await its payload."""
         spec = request.canonical()
         fut, leader = self._flights.begin(spec)
         if leader:
-            pending = self._pool.submit(self._job, request)
-            task = asyncio.ensure_future(self._finish_flight(spec, pending))
+            pending = self._pool.submit(self._job, request, trace,
+                                        time.monotonic())
+            task = asyncio.ensure_future(self._finish_flight(
+                spec, trace, asyncio.get_event_loop().time(), pending))
             self._flight_tasks.add(task)
             task.add_done_callback(self._flight_tasks.discard)
         else:
@@ -252,93 +371,133 @@ class ReproServer:
 
         url = urllib.parse.urlsplit(target)
         query = dict(urllib.parse.parse_qsl(url.query))
+        # Per-request trace identity: honor a well-formed upstream
+        # X-Repro-Trace header, mint otherwise.  Every span, access-log
+        # line, and response header of this request carries it.
+        trace = headers.get("x-repro-trace", "")
+        if not valid_trace_id(trace):
+            trace = new_trace_id()
+        info: Dict[str, object] = {}
         loop = asyncio.get_event_loop()
         t0 = loop.time()
-        status = await self._route(method, url.path, query, body, writer)
+        status = await self._route(method, url.path, query, body, writer,
+                                   trace, info)
+        wall = loop.time() - t0
         tel = self.telemetry
         tel.count("serve.request", route=url.path, status=status)
-        tel.observe_value("serve.request_wall", loop.time() - t0,
-                          route=url.path)
-        tel.span_event("serve.request", wall_s=loop.time() - t0,
-                       route=url.path, status=status)
+        tel.observe_value("serve.request_wall", wall, route=url.path)
+        tel.span_event("serve.request", wall_s=wall, route=url.path,
+                       status=status, trace=trace)
+        if self.access_log is not None:
+            record = {"ts": round(time.time(), 3), "trace": trace,
+                      "route": url.path, "method": method, "status": status,
+                      "wall_s": round(wall, 6), "active": self._active}
+            record.update(info)
+            self.access_log.write(record)
 
     async def _route(self, method: str, path: str, query: Dict[str, str],
-                     body: bytes, writer: asyncio.StreamWriter) -> int:
+                     body: bytes, writer: asyncio.StreamWriter,
+                     trace: str = "",
+                     info: Optional[dict] = None) -> int:
+        info = info if info is not None else {}
         if path == "/healthz" and method == "GET":
             return await self._respond(writer, 200, {
                 "status": "draining" if self._draining else "ok",
                 "active": self._active,
                 "flights": self._flights.in_flight(),
                 "queue_depth": self.config.queue_depth,
-            })
+            }, trace=trace)
         if path == "/metrics" and method == "GET":
             tel = self.telemetry
             if query.get("format") == "json":
                 return await self._respond(
-                    writer, 200, metrics_json(tel.counters, tel.histograms))
+                    writer, 200, metrics_json(tel.counters, tel.histograms),
+                    trace=trace)
             text = exposition_text(tel.counters, tel.histograms)
             return await self._respond(
                 writer, 200, text.encode("utf-8"),
-                content_type="text/plain; version=0.0.4")
+                content_type="text/plain; version=0.0.4", trace=trace)
+        if path == "/metrics/history" and method == "GET":
+            try:
+                last = int(query["last"]) if "last" in query else None
+            except ValueError:
+                return await self._respond(
+                    writer, 400, {"error": "last must be an integer"},
+                    trace=trace)
+            return await self._respond(
+                writer, 200, self.history.as_dict(last), trace=trace)
         if path == "/cache" and method == "GET":
             entries = resultcache.list_entries(self.state.cache_dir)
             return await self._respond(writer, 200, {
                 "entries": [{"key": e.key, "nbytes": e.nbytes,
-                             "valid": e.valid} for e in entries]})
+                             "valid": e.valid} for e in entries]},
+                trace=trace)
         if path in ("/campaign", "/report"):
             if method != "POST":
                 return await self._respond(
-                    writer, 405, {"error": "POST required"})
-            return await self._campaign(path, body, writer)
-        return await self._respond(writer, 404, {"error": f"no route {path}"})
+                    writer, 405, {"error": "POST required"}, trace=trace)
+            return await self._campaign(path, body, writer, trace, info)
+        return await self._respond(writer, 404,
+                                   {"error": f"no route {path}"},
+                                   trace=trace)
 
     async def _campaign(self, path: str, body: bytes,
-                        writer: asyncio.StreamWriter) -> int:
+                        writer: asyncio.StreamWriter, trace: str = "",
+                        info: Optional[dict] = None) -> int:
+        info = info if info is not None else {}
         if self._draining:
             return await self._respond(
-                writer, 503, {"error": "server is draining"})
+                writer, 503, {"error": "server is draining"}, trace=trace)
         if self._active >= self.config.queue_depth:
             self.telemetry.count("serve.rejected")
             return await self._respond(
                 writer, 429, {"error": "queue full",
-                              "queue_depth": self.config.queue_depth})
+                              "queue_depth": self.config.queue_depth},
+                trace=trace)
         try:
             payload = json.loads(body.decode("utf-8")) if body else {}
             request = parse_request(payload)
         except (ValueError, UnicodeDecodeError) as error:
             return await self._respond(
-                writer, 400, {"error": f"invalid JSON body: {error}"})
+                writer, 400, {"error": f"invalid JSON body: {error}"},
+                trace=trace)
         except BadRequest as error:
-            return await self._respond(writer, 400, {"error": str(error)})
+            return await self._respond(writer, 400, {"error": str(error)},
+                                       trace=trace)
 
         self._active += 1
         try:
-            result = await self._serve_request(request)
+            result = await self._serve_request(request, trace)
         except asyncio.TimeoutError:
             self.telemetry.count("serve.timeout")
             return await self._respond(
                 writer, 504,
                 {"error": "request timed out; compute continues and will "
                           "be cached", "timeout_s":
-                          self.config.request_timeout})
+                          self.config.request_timeout}, trace=trace)
         except Exception as error:  # noqa: BLE001 — any compute failure
             return await self._respond(
-                writer, 500, {"error": f"{type(error).__name__}: {error}"})
+                writer, 500, {"error": f"{type(error).__name__}: {error}"},
+                trace=trace)
         finally:
             self._active -= 1
 
+        info["key"] = result.key
+        info["source"] = result.source
         extra = {"X-Repro-Key": result.key, "X-Repro-Source": result.source}
         if path == "/report":
             return await self._respond(
                 writer, 200, result.report.encode("utf-8"),
-                content_type="text/plain; charset=utf-8", extra=extra)
+                content_type="text/plain; charset=utf-8", extra=extra,
+                trace=trace)
         return await self._respond(writer, 200, {
             "key": result.key, "source": result.source,
-            "meta": result.meta}, extra=extra)
+            "meta": result.meta}, extra=extra, trace=trace)
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
                        body, content_type: str = "application/json",
-                       extra: Optional[Dict[str, str]] = None) -> int:
+                       extra: Optional[Dict[str, str]] = None,
+                       trace: str = "") -> int:
         if isinstance(body, dict):
             body = (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")
         reason = REASONS.get(status, "")
@@ -346,6 +505,8 @@ class ReproServer:
                 f"Content-Type: {content_type}",
                 f"Content-Length: {len(body)}",
                 "Connection: close"]
+        if trace:
+            head.append(f"X-Repro-Trace: {trace}")
         for name, value in (extra or {}).items():
             head.append(f"{name}: {value}")
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))

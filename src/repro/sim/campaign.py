@@ -36,6 +36,7 @@ from repro.sim.executor import Executor, ObservationJob, ProgressCallback, \
 from repro.sim.world import Observation, World
 from repro.telemetry.context import Telemetry, current as _telemetry, use
 from repro.telemetry.manifest import build_manifest
+from repro.telemetry.tracing import new_trace_id
 from repro.topology.asn import PROTOCOLS
 
 
@@ -154,6 +155,10 @@ def run_campaign(world: World, origins: Sequence[Origin],
     else:
         owned = tel = Telemetry(journal=telemetry)
         activate = use(tel)
+    if tel.enabled and getattr(tel, "trace_id", None) is None:
+        # Mint-if-absent: an offline campaign starts its own trace, but a
+        # serve-set request trace on the collector is never overwritten.
+        tel.trace_id = new_trace_id()
     try:
         with activate:
             return _run_campaign(world, origins, zmap, protocols, n_trials,

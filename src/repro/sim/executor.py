@@ -57,6 +57,7 @@ from repro.sim.plan import ObserveProfile
 from repro.sim.world import Observation, World
 from repro.telemetry.context import Telemetry, current as _telemetry, \
     peak_rss_bytes as _peak_rss, use
+from repro.telemetry.tracing import TraceContext
 
 #: Environment variables consulted when no executor is passed explicitly;
 #: they let an entire test run (``make test-parallel``) exercise the
@@ -177,15 +178,18 @@ class ExecutionReport:
         return out
 
 
-def run_job(world: World, job: ObservationJob,
-            collect: bool = False) -> JobResult:
+def run_job(world: World, job: ObservationJob, collect: bool = False,
+            trace: Optional[TraceContext] = None) -> JobResult:
     """Execute one observation job against a world (any backend).
 
     With ``collect=True`` the job runs under a fresh job-local
     :class:`~repro.telemetry.context.Telemetry` whose snapshot rides back
     in the result; the parent adopts snapshots in job-index order, so the
     merged journal and counter totals are identical no matter which
-    worker (or backend) ran the job.
+    worker (or backend) ran the job.  A ``trace`` context stamps every
+    job-local span with the originating request/campaign's trace ID —
+    the snapshot carries it back across the pickle boundary, so adopted
+    spans stay correlated with the tree that spawned them.
     """
     start = time.perf_counter()
     scanner = ZMapScanner(job.config)
@@ -193,7 +197,8 @@ def run_job(world: World, job: ObservationJob,
     worker = f"{os.getpid()}/{threading.current_thread().name}"
     snapshot = None
     if collect:
-        job_tel = Telemetry()
+        job_tel = Telemetry(
+            trace_id=trace.trace_id if trace is not None else None)
         with use(job_tel):
             with job_tel.span("executor.job", index=job.index,
                               protocol=job.protocol, trial=job.trial,
@@ -234,13 +239,14 @@ class Executor(ABC):
 
     @abstractmethod
     def _execute(self, world: World, jobs: Sequence[ObservationJob],
-                 progress: Optional[ProgressCallback],
-                 collect: bool) -> List[JobResult]:
+                 progress: Optional[ProgressCallback], collect: bool,
+                 trace: Optional[TraceContext]) -> List[JobResult]:
         """Run every job, in any order, returning all results.
 
         ``collect`` asks each job to gather a job-local telemetry
-        snapshot (see :func:`run_job`); backends must forward it across
-        their worker boundary.
+        snapshot (see :func:`run_job`); ``trace`` is the ambient trace
+        context (or ``None``).  Backends must forward both across their
+        worker boundary.
         """
 
     def run_grid(self, world: World, jobs: Sequence[ObservationJob],
@@ -260,10 +266,12 @@ class Executor(ABC):
             with tel.span("executor.run_grid", backend=self.name,
                           workers=self.workers,
                           n_jobs=len(jobs)) as grid_span:
-                results = self._execute(world, jobs, progress, True)
+                trace = TraceContext(tel.trace_id, grid_span.span_id) \
+                    if tel.trace_id else None
+                results = self._execute(world, jobs, progress, True, trace)
             grid_id = grid_span.span_id
         else:
-            results = self._execute(world, jobs, progress, False)
+            results = self._execute(world, jobs, progress, False, None)
             grid_id = None
         wall = time.perf_counter() - start
         if len(results) != len(jobs):
@@ -309,11 +317,12 @@ class SerialExecutor(Executor):
         super().__init__(1)
 
     def _execute(self, world: World, jobs: Sequence[ObservationJob],
-                 progress: Optional[ProgressCallback],
-                 collect: bool) -> List[JobResult]:
+                 progress: Optional[ProgressCallback], collect: bool,
+                 trace: Optional[TraceContext]) -> List[JobResult]:
         results: List[JobResult] = []
         for done, job in enumerate(jobs, start=1):
-            results.append(run_job(world, job, collect=collect))
+            results.append(run_job(world, job, collect=collect,
+                                   trace=trace))
             if progress is not None:
                 progress(done, len(jobs), job)
         return results
@@ -330,31 +339,35 @@ class ThreadExecutor(Executor):
     name = "thread"
 
     def _execute(self, world: World, jobs: Sequence[ObservationJob],
-                 progress: Optional[ProgressCallback],
-                 collect: bool) -> List[JobResult]:
+                 progress: Optional[ProgressCallback], collect: bool,
+                 trace: Optional[TraceContext]) -> List[JobResult]:
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            futures = {pool.submit(run_job, world, job, collect): job
+            futures = {pool.submit(run_job, world, job, collect, trace): job
                        for job in jobs}
             return _drain(futures, len(jobs), progress)
 
 
-# Module-level slots for the per-process world and telemetry flag; set
-# by the pool initializer, read by every job the worker runs.  The
-# shared-memory mapping must stay referenced for the worker's lifetime:
-# the world's host columns are views into it.
+# Module-level slots for the per-process world, telemetry flag, and
+# trace context; set by the pool initializer, read by every job the
+# worker runs.  The shared-memory mapping must stay referenced for the
+# worker's lifetime: the world's host columns are views into it.
 _WORKER_WORLD: Optional[World] = None
 _WORKER_COLLECT: bool = False
+_WORKER_TRACE: Optional[TraceContext] = None
 _WORKER_SHM: Optional[shared_memory.SharedMemory] = None
 
 
-def _process_init(payload: bytes, collect: bool = False) -> None:
-    global _WORKER_WORLD, _WORKER_COLLECT
+def _process_init(payload: bytes, collect: bool = False,
+                  trace: Optional[TraceContext] = None) -> None:
+    global _WORKER_WORLD, _WORKER_COLLECT, _WORKER_TRACE
     _WORKER_WORLD = pickle.loads(payload)
     _WORKER_COLLECT = collect
+    _WORKER_TRACE = trace
 
 
 def _process_init_shm(name: str, skeleton: bytes, layout: Sequence[dict],
-                      collect: bool = False) -> None:
+                      collect: bool = False,
+                      trace: Optional[TraceContext] = None) -> None:
     """Attach the parent's shared block and rebuild the world around it.
 
     The arrays become read-only zero-copy views over the mapping — no
@@ -365,18 +378,20 @@ def _process_init_shm(name: str, skeleton: bytes, layout: Sequence[dict],
     single unregister.  Unregistering per worker would strip the
     parent's entry and break that accounting.
     """
-    global _WORKER_WORLD, _WORKER_COLLECT, _WORKER_SHM
+    global _WORKER_WORLD, _WORKER_COLLECT, _WORKER_TRACE, _WORKER_SHM
     shm = shared_memory.SharedMemory(name=name)
     _WORKER_SHM = shm
     _WORKER_WORLD = recompose_world(skeleton,
                                     arrays_from_buffer(shm.buf, layout))
     _WORKER_COLLECT = collect
+    _WORKER_TRACE = trace
 
 
 def _process_run_job(job: ObservationJob) -> JobResult:
     if _WORKER_WORLD is None:
         raise RuntimeError("worker process was not initialized with a world")
-    return run_job(_WORKER_WORLD, job, collect=_WORKER_COLLECT)
+    return run_job(_WORKER_WORLD, job, collect=_WORKER_COLLECT,
+                   trace=_WORKER_TRACE)
 
 
 class SharedWorld:
@@ -399,9 +414,10 @@ class SharedWorld:
         pack_into(self._shm.buf, arrays, self.layout)
         self.name = self._shm.name
 
-    def initargs(self, collect: bool) -> Tuple:
+    def initargs(self, collect: bool,
+                 trace: Optional[TraceContext] = None) -> Tuple:
         """Arguments for :func:`_process_init_shm` (small: no arrays)."""
-        return (self.name, self.skeleton, self.layout, collect)
+        return (self.name, self.skeleton, self.layout, collect, trace)
 
     def close(self) -> None:
         """Release and unlink the block (idempotent)."""
@@ -448,8 +464,8 @@ class ProcessExecutor(Executor):
         self.transport = transport
 
     def _execute(self, world: World, jobs: Sequence[ObservationJob],
-                 progress: Optional[ProgressCallback],
-                 collect: bool) -> List[JobResult]:
+                 progress: Optional[ProgressCallback], collect: bool,
+                 trace: Optional[TraceContext]) -> List[JobResult]:
         tel = _telemetry()
         shared: Optional[SharedWorld] = None
         if self.transport == "shm":
@@ -462,14 +478,15 @@ class ProcessExecutor(Executor):
         try:
             if shared is not None:
                 initializer, initargs = \
-                    _process_init_shm, shared.initargs(collect)
+                    _process_init_shm, shared.initargs(collect, trace)
                 self._transport_used = "shm"
                 if tel.enabled:
                     tel.count("runtime.world_shm_bytes", shared.nbytes)
             else:
                 payload = pickle.dumps(world,
                                        protocol=pickle.HIGHEST_PROTOCOL)
-                initializer, initargs = _process_init, (payload, collect)
+                initializer, initargs = \
+                    _process_init, (payload, collect, trace)
                 self._transport_used = "pickle"
             if tel.enabled:
                 tel.count("runtime.world_transport", 1,

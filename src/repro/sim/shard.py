@@ -379,6 +379,11 @@ def run_sharded_campaign(sharded: ShardedWorld,
     from repro.sim.executor import make_executor
 
     tel = _telemetry()
+    if tel.enabled and getattr(tel, "trace_id", None) is None:
+        # Same mint-if-absent rule as run_campaign: a standalone sharded
+        # run starts its own trace, a serve-set request trace is kept.
+        from repro.telemetry.tracing import new_trace_id
+        tel.trace_id = new_trace_id()
     limit = memory_budget(budget)
     n_origins = len(origins)
     for index in range(sharded.n_shards):
@@ -403,40 +408,43 @@ def run_sharded_campaign(sharded: ShardedWorld,
                   n_jobs=len(jobs) * sharded.n_shards,
                   budget_bytes=limit):
         for index in range(sharded.n_shards):
-            world = sharded.shard_world(index)
-            present = {p: len(world.hosts.for_protocol(p)) > 0
-                       for p in protocols}
-            live = [j for j in jobs if present[j.protocol]]
-            if live:
-                observations, report = backend.run_grid(world, live)
-                reports.append(report)
-                by_index = dict(zip((j.index for j in live), observations))
-            else:
-                by_index = {}
-            grouped: Dict[Tuple[str, int], List[int]] = {}
-            for job in jobs:
-                grouped.setdefault((job.protocol, job.trial),
-                                   []).append(job.index)
-            for (protocol, trial), indices in grouped.items():
-                config = jobs[indices[0]].config
-                names = [jobs[i].origin.name for i in indices]
-                obs = [by_index[i] if i in by_index else
-                       _empty_observation(protocol, trial,
-                                          jobs[i].origin.name)
-                       for i in indices]
-                table = _stack(protocol, trial, names, obs,
-                               config.n_probes)
-                acc = accumulators.get((protocol, trial))
-                if acc is None:
-                    acc = StreamingTrial(protocol=protocol, trial=trial,
-                                         n_ases=n_ases)
-                    accumulators[(protocol, trial)] = acc
-                acc.add_shard(table)
-                if collect:
-                    collected.setdefault((protocol, trial),
-                                         []).append(table)
-            tel.count("shard.shards_processed", 1)
-            del world, by_index
+            with tel.span("shard.stream", shard=index,
+                          rows=int(sharded.manifest.n_hosts[index])):
+                world = sharded.shard_world(index)
+                present = {p: len(world.hosts.for_protocol(p)) > 0
+                           for p in protocols}
+                live = [j for j in jobs if present[j.protocol]]
+                if live:
+                    observations, report = backend.run_grid(world, live)
+                    reports.append(report)
+                    by_index = dict(zip((j.index for j in live),
+                                        observations))
+                else:
+                    by_index = {}
+                grouped: Dict[Tuple[str, int], List[int]] = {}
+                for job in jobs:
+                    grouped.setdefault((job.protocol, job.trial),
+                                       []).append(job.index)
+                for (protocol, trial), indices in grouped.items():
+                    config = jobs[indices[0]].config
+                    names = [jobs[i].origin.name for i in indices]
+                    obs = [by_index[i] if i in by_index else
+                           _empty_observation(protocol, trial,
+                                              jobs[i].origin.name)
+                           for i in indices]
+                    table = _stack(protocol, trial, names, obs,
+                                   config.n_probes)
+                    acc = accumulators.get((protocol, trial))
+                    if acc is None:
+                        acc = StreamingTrial(protocol=protocol,
+                                             trial=trial, n_ases=n_ases)
+                        accumulators[(protocol, trial)] = acc
+                    acc.add_shard(table)
+                    if collect:
+                        collected.setdefault((protocol, trial),
+                                             []).append(table)
+                tel.count("shard.shards_processed", 1)
+                del world, by_index
 
     metadata = _merge_metadata(sharded, zmap, origins, n_trials, reports)
     result = StreamingCampaignResult(accumulators, metadata=metadata)

@@ -24,12 +24,18 @@ determinism contract is specified in :mod:`repro.telemetry.metrics`.
 
 from repro.telemetry.context import (NULL, SCHEMA, NullTelemetry, Telemetry,
                                      current, disabled, use)
-from repro.telemetry.journal import Journal, read_journal
+from repro.telemetry.journal import (Journal, default_journal_dir,
+                                     find_latest_journal, read_journal)
 from repro.telemetry.manifest import (build_manifest, config_hash,
                                       git_describe, world_fingerprint)
-from repro.telemetry.metrics import (EXCLUDED_PREFIXES, CounterSet,
+from repro.telemetry.metrics import (EXCLUDED_PREFIXES, QUANTILES, CounterSet,
                                      HistogramSet, is_deterministic_name)
+from repro.telemetry.regress import bench_diff, render_diff
 from repro.telemetry.render import render_trace
+from repro.telemetry.timeseries import TimeSeriesRecorder
+from repro.telemetry.tracing import (TraceContext, chrome_trace,
+                                     collapsed_stacks, new_trace_id,
+                                     trace_ids, valid_trace_id)
 
 
 def span(name: str, **attrs):
@@ -60,7 +66,19 @@ __all__ = [
     "event",
     "Journal",
     "read_journal",
+    "default_journal_dir",
+    "find_latest_journal",
     "render_trace",
+    "TraceContext",
+    "new_trace_id",
+    "valid_trace_id",
+    "chrome_trace",
+    "collapsed_stacks",
+    "trace_ids",
+    "TimeSeriesRecorder",
+    "bench_diff",
+    "render_diff",
+    "QUANTILES",
     "build_manifest",
     "config_hash",
     "world_fingerprint",

@@ -24,6 +24,17 @@ set the contextvar in their own thread; process workers get a
 each job's snapshot in job-index order — so journals and counter totals
 are deterministic regardless of scheduling (see
 :mod:`repro.telemetry.metrics` for the determinism contract).
+
+Distributed tracing rides the same machinery: a collector may carry a
+128-bit ``trace_id`` (:mod:`repro.telemetry.tracing`), which stamps a
+``"trace"`` field onto every span/event it emits, travels inside
+:meth:`Telemetry.snapshot` across the executor's pickle boundary, and is
+re-stamped by :meth:`Telemetry.adopt` — so one served request's spans
+correlate into a single trace no matter how many collectors, threads, or
+processes produced them.  Adoption also rebases adopted span start
+offsets into the adopter's timeline (each snapshot records its
+collector's wall-clock origin), keeping merged journals time-coherent
+for the Chrome trace exporter.
 """
 
 from __future__ import annotations
@@ -87,12 +98,13 @@ class NullTelemetry:
     __slots__ = ()
     enabled = False
     journal_path = None
+    trace_id = None
 
     def span(self, name: str, **attrs: object) -> _NullSpan:
         return _NULL_SPAN
 
     def span_event(self, name: str, wall_s: float, cpu_s: float = 0.0,
-                   **attrs: object) -> None:
+                   trace: Optional[str] = None, **attrs: object) -> None:
         pass
 
     def count(self, name: str, value: float = 1, **attrs: object) -> None:
@@ -176,6 +188,8 @@ class _Span:
             "start_s": round(self._offset, 6),
             "wall_s": round(wall, 6), "cpu_s": round(cpu, 6),
         }
+        if tel.trace_id is not None:
+            record["trace"] = tel.trace_id
         if self.attrs:
             record["attrs"] = self.attrs
         if exc_type is not None:
@@ -188,6 +202,8 @@ class _Span:
         rss = peak_rss_bytes()
         if rss:
             tel.observe_value("runtime.peak_rss_bytes", rss)
+        if tel.timeseries is not None:
+            tel.timeseries.maybe_sample(tel)
         return False
 
 
@@ -208,17 +224,34 @@ class Telemetry:
     enabled = True
 
     def __init__(self, journal: Union[str, os.PathLike, None] = None,
-                 meta: Optional[Dict[str, object]] = None) -> None:
+                 meta: Optional[Dict[str, object]] = None,
+                 trace_id: Optional[str] = None,
+                 max_journal_bytes: Optional[int] = None,
+                 journal_backups: int = 2,
+                 timeseries=None) -> None:
         self.records: List[dict] = []
         self.counters = CounterSet()
         self.histograms = HistogramSet()
         self._stack: List[str] = []
         self._n_spans = 0
         self._t0 = time.perf_counter()
+        self._unix0 = time.time()
         self._closed = False
         self._use_cm = None
+        #: Trace identity stamped onto every span/event this collector
+        #: emits (see :mod:`repro.telemetry.tracing`).  ``None`` means
+        #: untraced; :func:`repro.sim.campaign.run_campaign` mints one
+        #: when absent, the serving layer mints one per request.
+        self.trace_id = trace_id
+        #: Optional :class:`~repro.telemetry.timeseries.TimeSeriesRecorder`
+        #: sampled (rate-limited) at every span exit.
+        self.timeseries = timeseries
         self.journal_path: Optional[str] = None
         self._handle = None
+        self._max_journal_bytes = max_journal_bytes
+        self._journal_backups = max(int(journal_backups), 1)
+        self._journal_bytes = 0
+        self._header: Optional[dict] = None
         if journal is not None:
             path = os.fspath(journal)
             parent = os.path.dirname(path)
@@ -229,8 +262,11 @@ class Telemetry:
             header: dict = {"t": "run", "schema": SCHEMA,
                             "pid": os.getpid(),
                             "unix_time": round(time.time(), 3)}
+            if trace_id is not None:
+                header["trace_id"] = trace_id
             if meta:
                 header["meta"] = dict(meta)
+            self._header = header
             self._write(header)
 
     # ------------------------------------------------------------------
@@ -245,21 +281,28 @@ class Telemetry:
         return _Span(self, name, attrs)
 
     def span_event(self, name: str, wall_s: float, cpu_s: float = 0.0,
-                   **attrs: object) -> None:
+                   trace: Optional[str] = None, **attrs: object) -> None:
         """A completed child span, recorded without entering the stack.
 
         This is how per-stage timings become spans: the stage boundary
         stamps a duration, and the record slots in as a child of the
-        enclosing span.
+        enclosing span.  ``trace`` overrides the collector's own trace
+        ID — the serving layer's shared collector uses it to stamp each
+        request span with that request's trace.
         """
         record: dict = {
             "t": "span", "name": name, "id": self._new_span_id(),
             "parent": self._stack[-1] if self._stack else None,
             "wall_s": round(wall_s, 6), "cpu_s": round(cpu_s, 6),
         }
+        trace = trace if trace is not None else self.trace_id
+        if trace is not None:
+            record["trace"] = trace
         if attrs:
             record["attrs"] = attrs
         self.emit(record)
+        if self.timeseries is not None:
+            self.timeseries.maybe_sample(self)
 
     def count(self, name: str, value: float = 1, **attrs: object) -> None:
         self.counters.add(name, value, **attrs)
@@ -271,6 +314,8 @@ class Telemetry:
     def event(self, name: str, **attrs: object) -> None:
         record: dict = {"t": "event", "name": name,
                         "parent": self._stack[-1] if self._stack else None}
+        if self.trace_id is not None:
+            record["trace"] = self.trace_id
         if attrs:
             record["attrs"] = attrs
         self.emit(record)
@@ -282,20 +327,60 @@ class Telemetry:
             self._write(record)
 
     def _write(self, record: dict) -> None:
-        self._handle.write(
-            json.dumps(record, separators=(",", ":"), sort_keys=True,
-                       default=str) + "\n")
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True,
+                          default=str) + "\n"
+        self._handle.write(line)
+        self._journal_bytes += len(line)
+        # The second clause keeps a pathological budget (smaller than a
+        # single record) from rotating on every write, recursively.
+        if self._max_journal_bytes is not None \
+                and self._journal_bytes >= self._max_journal_bytes \
+                and self._journal_bytes > len(line):
+            self._rotate_journal()
+
+    def _rotate_journal(self) -> None:
+        """Size-based journal rotation: ``p`` → ``p.1`` → ``p.2`` → gone.
+
+        Long-lived collectors (the serving layer's) would otherwise grow
+        an unbounded NDJSON file.  The active journal restarts with a
+        fresh ``run`` header (stamped ``rotated``), so every segment —
+        current or suffixed — parses standalone with
+        :func:`~repro.telemetry.journal.read_journal`.
+        """
+        self._handle.close()
+        path = self.journal_path
+        for index in range(self._journal_backups, 0, -1):
+            source = path if index == 1 else f"{path}.{index - 1}"
+            try:
+                os.replace(source, f"{path}.{index}")
+            except FileNotFoundError:
+                pass
+        self._handle = open(path, "w")
+        self._journal_bytes = 0
+        if self._header is not None:
+            header = dict(self._header)
+            header["rotated"] = header.get("rotated", 0) + 1
+            self._header = header
+            self._write(header)
 
     # ------------------------------------------------------------------
     # Worker-snapshot merging
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Plain-data dump of this collector, for crossing pool boundaries."""
+        """Plain-data dump of this collector, for crossing pool boundaries.
+
+        Carries the collector's trace ID (so a worker's spans stay
+        correlated after the pickle boundary) and its wall-clock origin
+        (so :meth:`adopt` can rebase span offsets into the adopter's
+        timeline).
+        """
         return {
             "records": self.records,
             "counters": self.counters.items(),
             "hists": self.histograms.items(),
+            "trace_id": self.trace_id,
+            "unix0": self._unix0,
         }
 
     def adopt(self, snap: dict, prefix: str,
@@ -307,7 +392,18 @@ class Telemetry:
         merged journal is one coherent tree.  Callers adopt snapshots in
         job-index order, making the merged stream deterministic no matter
         which worker ran what.
+
+        Records missing a trace are stamped with the snapshot's trace ID
+        (falling back to the adopter's), and span start offsets are
+        rebased from the snapshot collector's time origin onto this
+        collector's — so the merged journal is both trace-correlated and
+        time-coherent.
         """
+        trace = snap.get("trace_id") or self.trace_id
+        shift = None
+        unix0 = snap.get("unix0")
+        if unix0 is not None:
+            shift = unix0 - self._unix0
         for record in snap["records"]:
             record = dict(record)
             if record.get("id"):
@@ -316,6 +412,11 @@ class Telemetry:
                 record["parent"] = prefix + record["parent"]
             elif "parent" in record or record.get("t") == "span":
                 record["parent"] = parent_id
+            if trace is not None and record.get("t") in ("span", "event") \
+                    and "trace" not in record:
+                record["trace"] = trace
+            if shift is not None and "start_s" in record:
+                record["start_s"] = round(record["start_s"] + shift, 6)
             self.emit(record)
         self.counters.merge_items(snap["counters"])
         self.histograms.merge_items(snap["hists"])

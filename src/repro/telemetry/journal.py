@@ -54,6 +54,47 @@ class Journal:
         return counts
 
 
+def default_journal_dir() -> str:
+    """Where journals land when no explicit path is given.
+
+    ``$REPRO_JOURNAL_DIR`` wins; otherwise a ``journals/`` directory
+    next to the world cache, so all run artifacts live under one root.
+    """
+    env = os.environ.get("REPRO_JOURNAL_DIR")
+    if env:
+        return env
+    from repro.io.worldcache import cache_dir
+
+    return os.path.join(cache_dir(), "journals")
+
+
+def find_latest_journal(directory: Optional[Union[str, os.PathLike]] = None
+                        ) -> Optional[str]:
+    """The most recently modified ``*.ndjson`` journal, or ``None``.
+
+    Backs ``repro trace --last``: rotation backups (``*.ndjson.1``) are
+    ignored so the live segment always wins, and ties break toward the
+    lexicographically last name for determinism.
+    """
+    root = os.fspath(directory) if directory is not None \
+        else default_journal_dir()
+    if not os.path.isdir(root):
+        return None
+    best: Optional[Tuple[float, str, str]] = None
+    for name in os.listdir(root):
+        if not name.endswith(".ndjson"):
+            continue
+        path = os.path.join(root, name)
+        try:
+            mtime = os.path.getmtime(path)
+        except OSError:
+            continue
+        key = (mtime, name, path)
+        if best is None or key > best:
+            best = key
+    return best[2] if best else None
+
+
 def read_journal(path: Union[str, os.PathLike]) -> Journal:
     """Parse a journal file, skipping (and counting) malformed lines."""
     from repro.io.ndjson import read_ndjson_records

@@ -25,7 +25,7 @@ to select the comparable subset.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Metric/span name prefixes excluded from the cross-backend determinism
 #: contract (see module docstring).
@@ -150,6 +150,43 @@ class HistogramSet:
         return [(key, [s[0], s[1], s[2], s[3], list(s[4])])
                 for key, s in self._data.items()]
 
+    def _merged_state(self, name: str) -> Optional[list]:
+        """One histogram state folding every attribute variant of a name."""
+        merged: Optional[list] = None
+        for (key_name, _attrs), state in self._data.items():
+            if key_name != name:
+                continue
+            if merged is None:
+                merged = [state[0], state[1], state[2], state[3],
+                          list(state[4])]
+            else:
+                merged[0] += state[0]
+                merged[1] += state[1]
+                merged[2] = min(merged[2], state[2])
+                merged[3] = max(merged[3], state[3])
+                merged[4] = [a + b for a, b in zip(merged[4], state[4])]
+        return merged
+
+    def summary(self, name: str) -> Optional[Dict[str, float]]:
+        """Count/sum/min/max plus p50/p95/p99 for one series (all attrs).
+
+        The quantiles are bucket estimates (see
+        :func:`quantile_from_state`); ``None`` when the series has no
+        observations.
+        """
+        state = self._merged_state(name)
+        if state is None:
+            return None
+        out = {"count": state[0], "sum": round(state[1], 9),
+               "min": round(state[2], 9), "max": round(state[3], 9)}
+        for q in QUANTILES:
+            out[f"p{int(q * 100)}"] = round(quantile_from_state(state, q), 9)
+        return out
+
+    def names(self) -> List[str]:
+        """Distinct series names, sorted."""
+        return sorted({name for name, _ in self._data})
+
     def records(self) -> List[dict]:
         """One JSON-able ``{"t": "hist", ...}`` record per histogram."""
         out = []
@@ -172,6 +209,45 @@ def _bucket_of(value: float) -> int:
         if value <= bound:
             return i
     return len(HISTOGRAM_BOUNDS)
+
+
+#: Quantiles reported per histogram series by ``/metrics`` and the
+#: time-series recorder.
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+def quantile_from_state(state: Sequence, q: float) -> float:
+    """Estimate the ``q``-quantile of one histogram state.
+
+    Walks the cumulative bucket counts to the bucket containing the
+    target rank, then interpolates geometrically inside it (buckets are
+    decade-spaced, so log-linear interpolation is the natural choice).
+    The estimate is clamped to the exact observed ``[min, max]``, which
+    also makes single-observation histograms report exact values.
+    """
+    count, _total, vmin, vmax, buckets = state
+    if count <= 0:
+        return 0.0
+    target = q * count
+    cumulative = 0.0
+    for index, bucket_count in enumerate(buckets):
+        if not bucket_count:
+            continue
+        if cumulative + bucket_count >= target:
+            if index < len(HISTOGRAM_BOUNDS):
+                upper = HISTOGRAM_BOUNDS[index]
+                lower = HISTOGRAM_BOUNDS[index - 1] if index else upper / 10
+            else:  # overflow bucket: bounded by the observed extremes
+                lower, upper = HISTOGRAM_BOUNDS[-1], max(vmax, float(
+                    HISTOGRAM_BOUNDS[-1]))
+            fraction = (target - cumulative) / bucket_count
+            if lower > 0 and upper > lower:
+                estimate = lower * (upper / lower) ** fraction
+            else:
+                estimate = upper
+            return min(max(estimate, vmin), vmax)
+        cumulative += bucket_count
+    return vmax
 
 
 def _plain(value: object) -> object:
@@ -212,10 +288,13 @@ def exposition_text(counters: CounterSet, histograms: HistogramSet) -> str:
     """Render counters + histograms in Prometheus text format.
 
     Counters become ``repro_<name>_total`` samples (attributes as
-    labels); each histogram is flattened to ``_count``/``_sum``/
-    ``_min``/``_max`` gauges — the fixed geometric buckets stay internal.
-    This backs the serving layer's ``/metrics`` endpoint without taking
-    on a client-library dependency.
+    labels); each histogram series is rendered as a Prometheus *summary*
+    — ``{quantile="0.5"|"0.95"|"0.99"}`` samples estimated from the
+    fixed geometric buckets (:func:`quantile_from_state`) plus ``_sum``
+    and ``_count`` — with the exact observed extremes as ``_min``/
+    ``_max`` gauges.  This backs the serving layer's ``/metrics``
+    endpoint without taking on a client-library dependency; the output
+    is held to the text-format grammar by a tier-1 smoke test.
     """
     lines: List[str] = []
     seen_types: Dict[str, str] = {}
@@ -229,8 +308,19 @@ def exposition_text(counters: CounterSet, histograms: HistogramSet) -> str:
         base = _exposition_name(record["name"])
         attrs = tuple(sorted((record.get("attrs") or {}).items()))
         labels = _exposition_labels(attrs)
-        for suffix, field in (("_count", "count"), ("_sum", "sum"),
-                              ("_min", "min"), ("_max", "max")):
+        if seen_types.get(base) is None:
+            seen_types[base] = "summary"
+            lines.append(f"# TYPE {base} summary")
+        state = [record["count"], record["sum"], record["min"],
+                 record["max"], record["buckets"]]
+        for q in QUANTILES:
+            quantile_attrs = attrs + (("quantile", f"{q:g}"),)
+            value = round(quantile_from_state(state, q), 9)
+            lines.append(f"{base}{_exposition_labels(quantile_attrs)} "
+                         f"{value}")
+        lines.append(f"{base}_sum{labels} {record['sum']}")
+        lines.append(f"{base}_count{labels} {record['count']}")
+        for suffix, field in (("_min", "min"), ("_max", "max")):
             metric = base + suffix
             if seen_types.get(metric) is None:
                 seen_types[metric] = "gauge"
@@ -243,17 +333,12 @@ def metrics_json(counters: CounterSet,
                  histograms: HistogramSet) -> Dict[str, object]:
     """Counters and histogram summaries as one JSON-able mapping.
 
-    Counter totals are folded over attributes (``by_name``); tests and
-    dashboards that need exact per-attribute streams should read the
-    NDJSON journal instead.
+    Counter totals are folded over attributes (``by_name``), and each
+    histogram series reports bucket-estimated p50/p95/p99 next to its
+    exact count/sum/min/max; tests and dashboards that need exact
+    per-attribute streams should read the NDJSON journal instead.
     """
     hists: Dict[str, dict] = {}
-    for record in histograms.records():
-        entry = hists.setdefault(
-            record["name"], {"count": 0, "sum": 0.0,
-                             "min": record["min"], "max": record["max"]})
-        entry["count"] += record["count"]
-        entry["sum"] += record["sum"]
-        entry["min"] = min(entry["min"], record["min"])
-        entry["max"] = max(entry["max"], record["max"])
+    for name in histograms.names():
+        hists[name] = histograms.summary(name)
     return {"counters": counters.by_name(), "histograms": hists}

@@ -1,0 +1,182 @@
+"""Perf-regression sentinel over the benchmark trajectory.
+
+``benchmarks/`` sessions append numbered ``BENCH_<n>.json`` artifacts
+and aggregate them into ``bench_artifacts/TRAJECTORY.json`` — but until
+now nothing *read* that history, so a slow creep in campaign build time
+would accumulate silently.  This module compares the newest artifact's
+per-benchmark medians against the trajectory and returns a
+machine-readable verdict; ``repro bench diff`` (and ``make bench-diff``)
+exit non-zero on regression so the creep fails loudly.
+
+Comparisons are deliberately noise-tolerant:
+
+* the baseline for each benchmark is the *median of historical medians*,
+  not the single previous run, so one noisy artifact cannot poison it;
+* only artifacts from a machine with the same CPU count are comparable
+  (every artifact records its machine), so a laptop run never "regresses"
+  against a CI box;
+* a benchmark needs ``min_history`` comparable historical points before
+  it can regress at all — younger series report ``"new"``;
+* the threshold is a relative ``tolerance`` (default ±25 %), wide enough
+  to absorb scheduler jitter on shared runners.
+
+Custom-schema artifacts (``repro-bench-serve-v1`` …) carry their own
+result keys rather than the standard ``benchmarks`` table; they are
+counted but never compared.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import statistics
+from typing import Dict, List, Optional, Tuple
+
+#: Relative slowdown tolerated before a check is a regression (25 %).
+DEFAULT_TOLERANCE = 0.25
+
+#: Comparable historical artifacts required before a series can regress.
+DEFAULT_MIN_HISTORY = 2
+
+#: The standard artifact schema carrying a ``benchmarks`` median table.
+BENCH_SCHEMA = "repro-bench-v1"
+
+_BENCH_NAME = re.compile(r"BENCH_(\d+)\.json")
+
+
+def _load_rows(directory: str) -> List[dict]:
+    """Normalized artifact rows, oldest first.
+
+    Prefers the ``TRAJECTORY.json`` aggregate (the documented history);
+    falls back to scanning ``BENCH_<n>.json`` files so the sentinel
+    still works on a directory that has artifacts but no aggregate yet.
+    """
+    trajectory = os.path.join(directory, "TRAJECTORY.json")
+    if os.path.isfile(trajectory):
+        try:
+            payload = json.loads(open(trajectory).read())
+        except (OSError, json.JSONDecodeError):
+            payload = {}
+        rows = payload.get("artifacts")
+        if isinstance(rows, list):
+            return sorted((r for r in rows if isinstance(r, dict)),
+                          key=lambda r: r.get("n", 0))
+    rows = []
+    if not os.path.isdir(directory):
+        return rows
+    for name in os.listdir(directory):
+        match = _BENCH_NAME.fullmatch(name)
+        if not match:
+            continue
+        row: dict = {"file": name, "n": int(match.group(1))}
+        try:
+            payload = json.loads(open(os.path.join(directory, name)).read())
+        except (OSError, json.JSONDecodeError) as error:
+            row["error"] = str(error)
+            rows.append(row)
+            continue
+        row["schema"] = payload.get("schema")
+        row["cpus"] = (payload.get("machine") or {}).get("cpus")
+        benchmarks = payload.get("benchmarks")
+        if isinstance(benchmarks, dict):
+            row["median_s"] = {
+                bench: stats.get("median_s")
+                for bench, stats in benchmarks.items()
+                if isinstance(stats, dict)}
+        rows.append(row)
+    return sorted(rows, key=lambda r: r["n"])
+
+
+def _comparable(row: dict) -> bool:
+    return row.get("schema") == BENCH_SCHEMA \
+        and isinstance(row.get("median_s"), dict)
+
+
+def bench_diff(directory: str = "bench_artifacts",
+               tolerance: float = DEFAULT_TOLERANCE,
+               min_history: int = DEFAULT_MIN_HISTORY) -> dict:
+    """Compare the newest standard artifact against trajectory history.
+
+    Returns a ``repro-bench-diff-v1`` report: one check per benchmark in
+    the latest artifact (``status`` of ``ok`` / ``regression`` /
+    ``improvement`` / ``new``) and an overall ``verdict`` — ``"ok"``,
+    ``"regression"`` (any check regressed), or ``"no-data"`` (nothing
+    standard to compare).  Pure function of the artifact directory;
+    callers decide the exit code.
+    """
+    rows = _load_rows(os.fspath(directory))
+    standard = [row for row in rows if _comparable(row)]
+    report: dict = {
+        "schema": "repro-bench-diff-v1",
+        "directory": os.fspath(directory),
+        "tolerance": float(tolerance),
+        "min_history": int(min_history),
+        "n_artifacts": len(rows),
+        "n_standard": len(standard),
+        "checks": [],
+    }
+    if not standard:
+        report["verdict"] = "no-data"
+        return report
+    latest = standard[-1]
+    report["artifact"] = latest.get("file")
+    history = [row for row in standard[:-1]
+               if row.get("cpus") == latest.get("cpus")]
+    report["baseline_artifacts"] = [row.get("file") for row in history]
+    checks: List[dict] = []
+    regressed = False
+    for bench, latest_s in sorted((latest.get("median_s") or {}).items()):
+        if not isinstance(latest_s, (int, float)):
+            continue
+        series = [row["median_s"][bench] for row in history
+                  if isinstance(row.get("median_s", {}).get(bench),
+                                (int, float))]
+        check: dict = {"name": bench,
+                       "latest_s": round(float(latest_s), 6),
+                       "n_history": len(series)}
+        if len(series) < min_history:
+            check["status"] = "new"
+        else:
+            baseline = statistics.median(series)
+            check["baseline_s"] = round(float(baseline), 6)
+            ratio = float(latest_s) / baseline if baseline > 0 \
+                else float("inf")
+            check["ratio"] = round(ratio, 4)
+            if ratio > 1.0 + tolerance:
+                check["status"] = "regression"
+                regressed = True
+            elif ratio < 1.0 - tolerance:
+                check["status"] = "improvement"
+            else:
+                check["status"] = "ok"
+        checks.append(check)
+    report["checks"] = checks
+    report["verdict"] = "regression" if regressed \
+        else ("ok" if checks else "no-data")
+    return report
+
+
+def render_diff(report: dict) -> str:
+    """The diff report as an aligned console table, verdict last."""
+    lines = [f"bench diff · {report.get('directory')} "
+             f"(tolerance ±{report.get('tolerance', 0.0) * 100:.0f}%, "
+             f"{report.get('n_standard', 0)}/{report.get('n_artifacts', 0)} "
+             f"standard artifacts)"]
+    checks = report.get("checks") or []
+    if checks:
+        lines.append(f"latest: {report.get('artifact')}  baseline: median "
+                     f"of {len(report.get('baseline_artifacts') or [])} "
+                     f"comparable artifacts")
+        width = max(len(c["name"]) for c in checks)
+        for check in checks:
+            latest = f"{check['latest_s'] * 1000:10.2f}ms"
+            if "baseline_s" in check:
+                base = f"{check['baseline_s'] * 1000:10.2f}ms"
+                ratio = f"{check['ratio']:6.2f}x"
+            else:
+                base, ratio = f"{'—':>12}", f"{'—':>7}"
+            lines.append(f"  {check['name']:<{width}}  {latest}  {base}  "
+                         f"{ratio}  {check['status']}")
+    lines.append(f"verdict: {report.get('verdict')}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,103 @@
+"""Bounded time-series recording of telemetry state.
+
+``/metrics`` and :func:`~repro.telemetry.metrics.metrics_json` are
+point-in-time: they answer "what are the totals *now*" and nothing about
+how the process got there.  This module adds the time axis — a
+:class:`TimeSeriesRecorder` ring buffer that snapshots counter totals,
+histogram quantiles, peak RSS, and caller-supplied gauges (active
+requests, queue depth) either on a serve-loop tick or opportunistically
+at span exits (rate-limited by :meth:`~TimeSeriesRecorder.maybe_sample`
+so hot loops don't pay per-span sampling cost).
+
+The buffer is bounded (``max_samples``) so a long-lived server holds a
+sliding window, not an unbounded log; the serving layer exposes it at
+``/metrics/history`` and ``repro top`` renders it live.  Samples live
+only in memory and never touch the journal, so recording cannot perturb
+the cross-backend determinism contract.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+#: Default ring-buffer capacity (samples retained).
+DEFAULT_MAX_SAMPLES = 512
+
+#: Default minimum spacing between opportunistic samples (seconds).
+DEFAULT_INTERVAL_S = 1.0
+
+
+class TimeSeriesRecorder:
+    """A bounded ring buffer of periodic telemetry samples.
+
+    Attach one to a :class:`~repro.telemetry.context.Telemetry` (the
+    ``timeseries`` constructor argument) and the collector calls
+    :meth:`maybe_sample` at every span exit; a server additionally calls
+    :meth:`sample` from its tick loop with live gauges.  ``rows()``
+    returns the window oldest-first as JSON-able dicts.
+    """
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES,
+                 interval_s: float = DEFAULT_INTERVAL_S) -> None:
+        self.max_samples = max(int(max_samples), 1)
+        self.interval_s = float(interval_s)
+        self._rows: Deque[dict] = deque(maxlen=self.max_samples)
+        self._t0 = time.monotonic()
+        self._last_sample = float("-inf")
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def maybe_sample(self, tel) -> bool:
+        """Sample iff at least ``interval_s`` has passed since the last.
+
+        This is the span-exit hook: cheap to call at any frequency, it
+        turns arbitrary span traffic into an approximately periodic
+        series without a dedicated thread.
+        """
+        now = time.monotonic()
+        if now - self._last_sample < self.interval_s:
+            return False
+        self.sample(tel)
+        return True
+
+    def sample(self, tel, **gauges: float) -> dict:
+        """Append one sample of ``tel``'s current state, plus gauges."""
+        from repro.telemetry.context import peak_rss_bytes
+
+        now = time.monotonic()
+        self._last_sample = now
+        row = {
+            "ts": round(time.time(), 3),
+            "uptime_s": round(now - self._t0, 3),
+            "counters": {name: value
+                         for name, value in sorted(tel.counters.by_name()
+                                                   .items())},
+            "hists": {name: tel.histograms.summary(name)
+                      for name in tel.histograms.names()},
+            "rss_bytes": peak_rss_bytes(),
+        }
+        if gauges:
+            row["gauges"] = {key: float(value)
+                             for key, value in sorted(gauges.items())}
+        self._rows.append(row)
+        return row
+
+    def rows(self, last: Optional[int] = None) -> List[dict]:
+        """The buffered samples, oldest first (optionally only ``last``)."""
+        rows = list(self._rows)
+        if last is not None and last >= 0:
+            rows = rows[len(rows) - min(last, len(rows)):]
+        return rows
+
+    def as_dict(self, last: Optional[int] = None) -> Dict[str, object]:
+        """The window plus its bounds, ready for ``/metrics/history``."""
+        return {
+            "schema": "repro-metrics-history-v1",
+            "max_samples": self.max_samples,
+            "interval_s": self.interval_s,
+            "n_samples": len(self._rows),
+            "samples": self.rows(last),
+        }

@@ -1,0 +1,185 @@
+"""Distributed tracing: trace identity and span-tree exporters.
+
+Spans were per-collector until now: a served request, the executor jobs
+it fanned out, and the per-shard streaming spans each lived in their own
+:class:`~repro.telemetry.context.Telemetry` tree with no shared
+identity.  This module supplies the identity — a 128-bit *trace ID*
+minted once per serve request (or per offline ``run_campaign``) and
+threaded through every boundary the work crosses:
+
+* the server stamps each request's spans and access-log line with the
+  request's trace ID (honoring an ``X-Repro-Trace`` header from an
+  upstream caller, so traces correlate across services);
+* single-flight joiners share the leader's flight, and the flight span
+  records the leading trace;
+* the executor forwards a :class:`TraceContext` to every worker — for
+  the process backend it rides the pool initializer, and each job's
+  telemetry snapshot carries it back across the pickle boundary inside
+  :class:`~repro.sim.executor.JobResult`;
+* sharded streaming runs open one ``shard.stream`` span per shard under
+  the same ambient trace.
+
+The result is that one served, sharded campaign reassembles into a
+single correlated span tree, which the exporters below turn into
+standard tooling formats: Chrome trace-event / Perfetto JSON
+(:func:`chrome_trace`) and flamegraph collapsed stacks
+(:func:`collapsed_stacks`) — both reachable via ``repro trace
+--export``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.journal import Journal
+
+#: Length of a rendered trace ID: 128 bits as lowercase hex.
+TRACE_ID_HEX_CHARS = 32
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace ID (32 lowercase hex chars)."""
+    return os.urandom(16).hex()
+
+
+def valid_trace_id(value: object) -> bool:
+    """Whether ``value`` is a well-formed trace ID (e.g. from a header)."""
+    if not isinstance(value, str) or len(value) != TRACE_ID_HEX_CHARS:
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return value == value.lower()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one request/campaign's work.
+
+    ``trace_id`` names the whole correlated tree; ``parent_span_id`` is
+    the span the next child should attach under (the executor sets it to
+    its grid span before shipping the context to workers).  Frozen and
+    field-only, so it pickles across the process-pool boundary unchanged.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[str] = None
+
+    def child(self, parent_span_id: Optional[str]) -> "TraceContext":
+        """The same trace, re-anchored under a new parent span."""
+        return TraceContext(self.trace_id, parent_span_id)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export
+# ----------------------------------------------------------------------
+
+def _span_lane(span_id: Optional[str]) -> str:
+    """The worker lane of a span: its adoption prefix (`"j3"`, `"f1.j2"`).
+
+    Adopted spans keep their job/flight prefix in the re-namespaced id
+    (``f1.j3.2``); grouping by that prefix lays each worker's spans out
+    on its own track in the viewer.
+    """
+    if not span_id or "." not in span_id:
+        return "main"
+    return span_id.rsplit(".", 1)[0]
+
+
+def chrome_trace(journal: Journal) -> dict:
+    """Render a journal as Chrome trace-event JSON (Perfetto-loadable).
+
+    Every span becomes one complete (``"ph": "X"``) event: ``ts``/``dur``
+    in microseconds from the collector's time origin (adopted snapshots
+    are rebased into the adopter's timeline at merge), the worker lane as
+    the thread ID, and span identity — ``id``, ``parent``, and the trace
+    ID — under ``args``.  Load the result at ``chrome://tracing`` or
+    https://ui.perfetto.dev.
+    """
+    lanes: Dict[str, int] = {}
+    events: List[dict] = []
+    for span in journal.spans:
+        lane = _span_lane(span.get("id"))
+        tid = lanes.setdefault(lane, len(lanes))
+        args: Dict[str, object] = dict(span.get("attrs") or {})
+        args["id"] = span.get("id")
+        if span.get("parent"):
+            args["parent"] = span["parent"]
+        if span.get("trace"):
+            args["trace"] = span["trace"]
+        if span.get("error"):
+            args["error"] = span["error"]
+        events.append({
+            "name": span.get("name", "?"),
+            "cat": str(span.get("name", "?")).split(".", 1)[0],
+            "ph": "X",
+            "ts": round(float(span.get("start_s", 0.0)) * 1e6, 3),
+            "dur": round(float(span.get("wall_s", 0.0)) * 1e6, 3),
+            "pid": 1,
+            "tid": tid,
+            "args": args,
+        })
+    meta = [{"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+             "args": {"name": lane}}
+            for lane, tid in sorted(lanes.items(), key=lambda kv: kv[1])]
+    header = journal.header or {}
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "journal": journal.path,
+            "schema": header.get("schema"),
+            "trace_id": header.get("trace_id"),
+            "n_spans": len(journal.spans),
+        },
+    }
+
+
+def trace_ids(journal: Journal) -> Dict[str, int]:
+    """Span counts per trace ID present in a journal (untraced → ``""``)."""
+    counts: Dict[str, int] = {}
+    for span in journal.spans:
+        trace = span.get("trace") or ""
+        counts[trace] = counts.get(trace, 0) + 1
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Flamegraph collapsed-stack export
+# ----------------------------------------------------------------------
+
+def collapsed_stacks(journal: Journal) -> List[str]:
+    """Render a journal as flamegraph collapsed stacks.
+
+    One line per unique root-to-span path — ``a;b;c <microseconds>`` —
+    where the value is the span's *self* time (wall minus child wall,
+    floored at zero), exactly what ``flamegraph.pl`` and speedscope
+    ingest.  Same-path spans fold into one line; lines sort by path for
+    stable output.
+    """
+    ids = {s.get("id") for s in journal.spans if s.get("id")}
+    children: Dict[Optional[str], List[dict]] = {}
+    for span in journal.spans:
+        parent = span.get("parent")
+        if parent not in ids:
+            parent = None
+        children.setdefault(parent, []).append(span)
+
+    totals: Dict[Tuple[str, ...], float] = {}
+
+    def walk(span: dict, path: Tuple[str, ...]) -> None:
+        path = path + (str(span.get("name", "?")),)
+        kids = children.get(span.get("id"), [])
+        self_s = float(span.get("wall_s", 0.0)) \
+            - sum(float(k.get("wall_s", 0.0)) for k in kids)
+        totals[path] = totals.get(path, 0.0) + max(self_s, 0.0)
+        for kid in kids:
+            walk(kid, path)
+
+    for root in children.get(None, []):
+        walk(root, ())
+    return [f"{';'.join(path)} {int(round(value * 1e6))}"
+            for path, value in sorted(totals.items())]

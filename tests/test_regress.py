@@ -1,0 +1,164 @@
+"""The perf-regression sentinel (``repro bench diff``).
+
+Synthetic artifact directories exercise every verdict path: stable
+history (ok), a slowdown past tolerance (regression), a speedup
+(improvement), a too-young series (new), cross-machine filtering, and
+directories with nothing comparable (no-data).  The CLI contract —
+exit 1 only on regression — is pinned at the end.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.regress import (BENCH_SCHEMA, DEFAULT_TOLERANCE,
+                                     bench_diff, render_diff)
+
+
+def write_bench(directory, n, medians, cpus=8, schema=BENCH_SCHEMA):
+    payload = {
+        "schema": schema,
+        "machine": {"cpus": cpus},
+        "benchmarks": {name: {"median_s": value}
+                       for name, value in medians.items()},
+    }
+    path = directory / f"BENCH_{n}.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestVerdicts:
+    def test_stable_history_is_ok(self, tmp_path):
+        for n, value in enumerate([0.100, 0.104, 0.098, 0.101]):
+            write_bench(tmp_path, n, {"campaign": value})
+        report = bench_diff(tmp_path)
+        assert report["verdict"] == "ok"
+        (check,) = report["checks"]
+        assert check["status"] == "ok"
+        assert check["n_history"] == 3
+        # Baseline is the median of history, not the last run.
+        assert check["baseline_s"] == pytest.approx(0.100)
+
+    def test_slowdown_past_tolerance_regresses(self, tmp_path):
+        for n, value in enumerate([0.100, 0.100, 0.100, 0.140]):
+            write_bench(tmp_path, n, {"campaign": value})
+        report = bench_diff(tmp_path)
+        assert report["verdict"] == "regression"
+        (check,) = report["checks"]
+        assert check["status"] == "regression"
+        assert check["ratio"] == pytest.approx(1.4)
+
+    def test_slowdown_within_tolerance_is_ok(self, tmp_path):
+        for n, value in enumerate([0.100, 0.100, 0.100, 0.120]):
+            write_bench(tmp_path, n, {"campaign": value})
+        assert bench_diff(tmp_path)["verdict"] == "ok"
+        # ... but a tighter tolerance flips it.
+        assert bench_diff(tmp_path, tolerance=0.1)["verdict"] == "regression"
+
+    def test_speedup_is_improvement_not_regression(self, tmp_path):
+        for n, value in enumerate([0.100, 0.100, 0.100, 0.050]):
+            write_bench(tmp_path, n, {"campaign": value})
+        report = bench_diff(tmp_path)
+        assert report["verdict"] == "ok"
+        assert report["checks"][0]["status"] == "improvement"
+
+    def test_young_series_is_new(self, tmp_path):
+        write_bench(tmp_path, 0, {"campaign": 0.1})
+        write_bench(tmp_path, 1, {"campaign": 0.5})
+        report = bench_diff(tmp_path)  # one historical point < min_history
+        assert report["checks"][0]["status"] == "new"
+        assert report["verdict"] == "ok"
+
+    def test_single_noisy_artifact_cannot_poison_baseline(self, tmp_path):
+        # One outlier in history barely moves the median-of-medians.
+        for n, value in enumerate([0.100, 0.900, 0.101, 0.099, 0.102]):
+            write_bench(tmp_path, n, {"campaign": value})
+        report = bench_diff(tmp_path)
+        assert report["checks"][0]["baseline_s"] == pytest.approx(0.1005)
+        assert report["verdict"] == "ok"
+
+
+class TestFiltering:
+    def test_other_machines_excluded_from_baseline(self, tmp_path):
+        # Fast 32-cpu history must not make the 8-cpu run "regress".
+        write_bench(tmp_path, 0, {"campaign": 0.01}, cpus=32)
+        write_bench(tmp_path, 1, {"campaign": 0.01}, cpus=32)
+        write_bench(tmp_path, 2, {"campaign": 0.10}, cpus=8)
+        write_bench(tmp_path, 3, {"campaign": 0.10}, cpus=8)
+        write_bench(tmp_path, 4, {"campaign": 0.10}, cpus=8)
+        report = bench_diff(tmp_path)
+        assert report["baseline_artifacts"] == ["BENCH_2.json",
+                                                "BENCH_3.json"]
+        assert report["verdict"] == "ok"
+
+    def test_custom_schema_artifacts_counted_not_compared(self, tmp_path):
+        for n in range(3):
+            write_bench(tmp_path, n, {"campaign": 0.1})
+        write_bench(tmp_path, 3, {"serve": 9.9}, schema="repro-bench-serve-v1")
+        report = bench_diff(tmp_path)
+        assert report["n_artifacts"] == 4
+        assert report["n_standard"] == 3
+        # The newest *standard* artifact is compared, not the serve one.
+        assert report["artifact"] == "BENCH_2.json"
+
+    def test_empty_directory_is_no_data(self, tmp_path):
+        report = bench_diff(tmp_path / "absent")
+        assert report["verdict"] == "no-data"
+        assert report["n_artifacts"] == 0
+
+    def test_trajectory_aggregate_preferred(self, tmp_path):
+        # A TRAJECTORY.json shadows the per-file scan entirely.
+        write_bench(tmp_path, 0, {"campaign": 99.0})
+        rows = [{"file": f"BENCH_{n}.json", "n": n, "schema": BENCH_SCHEMA,
+                 "cpus": 8, "median_s": {"campaign": 0.1}}
+                for n in range(3)]
+        (tmp_path / "TRAJECTORY.json").write_text(
+            json.dumps({"artifacts": rows}))
+        report = bench_diff(tmp_path)
+        assert report["n_artifacts"] == 3
+        assert report["verdict"] == "ok"
+
+
+class TestRendering:
+    def test_render_lists_checks_and_verdict(self, tmp_path):
+        for n, value in enumerate([0.100, 0.100, 0.100, 0.140]):
+            write_bench(tmp_path, n, {"campaign": value, "observe": 0.01})
+        text = render_diff(bench_diff(tmp_path))
+        assert "campaign" in text and "observe" in text
+        assert "regression" in text
+        assert text.rstrip().endswith("verdict: regression")
+
+    def test_render_no_data(self, tmp_path):
+        text = render_diff(bench_diff(tmp_path))
+        assert "verdict: no-data" in text
+
+
+class TestCli:
+    def test_exit_zero_on_ok(self, tmp_path, capsys):
+        for n in range(4):
+            write_bench(tmp_path, n, {"campaign": 0.1})
+        assert main(["bench", "diff", "--dir", str(tmp_path)]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_exit_one_on_regression_with_json(self, tmp_path, capsys):
+        for n, value in enumerate([0.100, 0.100, 0.100, 0.900]):
+            write_bench(tmp_path, n, {"campaign": value})
+        code = main(["bench", "diff", "--dir", str(tmp_path), "--json"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro-bench-diff-v1"
+        assert report["verdict"] == "regression"
+
+    def test_output_file(self, tmp_path):
+        for n in range(4):
+            write_bench(tmp_path, n, {"campaign": 0.1})
+        out = tmp_path / "diff.json"
+        main(["bench", "diff", "--dir", str(tmp_path),
+              "--output", str(out)])
+        assert json.loads(out.read_text())["verdict"] == "ok"
+
+    def test_default_tolerance_exposed(self):
+        assert DEFAULT_TOLERANCE == 0.25

@@ -1,0 +1,83 @@
+"""The time-series recorder: bounded window, rate limiting, content.
+
+The recorder backs ``/metrics/history`` and ``repro top``: samples of a
+live collector's counters/histograms/RSS land in a ring buffer whose
+capacity — never the sampling frequency — bounds memory.  Samples stay
+in memory only, so recording cannot perturb journal byte-identity.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry import Telemetry, TimeSeriesRecorder, use
+
+
+def make_tel():
+    tel = Telemetry()
+    tel.count("work.items", 3, kind="a")
+    tel.count("work.items", 2, kind="b")
+    tel.observe_value("work.latency", 0.25)
+    tel.observe_value("work.latency", 0.75)
+    return tel
+
+
+class TestSampling:
+    def test_sample_contents(self):
+        recorder = TimeSeriesRecorder(max_samples=8)
+        row = recorder.sample(make_tel(), active=2, queue_depth=8)
+        assert row["counters"] == {"work.items": 5}
+        summary = row["hists"]["work.latency"]
+        assert summary["count"] == 2
+        assert summary["min"] == 0.25 and summary["max"] == 0.75
+        assert 0.25 <= summary["p50"] <= 0.75
+        assert row["gauges"] == {"active": 2.0, "queue_depth": 8.0}
+        assert row["rss_bytes"] >= 0
+        assert row["uptime_s"] >= 0.0
+        assert json.dumps(row)  # JSON-able for /metrics/history
+
+    def test_ring_buffer_is_bounded(self):
+        recorder = TimeSeriesRecorder(max_samples=4, interval_s=0.0)
+        tel = make_tel()
+        for index in range(10):
+            tel.count("tick")
+            recorder.sample(tel)
+        assert len(recorder) == 4
+        rows = recorder.rows()
+        # Oldest evicted: the window holds the last four ticks.
+        assert [row["counters"]["tick"] for row in rows] == [7, 8, 9, 10]
+
+    def test_maybe_sample_rate_limits(self):
+        recorder = TimeSeriesRecorder(max_samples=64, interval_s=3600.0)
+        tel = make_tel()
+        assert recorder.maybe_sample(tel) is True
+        for _ in range(50):
+            assert recorder.maybe_sample(tel) is False
+        assert len(recorder) == 1
+
+    def test_span_exit_feeds_recorder(self):
+        recorder = TimeSeriesRecorder(max_samples=8, interval_s=0.0)
+        tel = Telemetry(timeseries=recorder)
+        with use(tel):
+            with tel.span("work"):
+                pass
+        assert len(recorder) >= 1
+
+    def test_rows_last_and_as_dict(self):
+        recorder = TimeSeriesRecorder(max_samples=8, interval_s=0.5)
+        tel = make_tel()
+        for _ in range(3):
+            recorder.sample(tel)
+        assert len(recorder.rows(last=2)) == 2
+        assert recorder.rows(last=0) == []
+        payload = recorder.as_dict(last=1)
+        assert payload["schema"] == "repro-metrics-history-v1"
+        assert payload["n_samples"] == 3
+        assert payload["interval_s"] == 0.5
+        assert len(payload["samples"]) == 1
+
+    def test_disabled_telemetry_never_samples(self):
+        # The null collector has no timeseries hook at all, so the
+        # disabled path pays nothing for history recording.
+        from repro.telemetry import NULL
+        assert getattr(NULL, "timeseries", None) is None
