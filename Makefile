@@ -1,9 +1,9 @@
 # Convenience targets.  In offline environments without the `wheel`
 # package, `make install` falls back to the legacy setuptools path.
 
-.PHONY: install test test-parallel test-serve test-shard bench \
+.PHONY: install test test-parallel test-serve test-shard test-batch bench \
 	bench-show bench-analysis bench-io bench-serve bench-scale \
-	bench-diff serve profile trace examples report all
+	bench-batch bench-diff serve profile trace examples report all
 
 install:
 	pip install -e . || python setup.py develop
@@ -31,6 +31,12 @@ test-serve:
 test-shard:
 	pytest tests/test_shard_world.py tests/test_shard_world_properties.py \
 		tests/test_shard_world_scale.py
+
+# The fused trial-batch kernels: RNG lattice property tests plus the
+# cell-by-cell and end-to-end byte-identity differentials against the
+# per-cell planned path.
+test-batch:
+	pytest tests/test_batch_equivalence.py tests/test_plan_properties.py
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -66,6 +72,14 @@ bench-serve:
 # into the BENCH_<n>.json trajectory.
 bench-scale:
 	pytest benchmarks/test_perf_shard.py -s
+
+# Bracket the fused trial-batch kernels against the per-cell grid:
+# monolithic and sharded (plane-only) phases with coverage
+# cross-checks; records hosts/second per phase into the BENCH_<n>.json
+# trajectory and asserts the batched-streaming speedup floor on
+# multi-CPU machines.
+bench-batch:
+	pytest benchmarks/test_perf_batch.py -s
 
 # Perf-regression sentinel: compare the newest BENCH_<n>.json against
 # the TRAJECTORY.json history with noise-tolerant thresholds; exits

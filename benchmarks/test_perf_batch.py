@@ -1,0 +1,184 @@
+"""Fused trial-batch kernels vs the per-cell observation grid.
+
+Four isolated phases, each in a fresh subprocess (same discipline as
+``test_perf_shard.py`` — peak RSS and caches stay per-phase):
+
+* **cell-mono**  — per-cell reference: ``run_campaign(batch=False)``
+  over the monolithic 1× paper world, full 3-trial grid.
+* **batch-mono** — the same grid through one fused
+  (protocol, origin) trial-batch job per pair (66 jobs → 24).
+* **cell-shard** — per-cell sharded streaming (the BENCH_5 shard-1x
+  configuration: 1× world, ≈8 shards).
+* **batch-shard** — the tentpole: sharded streaming with fused batch
+  jobs in *plane-only* mode — ``PlaneSlice`` columns straight into the
+  packed accumulators, no per-cell ``Observation`` materialization.
+
+Correctness cross-checks (coverage tables equal float-for-float between
+the per-cell and batched phases) hold everywhere.  The throughput floor
+— batched sharded streaming at ≥ :data:`BATCH_SPEEDUP_FLOOR`× the
+per-cell sharded run — is hardware-gated like BENCH_1–6: single-CPU
+containers record the numbers without asserting.
+
+Results land in their own ``BENCH_<n>.json`` trajectory artifact
+(schema ``repro-bench-batch-v1``).  Run with::
+
+    make bench-batch
+    # = pytest benchmarks/test_perf_batch.py -s
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import _available_cpus, _next_bench_path
+
+SEED = 1
+#: Gated floor: batched sharded host-obs/s over per-cell sharded.
+BATCH_SPEEDUP_FLOOR = 2.0
+
+_PHASE_TEMPLATE = """
+import json, resource, sys, time
+from repro.sim.scenario import paper_scenario, paper_sharded_scenario
+{body}
+peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+if sys.platform != "darwin":
+    peak *= 1024
+out["peak_rss_bytes"] = int(peak)
+print("RESULT " + json.dumps(out))
+"""
+
+_MONO = """
+from repro.core.coverage import coverage_table
+from repro.sim.campaign import run_campaign
+
+world, origins, config = paper_scenario(seed={seed}, scale=1.0)
+start = time.perf_counter()
+ds = run_campaign(world, origins, config, n_trials=3, batch={batch})
+wall = time.perf_counter() - start
+hosts = sum(len(t.ip) * len(t.origins) for t in ds)
+table = coverage_table(ds, "http")
+out = {{"wall_s": wall, "hosts_observed": hosts,
+       "n_jobs": ds.metadata["execution"]["n_jobs"],
+       "batch": ds.metadata["batch"],
+       "coverage": {{str(k): v for k, v in table.coverage.items()}}}}
+"""
+
+_SHARD = """
+from repro.sim.shard import run_sharded_campaign
+
+sharded, origins, config = paper_sharded_scenario(
+    seed={seed}, scale=1.0, max_hosts=16384, cache=False)
+start = time.perf_counter()
+result = run_sharded_campaign(sharded, origins, config, n_trials=3,
+                              batch={batch}, executor={executor!r},
+                              workers={workers})
+wall = time.perf_counter() - start
+table = result.coverage_table("http")
+hosts = sum(st.n_hosts * len(st.origins)
+            for st in result.trials.values())
+out = {{"wall_s": wall, "hosts_observed": hosts,
+       "n_shards": sharded.n_shards,
+       "batch": result.metadata["batch"],
+       "coverage": {{str(k): v for k, v in table.coverage.items()}}}}
+"""
+
+
+def _run_phase(body: str, batch: bool, **extra) -> dict:
+    script = _PHASE_TEMPLATE.format(
+        body=body.format(seed=SEED, batch=batch, **extra))
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run([sys.executable, "-c", script], env=env,
+                          capture_output=True, text=True, timeout=1800)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    line = [l for l in proc.stdout.splitlines()
+            if l.startswith("RESULT ")][-1]
+    return json.loads(line[len("RESULT "):])
+
+
+def test_perf_batch_kernels():
+    # On multi-CPU machines the sharded phases run through the process
+    # backend — the regime the speedup floor targets (fewer, larger
+    # jobs amortize scheduling and result-pickling overhead; plane-only
+    # slices ship a fraction of an Observation's bytes).  Single-CPU
+    # containers measure the serial kernels.
+    cpus = _available_cpus()
+    executor = "process" if cpus > 1 else None
+    workers = min(cpus, 8) if cpus > 1 else None
+
+    cell_mono = _run_phase(_MONO, batch=False)
+    batch_mono = _run_phase(_MONO, batch=True)
+    cell_shard = _run_phase(_SHARD, batch=False, executor=executor,
+                            workers=workers)
+    batch_shard = _run_phase(_SHARD, batch=True, executor=executor,
+                             workers=workers)
+
+    phases = {"cell_mono": cell_mono, "batch_mono": batch_mono,
+              "cell_shard": cell_shard, "batch_shard": batch_shard}
+    for phase in phases.values():
+        phase["hosts_per_second"] = round(
+            phase["hosts_observed"] / phase["wall_s"], 1)
+
+    for name, phase in phases.items():
+        print(f"\n[perf-batch] {name:<11} {phase['wall_s']:6.1f}s  "
+              f"{phase['hosts_per_second']:>11,.0f} host-obs/s  "
+              f"peak {phase['peak_rss_bytes'] / 2 ** 20:.0f} MiB"
+              + (f"  ({phase['n_jobs']} jobs)" if "n_jobs" in phase
+                 else f"  ({phase['n_shards']} shards, plane-only)"
+                 if phase["batch"] else f"  ({phase['n_shards']} shards)"),
+              end="")
+    print()
+
+    payload = {
+        "schema": "repro-bench-batch-v1",
+        "written_utc": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": cpus,
+        },
+        "speedup_floor": BATCH_SPEEDUP_FLOOR,
+        "shard_executor": executor or "serial",
+        "shard_workers": workers or 1,
+        "phases": {
+            name: {k: phase[k] for k in
+                   ("wall_s", "hosts_observed", "hosts_per_second",
+                    "peak_rss_bytes", "batch")}
+            for name, phase in phases.items()
+        },
+    }
+    payload["phases"]["cell_mono"]["n_jobs"] = cell_mono["n_jobs"]
+    payload["phases"]["batch_mono"]["n_jobs"] = batch_mono["n_jobs"]
+    path = _next_bench_path()
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[perf-batch] wrote {path.name}")
+
+    # Correctness everywhere: batched output is the per-cell output.
+    assert batch_mono["coverage"] == cell_mono["coverage"]
+    assert batch_shard["coverage"] == cell_shard["coverage"]
+    assert batch_shard["coverage"] == cell_mono["coverage"]
+    # Granularity really changed: one job per (protocol, origin).
+    assert batch_mono["n_jobs"] < cell_mono["n_jobs"]
+    assert batch_mono["batch"] and batch_shard["batch"]
+    assert not cell_mono["batch"] and not cell_shard["batch"]
+
+    if cpus > 1:
+        speedup = (batch_shard["hosts_per_second"]
+                   / cell_shard["hosts_per_second"])
+        assert speedup >= BATCH_SPEEDUP_FLOOR, (
+            f"batched sharded streaming reached only {speedup:.2f}x the "
+            f"per-cell throughput (floor {BATCH_SPEEDUP_FLOOR}x)")
+    else:  # pragma: no cover - depends on the host container
+        print("[perf-batch] single CPU: speedup floor recorded, "
+              "not asserted")

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.rng import CounterRNG
+from repro.rng import CounterRNG, keyed_uniform_lattice, stream_keys
 
 
 @dataclass(frozen=True)
@@ -78,6 +78,24 @@ class L7FlakyModel:
         return self._rng.uniform_array(host_ids, "fail", protocol,
                                        origin_name, trial, attempt) \
             < np.asarray(fail_probs, dtype=np.float64)
+
+    def fail_mask_lattice(self, fail_probs: np.ndarray,
+                          host_ids: np.ndarray, protocol: str,
+                          origin_name: str, trials,
+                          attempt: int = 0) -> np.ndarray:
+        """:meth:`fail_mask_params` for a whole trial axis at once.
+
+        Row *t* of the ``(n_trials, n_hosts)`` result is bit-identical
+        to ``fail_mask_params(fail_probs, host_ids, protocol,
+        origin_name, trials[t], attempt)``.
+        """
+        keys = stream_keys(
+            self._rng,
+            [("fail", protocol, origin_name, int(t), attempt)
+             for t in trials])
+        u = keyed_uniform_lattice(
+            keys, np.asarray(host_ids, dtype=np.uint64))
+        return u < np.asarray(fail_probs, dtype=np.float64)
 
     def failure_masks_params(self, flaky_fractions: np.ndarray,
                              fail_probs: np.ndarray,

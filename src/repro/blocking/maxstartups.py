@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.rng import CounterRNG
+from repro.rng import CounterRNG, keyed_uniform_lattice, stream_keys
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,21 @@ class MaxStartupsModel:
         return self._rng.uniform_array(
             np.asarray(host_ids, dtype=np.uint64), "refuse", origin_name,
             trial, attempt)
+
+    def refusal_uniform_lattice(self, host_ids: np.ndarray,
+                                origin_name: str, trials,
+                                attempt: int = 0) -> np.ndarray:
+        """:meth:`refusal_uniforms` for a whole trial axis at once.
+
+        Row *t* of the ``(n_trials, n_hosts)`` result is bit-identical
+        to ``refusal_uniforms(host_ids, origin_name, trials[t],
+        attempt)``.
+        """
+        keys = stream_keys(
+            self._rng,
+            [("refuse", origin_name, int(t), attempt) for t in trials])
+        return keyed_uniform_lattice(
+            keys, np.asarray(host_ids, dtype=np.uint64))
 
     def refused_mask_params(self, fractions: np.ndarray, means: np.ndarray,
                             spreads: np.ndarray, solo_factors: np.ndarray,

@@ -31,7 +31,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.rng import CounterRNG
+from repro.rng import CounterRNG, keyed_uniform_lattice, stream_keys
 
 #: Loss probability inside a bad epoch.  High enough that shared-fate loss
 #: dominates the independent residual.
@@ -143,6 +143,94 @@ class PathLossModel:
         z = _norm_ppf(u)
         mult = np.exp(z * 0.5 * np.asarray(variability, dtype=np.float64))
         return np.clip(epoch_rates * mult, 0.0, 0.9)
+
+    def trial_epoch_rate_matrix(self, epoch_rates: np.ndarray,
+                                variability: np.ndarray,
+                                as_idx: np.ndarray,
+                                trials) -> np.ndarray:
+        """:meth:`trial_epoch_rates` for a whole trial axis at once.
+
+        Returns an ``(n_trials, len(as_idx))`` matrix whose row *t* is
+        bit-identical to ``trial_epoch_rates(..., trials[t])``: the
+        per-trial stream keys are pre-derived and the lognormal
+        multiplier draw runs as one lattice call.
+        """
+        keys = stream_keys(self._state_rng,
+                           [("trial-mult", int(t)) for t in trials])
+        u = keyed_uniform_lattice(keys, np.asarray(as_idx, dtype=np.uint64))
+        z = _norm_ppf(u)
+        mult = np.exp(z * 0.5 * np.asarray(variability, dtype=np.float64))
+        return np.clip(np.asarray(epoch_rates, dtype=np.float64) * mult,
+                       0.0, 0.9)
+
+    def delivered_lattice(self, host_ids: np.ndarray, as_idx: np.ndarray,
+                          times: np.ndarray, trials, probe_no: int,
+                          epoch_rates: np.ndarray, random_rates: np.ndarray,
+                          persistent_fractions: np.ndarray,
+                          persist_u: np.ndarray,
+                          epoch_memo: Optional[dict] = None) -> np.ndarray:
+        """:meth:`probe_delivered` batched over the trial axis.
+
+        ``times`` and ``epoch_rates`` are ``(n_trials, n_hosts)``
+        matrices (per-trial probe schedules and per-trial effective
+        epoch rates); ``host_ids``/``as_idx``/``random_rates``/
+        ``persistent_fractions``/``persist_u`` are shared ``(n_hosts,)``
+        vectors.  Row *t* of the result is bit-identical to
+        ``probe_delivered(..., trial=trials[t], ...)``: every component
+        draw uses a pre-derived per-trial stream key against the same
+        counter addresses the scalar-trial path folds, so batching is
+        exact.  ``epoch_memo`` memoizes the epoch-loss lattice across
+        back-to-back probes exactly as in :meth:`probe_delivered`.
+        """
+        host_ids = np.asarray(host_ids, dtype=np.uint64)
+        effective = np.asarray(epoch_rates, dtype=np.float64)
+        epochs = (np.asarray(times, dtype=np.float64)
+                  // self.epoch_seconds).astype(np.int64)
+
+        memo_key = epochs.tobytes() if epoch_memo is not None else None
+        epoch_lost = epoch_memo.get(memo_key) \
+            if epoch_memo is not None else None
+        if epoch_lost is None:
+            epoch_key = (np.asarray(as_idx, dtype=np.uint64)[np.newaxis, :]
+                         * np.uint64(0x9E3779B1) + epochs.astype(np.uint64))
+            own = effective * (1.0 - SHARED_EPOCH_WEIGHT)
+            group_rate = own * GROUP_EPOCH_WEIGHT
+            origin_rate = own * (1.0 - GROUP_EPOCH_WEIGHT)
+            shared_rate = effective * SHARED_EPOCH_WEIGHT
+            state_keys = stream_keys(
+                self._state_rng, [("epoch-state", int(t)) for t in trials])
+            origin_keys = stream_keys(
+                self._rng,
+                [("epoch-state-origin", int(t)) for t in trials])
+            shared_keys = stream_keys(
+                self._shared_rng,
+                [("epoch-state", int(t)) for t in trials])
+            bad_epoch = (keyed_uniform_lattice(state_keys, epoch_key)
+                         < group_rate) \
+                | (keyed_uniform_lattice(origin_keys, epoch_key)
+                   < origin_rate) \
+                | (keyed_uniform_lattice(shared_keys, epoch_key)
+                   < shared_rate)
+            fate_key = host_ids[np.newaxis, :] * np.uint64(1000003) \
+                + epochs.astype(np.uint64)
+            fate_keys = stream_keys(
+                self._state_rng, [("epoch-fate", int(t)) for t in trials])
+            host_fate_lost = keyed_uniform_lattice(fate_keys, fate_key) \
+                < BAD_EPOCH_LOSS
+            epoch_lost = bad_epoch & host_fate_lost
+            if epoch_memo is not None:
+                epoch_memo[memo_key] = epoch_lost
+
+        rand_keys = stream_keys(
+            self._rng, [("random", int(t), probe_no) for t in trials])
+        random_lost = keyed_uniform_lattice(rand_keys, host_ids) \
+            < np.asarray(random_rates, dtype=np.float64)
+
+        persistent_lost = np.asarray(persist_u, dtype=np.float64) \
+            < np.asarray(persistent_fractions, dtype=np.float64)
+
+        return ~(epoch_lost | random_lost
+                 | persistent_lost[np.newaxis, :])
 
     def probe_delivered(self, host_ids: np.ndarray, as_idx: np.ndarray,
                         times: np.ndarray, trial: int, probe_no: int,

@@ -133,6 +133,52 @@ class StreamingTrial:
         telemetry.count("streaming.rows_reduced", len(truth),
                         protocol=self.protocol)
 
+    def add_shard_planes(self, origins: Sequence[str],
+                         as_index: np.ndarray,
+                         accessible: np.ndarray) -> None:
+        """Reduce one shard's pre-sliced success planes.
+
+        The plane-only fast path: ``accessible`` is an
+        ``(n_origins, n_rows)`` boolean matrix (row order matching
+        ``origins``) of per-origin L7 success — exactly what
+        :class:`repro.sim.batch.PlaneSlice` carries — so a plane-only
+        trial batch streams into the accumulators without ever
+        materializing ``Observation`` rows or a ``TrialData``.  Performs
+        the same reductions in the same order as :meth:`add_shard`
+        (truth is the OR of the rows), so the finished planes and per-AS
+        counts are byte-identical to the materialized path's.
+        """
+        if self._packed is not None:
+            raise RuntimeError("accumulation already finished")
+        origins = list(origins)
+        accessible = np.asarray(accessible, dtype=bool)
+        as_index = np.asarray(as_index, dtype=np.int64)
+        if not self.origins:
+            self.origins = origins
+            self._origin_writers = [BitPlaneWriter() for _ in self.origins]
+            self.truth_by_as = np.zeros(self.n_ases, dtype=np.int64)
+            self.seen_by_as = np.zeros((len(self.origins), self.n_ases),
+                                       dtype=np.int64)
+        elif origins != self.origins:
+            raise ValueError(
+                f"shard origins {origins} disagree with "
+                f"{self.origins} — shards of one campaign share a grid")
+        truth = np.zeros(accessible.shape[1], dtype=bool)
+        for row in accessible:
+            truth |= row
+        self._truth_writer.append(truth)
+        self.total += int(truth.sum())
+        self.n_hosts += len(truth)
+        self.truth_by_as += np.bincount(as_index[truth],
+                                        minlength=self.n_ases)
+        for oi in range(len(self.origins)):
+            seen = accessible[oi] & truth
+            self._origin_writers[oi].append(seen)
+            self.seen_by_as[oi] += np.bincount(as_index[seen],
+                                               minlength=self.n_ases)
+        telemetry.count("streaming.rows_reduced", len(truth),
+                        protocol=self.protocol)
+
     def finish(self) -> PackedTrial:
         """Freeze into a :class:`PackedTrial` (idempotent)."""
         if self._packed is None:

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.rng import CounterRNG
+from repro.rng import CounterRNG, keyed_uniform_lattice, stream_keys
 
 
 @dataclass(frozen=True)
@@ -65,6 +65,24 @@ class ChurnModel:
             ips, "present", protocol, trial) \
             < self.spec.churner_presence_prob
         return stable | churner_present
+
+    def present_lattice(self, ips: np.ndarray, protocol: str,
+                        trials, stable: np.ndarray = None) -> np.ndarray:
+        """Presence as an ``(n_trials, n_services)`` boolean lattice.
+
+        Row *t* is bit-identical to ``present_mask(ips, protocol,
+        trials[t], stable=stable)``: the per-trial draw keys are
+        pre-derived and the whole trial axis is drawn in one vectorized
+        call (:func:`~repro.rng.keyed_uniform_lattice`).
+        """
+        ips = np.asarray(ips, dtype=np.uint64)
+        if stable is None:
+            stable = self.stable_mask(ips, protocol)
+        keys = stream_keys(self._rng,
+                           [("present", protocol, int(t)) for t in trials])
+        churner_present = keyed_uniform_lattice(keys, ips) \
+            < self.spec.churner_presence_prob
+        return stable[np.newaxis, :] | churner_present
 
     def churner_mask(self, ips: np.ndarray, protocol: str,
                      stable: np.ndarray = None) -> np.ndarray:

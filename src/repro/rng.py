@@ -272,6 +272,66 @@ def keyed_uniform_array(keys: np.ndarray,
     return (bits >> np.uint64(11)).astype(np.float64) * (1.0 / (1 << 53))
 
 
+def stream_keys(rng: CounterRNG,
+                suffixes: Iterable[Sequence[KeyPart]]) -> np.ndarray:
+    """Pre-derived stream keys, one per suffix tuple, as a uint64 array.
+
+    ``stream_keys(rng, [("present", proto, t) for t in trials])`` is the
+    array-of-trials twin of ``rng.derive("present", proto, t).key``: row
+    *t* of the returned vector keys exactly the stream the scalar path
+    would use for trial ``t``.  Feed the result to
+    :func:`keyed_bits_lattice` / :func:`keyed_uniform_lattice` to draw a
+    whole trial axis in one vectorized call.
+    """
+    keys = [rng.derive(*suffix).key for suffix in suffixes]
+    return np.asarray(keys, dtype=np.uint64)
+
+
+def keyed_bits_lattice(keys: np.ndarray,
+                       counters: np.ndarray) -> np.ndarray:
+    """A ``(len(keys), n)`` bit matrix: row *t* draws from stream ``keys[t]``.
+
+    ``counters`` is either one shared ``(n,)`` counter vector (every row
+    draws at the same addresses — e.g. host ids) or a ``(len(keys), n)``
+    matrix (per-row addresses — e.g. per-trial epoch keys).  Row *t* is
+    bit-identical to ``CounterRNG`` with ``key == keys[t]`` →
+    ``bits_array(counters[t])``; batching over the trial axis is exact,
+    not approximate.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    counters = np.asarray(counters, dtype=np.uint64)
+    shared = counters.ndim == 1
+    out = np.empty((len(keys), counters.shape[-1]), dtype=np.uint64)
+    # Row-at-a-time on purpose: the temporaries of one row stay
+    # cache-resident, where a single (T, n) evaluation would stream
+    # T-times-larger intermediates through memory for the same hashes.
+    for t in range(len(keys)):
+        row = counters if shared else counters[t]
+        out[t] = _mix_array(_mix_array(keys[t] ^ row))
+    return out
+
+
+def keyed_uniform_lattice(keys: np.ndarray,
+                          counters: np.ndarray) -> np.ndarray:
+    """A ``(len(keys), n)`` float matrix in [0, 1): row *t* from ``keys[t]``.
+
+    The uniform twin of :func:`keyed_bits_lattice`; see there for the
+    counter-broadcast contract.  This is the workhorse of the fused
+    trial-batched observation kernel (:mod:`repro.sim.batch`): one call
+    replaces one ``uniform_array`` call per trial.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    counters = np.asarray(counters, dtype=np.uint64)
+    shared = counters.ndim == 1
+    out = np.empty((len(keys), counters.shape[-1]), dtype=np.float64)
+    for t in range(len(keys)):
+        row = counters if shared else counters[t]
+        bits = _mix_array(_mix_array(keys[t] ^ row))
+        out[t] = (bits >> np.uint64(11)).astype(np.float64) \
+            * (1.0 / (1 << 53))
+    return out
+
+
 def scalar_matches_vector(rng: CounterRNG, counter: int, *extra: int) -> bool:
     """True when the scalar and vector paths agree for one draw.
 

@@ -178,6 +178,12 @@ class ServeState:
     cache_dir: Optional[str] = None
     executor: Optional[str] = None
     workers: Optional[int] = None
+    #: Trial-batched observation kernels on the miss path.  ``None``
+    #: defers to :func:`repro.sim.batch.batch_enabled` (on by default,
+    #: ``REPRO_BATCH=0`` opts out).  Deliberately *not* part of the
+    #: request spec: batching is an execution detail, so cache keys —
+    #: and the served bytes — are identical either way.
+    batch: Optional[bool] = None
     world_lru: int = 4
     _worlds: "OrderedDict[str, tuple]" = field(default_factory=OrderedDict)
     _keys: Dict[str, str] = field(default_factory=dict)
@@ -264,13 +270,15 @@ def run_request(request: CampaignRequest, state: ServeState) -> ResultPayload:
                                               n_trials=request.n_trials,
                                               executor=state.executor,
                                               workers=state.workers,
+                                              batch=state.batch,
                                               collect=True)
         else:
             dataset = run_campaign(world, origins, config,
                                    protocols=request.protocols,
                                    n_trials=request.n_trials,
                                    executor=state.executor,
-                                   workers=state.workers)
+                                   workers=state.workers,
+                                   batch=state.batch)
         report = full_report(dataset, engine=request.engine)
     meta = {
         "request": request.to_json(),

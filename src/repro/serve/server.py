@@ -90,6 +90,7 @@ class ServeConfig:
     pool_size: int = 2             # compute threads (campaigns at once)
     executor: Optional[str] = None  # campaign backend (serial/thread/...)
     workers: Optional[int] = None  # campaign pool width
+    batch: Optional[bool] = None   # trial-batched kernels (None → env/default)
     cache_dir: Optional[str] = None
     world_lru: int = 4
     journal: Optional[str] = None  # NDJSON telemetry journal path
@@ -166,6 +167,7 @@ class ReproServer:
             cache_dir=self.config.cache_dir,
             executor=self.config.executor,
             workers=self.config.workers,
+            batch=self.config.batch,
             world_lru=self.config.world_lru)
         self.runner = runner
         self.history = TimeSeriesRecorder(

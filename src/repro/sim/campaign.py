@@ -31,8 +31,9 @@ import numpy as np
 from repro.core.dataset import CampaignDataset, TrialData
 from repro.origins import Origin
 from repro.scanner.zmap import ZMapConfig
+from repro.sim.batch import batch_enabled
 from repro.sim.executor import Executor, ObservationJob, ProgressCallback, \
-    make_executor
+    TrialBatchJob, make_executor
 from repro.sim.world import Observation, World
 from repro.telemetry.context import Telemetry, current as _telemetry, use
 from repro.telemetry.manifest import build_manifest
@@ -61,6 +62,10 @@ class Campaign:
     #: ``False`` forces the unplanned reference path — byte-identical
     #: output, used by the differential test suite.
     planned: bool = True
+    #: Fused trial batching: ``None`` resolves via ``REPRO_BATCH`` (on by
+    #: default), ``True``/``False`` force it.  Byte-identical output
+    #: either way (see :mod:`repro.sim.batch`).
+    batch: Optional[bool] = None
     #: Telemetry for the run: a journal path (a fresh collector is opened
     #: and closed around the run), an existing
     #: :class:`~repro.telemetry.context.Telemetry`, or ``None`` to use
@@ -78,7 +83,7 @@ class Campaign:
         return run_campaign(self.world, self.origins, self.zmap,
                             self.protocols, self.n_trials,
                             executor=self.executor, workers=self.workers,
-                            planned=self.planned,
+                            planned=self.planned, batch=self.batch,
                             telemetry=self.telemetry)
 
 
@@ -114,6 +119,43 @@ def build_observation_grid(origins: Sequence[Origin], zmap: ZMapConfig,
     return jobs
 
 
+def build_trial_batches(origins: Sequence[Origin], zmap: ZMapConfig,
+                        protocols: Sequence[str], n_trials: int,
+                        planned: bool = True,
+                        plane_only: bool = False) -> List[TrialBatchJob]:
+    """Flatten the campaign into fused (protocol, origin) trial batches.
+
+    The batched counterpart of :func:`build_observation_grid`: one job
+    per (protocol, origin) carrying every trial the origin participates
+    in, each with its trial-reseeded config (``seed + trial``).  Far
+    fewer jobs cross the executor boundary (origins × protocols instead
+    of the full grid), and each runs the fused kernel
+    (:func:`repro.sim.batch.observe_trial_batch`) — the reassembled
+    dataset is byte-identical to the per-cell grid's.
+    """
+    origin_names = tuple(o.name for o in origins)
+    first_trials = {o.name: _first_trial(o, n_trials) for o in origins}
+
+    jobs: List[TrialBatchJob] = []
+    for protocol in protocols:
+        for trial in range(n_trials):
+            if not any(o.participates(trial) for o in origins):
+                raise ValueError(
+                    f"no origin scanned {protocol} trial {trial}")
+        for origin in origins:
+            trials = tuple(t for t in range(n_trials)
+                           if origin.participates(t))
+            configs = tuple(dataclasses.replace(zmap, seed=zmap.seed + t)
+                            for t in trials)
+            jobs.append(TrialBatchJob(
+                index=len(jobs), protocol=protocol, origin=origin,
+                trials=trials, configs=configs,
+                first_trial=first_trials[origin.name],
+                origin_names=origin_names, planned=planned,
+                plane_only=plane_only))
+    return jobs
+
+
 def run_campaign(world: World, origins: Sequence[Origin],
                  zmap: ZMapConfig,
                  protocols: Sequence[str] = PROTOCOLS,
@@ -122,6 +164,7 @@ def run_campaign(world: World, origins: Sequence[Origin],
                  workers: Optional[int] = None,
                  progress: Optional[ProgressCallback] = None,
                  planned: bool = True,
+                 batch: Optional[bool] = None,
                  telemetry: Union[str, os.PathLike, Telemetry, None] = None
                  ) -> CampaignDataset:
     """Execute every (protocol, trial, origin) scan and collect results.
@@ -138,6 +181,13 @@ def run_campaign(world: World, origins: Sequence[Origin],
     ``metadata["execution"]`` (including per-stage observe timings when
     ``planned``).  ``planned=False`` routes every observation through the
     unplanned reference path — byte-identical results, no plan caching.
+
+    ``batch`` selects the fused trial-batch granularity (one job per
+    (protocol, origin) running :func:`repro.sim.batch.observe_trial_batch`
+    over its whole trial axis) instead of per-cell jobs.  The default
+    (``None``) is on unless ``REPRO_BATCH`` opts out; results are
+    byte-identical either way, and the unplanned reference path
+    (``planned=False``) always runs per cell.
 
     ``telemetry`` turns on run instrumentation: pass a journal path (an
     NDJSON journal plus run manifest is written there), a live
@@ -162,7 +212,8 @@ def run_campaign(world: World, origins: Sequence[Origin],
     try:
         with activate:
             return _run_campaign(world, origins, zmap, protocols, n_trials,
-                                 executor, workers, progress, planned, tel)
+                                 executor, workers, progress, planned,
+                                 batch, tel)
     finally:
         if owned is not None:
             owned.close()
@@ -171,30 +222,49 @@ def run_campaign(world: World, origins: Sequence[Origin],
 def _run_campaign(world: World, origins: Sequence[Origin],
                   zmap: ZMapConfig, protocols: Sequence[str],
                   n_trials: int, executor, workers, progress, planned,
-                  tel) -> CampaignDataset:
+                  batch, tel) -> CampaignDataset:
+    batched = batch_enabled(batch, planned)
     with tel.span("campaign.run", seed=zmap.seed,
                   protocols=list(protocols), n_trials=n_trials,
-                  origins=[o.name for o in origins]):
-        jobs = build_observation_grid(origins, zmap, protocols, n_trials,
-                                      planned=planned)
+                  origins=[o.name for o in origins], batch=batched):
+        if batched:
+            jobs = build_trial_batches(origins, zmap, protocols, n_trials,
+                                       planned=planned)
+        else:
+            jobs = build_observation_grid(origins, zmap, protocols,
+                                          n_trials, planned=planned)
         backend = make_executor(executor, workers)
         observations, report = backend.run_grid(world, jobs,
                                                 progress=progress)
 
-        grouped: Dict[Tuple[str, int], List[int]] = {}
-        for job in jobs:
-            grouped.setdefault((job.protocol, job.trial),
-                               []).append(job.index)
+        # One (origin name, observation) list per (protocol, trial) cell.
+        # Batch jobs iterate origins in campaign order per protocol, so
+        # flattening them recovers exactly the per-cell grid's origin
+        # order (the origin list filtered by participation).
+        by_cell: Dict[Tuple[str, int], List] = {}
+        if batched:
+            for job, per_trial in zip(jobs, observations):
+                for trial, obs in zip(job.trials, per_trial):
+                    by_cell.setdefault((job.protocol, trial), []).append(
+                        (job.origin.name, obs))
+        else:
+            for job, obs in zip(jobs, observations):
+                by_cell.setdefault((job.protocol, job.trial), []).append(
+                    (job.origin.name, obs))
 
-        with tel.span("campaign.assemble", n_tables=len(grouped)):
+        # Cell order is fixed (protocol × ascending trial) regardless of
+        # job granularity, so table order never depends on the path.
+        cells = [(protocol, trial) for protocol in protocols
+                 for trial in range(n_trials)]
+        with tel.span("campaign.assemble", n_tables=len(cells)):
             tables: List[TrialData] = []
-            for (protocol, trial), indices in grouped.items():
-                config = jobs[indices[0]].config
+            for protocol, trial in cells:
+                members = by_cell[(protocol, trial)]
                 tables.append(_stack(
                     protocol, trial,
-                    [jobs[i].origin.name for i in indices],
-                    [observations[i] for i in indices],
-                    config.n_probes))
+                    [name for name, _ in members],
+                    [obs for _, obs in members],
+                    zmap.n_probes))
 
         metadata: Dict[str, object] = {
             "seed": zmap.seed,
@@ -204,6 +274,7 @@ def _run_campaign(world: World, origins: Sequence[Origin],
             "scan_duration_s": zmap.scan_duration_s,
             "origins": [o.name for o in origins],
             "n_trials": n_trials,
+            "batch": batched,
             "execution": report.to_metadata(),
         }
         if tel.enabled:

@@ -53,6 +53,7 @@ from repro.io.columnar import (arrays_from_buffer, decompose_world,
                                pack_into, pack_layout, recompose_world)
 from repro.origins import Origin
 from repro.scanner.zmap import ZMapConfig, ZMapScanner
+from repro.sim.batch import BatchOutput, observe_trial_batch
 from repro.sim.plan import ObserveProfile
 from repro.sim.world import Observation, World
 from repro.telemetry.context import Telemetry, current as _telemetry, \
@@ -72,7 +73,7 @@ ENV_TRANSPORT = "REPRO_WORLD_TRANSPORT"
 TRANSPORTS = ("shm", "pickle")
 
 #: Progress callback signature: ``(jobs_done, jobs_total, job)``.
-ProgressCallback = Callable[[int, int, "ObservationJob"], None]
+ProgressCallback = Callable[[int, int, "Job"], None]
 
 
 @dataclass(frozen=True)
@@ -99,11 +100,47 @@ class ObservationJob:
 
 
 @dataclass(frozen=True)
-class JobResult:
-    """An observation plus the instrumentation the report aggregates."""
+class TrialBatchJob:
+    """One schedulable ``(protocol, origin)`` *trial batch*.
+
+    The batched granularity: all trials this origin participates in for
+    one protocol, evaluated in a single fused kernel pass
+    (:func:`repro.sim.batch.observe_trial_batch`).  ``configs`` carries
+    one trial-reseeded :class:`~repro.scanner.zmap.ZMapConfig` per entry
+    of ``trials`` — the same reseeding the per-cell grid applies — so a
+    batch job's outputs are byte-identical to the per-cell jobs it
+    replaces, while shipping far fewer pickles per campaign (one job per
+    (protocol, origin) instead of one per grid cell).
+
+    ``plane_only`` skips Observation materialization and returns
+    :class:`~repro.sim.batch.PlaneSlice` columns for streamed analyses.
+    """
 
     index: int
-    observation: Observation
+    protocol: str
+    origin: Origin
+    trials: Tuple[int, ...]
+    configs: Tuple[ZMapConfig, ...]
+    first_trial: int
+    origin_names: Tuple[str, ...]
+    planned: bool = True
+    plane_only: bool = False
+
+
+#: Anything an executor can schedule.
+Job = Union[ObservationJob, TrialBatchJob]
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """An observation plus the instrumentation the report aggregates.
+
+    For a :class:`TrialBatchJob`, ``observation`` is a tuple of per-trial
+    outputs (in ``job.trials`` order) instead of a single observation.
+    """
+
+    index: int
+    observation: Union[Observation, Tuple[BatchOutput, ...]]
     wall_s: float
     worker: str
     #: Per-stage wall times of this observation (planned jobs only),
@@ -178,9 +215,13 @@ class ExecutionReport:
         return out
 
 
-def run_job(world: World, job: ObservationJob, collect: bool = False,
+def run_job(world: World, job: Job, collect: bool = False,
             trace: Optional[TraceContext] = None) -> JobResult:
-    """Execute one observation job against a world (any backend).
+    """Execute one job against a world (any backend).
+
+    Dispatches on the job type: an :class:`ObservationJob` runs one
+    per-cell observation; a :class:`TrialBatchJob` runs the fused
+    trial-batch kernel and returns a tuple of per-trial outputs.
 
     With ``collect=True`` the job runs under a fresh job-local
     :class:`~repro.telemetry.context.Telemetry` whose snapshot rides back
@@ -191,6 +232,8 @@ def run_job(world: World, job: ObservationJob, collect: bool = False,
     the snapshot carries it back across the pickle boundary, so adopted
     spans stay correlated with the tree that spawned them.
     """
+    if isinstance(job, TrialBatchJob):
+        return _run_batch_job(world, job, collect, trace)
     start = time.perf_counter()
     scanner = ZMapScanner(job.config)
     profile = ObserveProfile() if job.planned else None
@@ -221,6 +264,40 @@ def run_job(world: World, job: ObservationJob, collect: bool = False,
                      snapshot, _peak_rss())
 
 
+def _run_batch_job(world: World, job: TrialBatchJob, collect: bool,
+                   trace: Optional[TraceContext]) -> JobResult:
+    """Run one fused trial batch (see :func:`run_job`)."""
+    start = time.perf_counter()
+    scanners = tuple(ZMapScanner(config) for config in job.configs)
+    profile = ObserveProfile()
+    worker = f"{os.getpid()}/{threading.current_thread().name}"
+    snapshot = None
+    if collect:
+        job_tel = Telemetry(
+            trace_id=trace.trace_id if trace is not None else None)
+        with use(job_tel):
+            with job_tel.span("executor.job", index=job.index,
+                              protocol=job.protocol,
+                              origin=job.origin.name,
+                              n_trials=len(job.trials),
+                              trials=[int(t) for t in job.trials]):
+                observations = observe_trial_batch(
+                    world, job.protocol, job.origin, job.trials, scanners,
+                    job.origin_names, first_trial=job.first_trial,
+                    plane_only=job.plane_only, profile=profile)
+        job_tel.count("executor.jobs", 1)
+        job_tel.count("runtime.worker_jobs", 1, worker=worker)
+        snapshot = job_tel.snapshot()
+    else:
+        observations = observe_trial_batch(
+            world, job.protocol, job.origin, job.trials, scanners,
+            job.origin_names, first_trial=job.first_trial,
+            plane_only=job.plane_only, profile=profile)
+    wall = time.perf_counter() - start
+    return JobResult(job.index, tuple(observations), wall, worker,
+                     tuple(profile.stage_s.items()), snapshot, _peak_rss())
+
+
 class Executor(ABC):
     """Executes an observation grid and reassembles deterministic output."""
 
@@ -238,7 +315,7 @@ class Executor(ABC):
             else (os.cpu_count() or 1)
 
     @abstractmethod
-    def _execute(self, world: World, jobs: Sequence[ObservationJob],
+    def _execute(self, world: World, jobs: Sequence[Job],
                  progress: Optional[ProgressCallback], collect: bool,
                  trace: Optional[TraceContext]) -> List[JobResult]:
         """Run every job, in any order, returning all results.
@@ -249,9 +326,9 @@ class Executor(ABC):
         worker boundary.
         """
 
-    def run_grid(self, world: World, jobs: Sequence[ObservationJob],
+    def run_grid(self, world: World, jobs: Sequence[Job],
                  progress: Optional[ProgressCallback] = None
-                 ) -> Tuple[List[Observation], ExecutionReport]:
+                 ) -> Tuple[List, ExecutionReport]:
         """Run the grid; observations come back in job-index order.
 
         Under an active telemetry context the whole grid runs inside an
@@ -316,7 +393,7 @@ class SerialExecutor(Executor):
     def __init__(self, workers: Optional[int] = None) -> None:
         super().__init__(1)
 
-    def _execute(self, world: World, jobs: Sequence[ObservationJob],
+    def _execute(self, world: World, jobs: Sequence[Job],
                  progress: Optional[ProgressCallback], collect: bool,
                  trace: Optional[TraceContext]) -> List[JobResult]:
         results: List[JobResult] = []
@@ -338,7 +415,7 @@ class ThreadExecutor(Executor):
 
     name = "thread"
 
-    def _execute(self, world: World, jobs: Sequence[ObservationJob],
+    def _execute(self, world: World, jobs: Sequence[Job],
                  progress: Optional[ProgressCallback], collect: bool,
                  trace: Optional[TraceContext]) -> List[JobResult]:
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
@@ -387,7 +464,7 @@ def _process_init_shm(name: str, skeleton: bytes, layout: Sequence[dict],
     _WORKER_TRACE = trace
 
 
-def _process_run_job(job: ObservationJob) -> JobResult:
+def _process_run_job(job: Job) -> JobResult:
     if _WORKER_WORLD is None:
         raise RuntimeError("worker process was not initialized with a world")
     return run_job(_WORKER_WORLD, job, collect=_WORKER_COLLECT,
@@ -463,7 +540,7 @@ class ProcessExecutor(Executor):
                 f"expected one of {TRANSPORTS}")
         self.transport = transport
 
-    def _execute(self, world: World, jobs: Sequence[ObservationJob],
+    def _execute(self, world: World, jobs: Sequence[Job],
                  progress: Optional[ProgressCallback], collect: bool,
                  trace: Optional[TraceContext]) -> List[JobResult]:
         tel = _telemetry()

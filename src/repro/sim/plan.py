@@ -108,12 +108,13 @@ class _StageTimer:
     numbers come from the same boundary, so they can never disagree.
     """
 
-    __slots__ = ("profiles", "_last", "_tel", "_cpu_last")
+    __slots__ = ("profiles", "_last", "_tel", "_cpu_last", "_prefix")
 
     def __init__(self, *profiles: Optional[ObserveProfile],
-                 tel=None) -> None:
+                 tel=None, prefix: str = "observe.") -> None:
         self.profiles = [p for p in profiles if p is not None]
         self._tel = tel if tel is not None and tel.enabled else None
+        self._prefix = prefix
         self._last = time.perf_counter()
         self._cpu_last = time.process_time() if self._tel else 0.0
 
@@ -125,7 +126,7 @@ class _StageTimer:
         self._last = now
         if self._tel is not None:
             cpu_now = time.process_time()
-            self._tel.span_event(f"observe.{stage}", elapsed,
+            self._tel.span_event(f"{self._prefix}{stage}", elapsed,
                                  cpu_now - self._cpu_last)
             self._cpu_last = cpu_now
 
@@ -226,6 +227,44 @@ class CompiledOriginPolicy:
 
     static_entries: Tuple[PolicyEntry, ...]
     ids_entries: Tuple[IDSEntry, ...]
+
+
+@dataclass
+class HostCaches:
+    """Per-protocol observation state independent of the scanner config.
+
+    Everything here is a pure function of the world (seed, topology,
+    blocking specs) and the protocol — none of it depends on the scanner
+    seed, shard, or schedule.  A campaign reseeds the scanner per trial
+    (``seed + trial``), which keys a fresh :class:`ObservationPlan` per
+    trial; hoisting these arrays into one shared cache makes the
+    per-trial plan build cheap (eligibility + schedule only) and lets
+    the fused trial-batch kernel (:mod:`repro.sim.batch`) gather host
+    state once for a whole trial axis.  Plans built from the same cache
+    share these arrays by reference — including the lazy ``persist_u``
+    per-origin dict, which is scanner-independent by construction.
+    """
+
+    protocol: str
+    n_view: int
+    n_ases: int
+    geo_version: Tuple[int, int]
+    grouping: ASGrouping
+    geo_full: np.ndarray
+    host_ids_full: np.ndarray       # uint64
+    stable_full: np.ndarray         # bool (churn stability class)
+    dead_full: np.ndarray           # bool (persistently L7-dead)
+    flaky_full: np.ndarray          # bool (transiently flaky membership)
+    drop_full: np.ndarray           # bool (failure style: drop vs close)
+    ms_affected_full: Optional[np.ndarray]   # bool, SSH only
+    ms_probs_full: Optional[np.ndarray]      # float64, SSH only
+    ms_style_full: Optional[np.ndarray]      # bool, SSH only (RST vs FIN)
+    static_systems: Tuple[int, ...]
+    ids_systems: Tuple[int, ...]
+    temporal_systems: Tuple[int, ...]
+    #: Shared across every plan of this protocol (draws are
+    #: scanner-independent: keyed by origin state group and host id only).
+    persist_u: Dict[str, np.ndarray] = field(default_factory=dict)
 
 
 @dataclass

@@ -352,6 +352,7 @@ def run_sharded_campaign(sharded: ShardedWorld,
                          executor=None,
                          workers: Optional[int] = None,
                          planned: bool = True,
+                         batch: Optional[bool] = None,
                          budget: Optional[int] = None,
                          collect: bool = False,
                          telemetry=None):
@@ -367,6 +368,15 @@ def run_sharded_campaign(sharded: ShardedWorld,
     (default ``REPRO_MEMORY_BUDGET``) raise :class:`MemoryBudgetError`
     with a re-sharding hint *before* any memory is committed.
 
+    ``batch`` selects fused trial-batch jobs (default on, see
+    :mod:`repro.sim.batch`): each shard schedules one job per
+    (protocol, origin) covering its whole trial axis.  Without
+    ``collect`` the batched jobs run in *plane-only* mode — the kernel
+    emits :class:`~repro.sim.batch.PlaneSlice` columns that stream
+    straight into the packed bit-plane accumulators, skipping
+    per-cell ``Observation``/``TrialData`` materialization entirely.
+    Accumulated planes and analyses are byte-identical either way.
+
     Returns a :class:`~repro.core.streaming.StreamingCampaignResult`;
     with ``collect=True`` returns ``(result, dataset)`` where
     ``dataset`` is the fully materialized
@@ -375,7 +385,9 @@ def run_sharded_campaign(sharded: ShardedWorld,
     small scale (it is exactly the memory the streaming path avoids).
     """
     from repro.core.dataset import CampaignDataset, TrialData
-    from repro.sim.campaign import build_observation_grid, _stack
+    from repro.sim.batch import batch_enabled
+    from repro.sim.campaign import build_observation_grid, \
+        build_trial_batches, _stack
     from repro.sim.executor import make_executor
 
     tel = _telemetry()
@@ -396,17 +408,26 @@ def run_sharded_campaign(sharded: ShardedWorld,
                 f"shards (smaller max_hosts) or raise "
                 f"{ENV_MEMORY_BUDGET}")
 
-    jobs = build_observation_grid(origins, zmap, protocols, n_trials,
-                                  planned=planned)
+    batched = batch_enabled(batch, planned)
+    plane_only = batched and not collect
+    if batched:
+        jobs = build_trial_batches(origins, zmap, protocols, n_trials,
+                                   planned=planned, plane_only=plane_only)
+    else:
+        jobs = build_observation_grid(origins, zmap, protocols, n_trials,
+                                      planned=planned)
     backend = make_executor(executor, workers)
     n_ases = len(sharded.topology.ases)
+    cells = [(protocol, trial) for protocol in protocols
+             for trial in range(n_trials)]
 
     accumulators: Dict[Tuple[str, int], StreamingTrial] = {}
     collected: Dict[Tuple[str, int], List[TrialData]] = {}
     reports = []
     with tel.span("shard.run_campaign", n_shards=sharded.n_shards,
                   n_jobs=len(jobs) * sharded.n_shards,
-                  budget_bytes=limit):
+                  budget_bytes=limit, batch=batched,
+                  plane_only=plane_only):
         for index in range(sharded.n_shards):
             with tel.span("shard.stream", shard=index,
                           rows=int(sharded.manifest.n_hosts[index])):
@@ -421,24 +442,40 @@ def run_sharded_campaign(sharded: ShardedWorld,
                                         observations))
                 else:
                     by_index = {}
-                grouped: Dict[Tuple[str, int], List[int]] = {}
-                for job in jobs:
-                    grouped.setdefault((job.protocol, job.trial),
-                                       []).append(job.index)
-                for (protocol, trial), indices in grouped.items():
-                    config = jobs[indices[0]].config
-                    names = [jobs[i].origin.name for i in indices]
-                    obs = [by_index[i] if i in by_index else
-                           _empty_observation(protocol, trial,
-                                              jobs[i].origin.name)
-                           for i in indices]
-                    table = _stack(protocol, trial, names, obs,
-                                   config.n_probes)
+                # One (origin name, output-or-None) list per cell; batch
+                # jobs iterate origins in campaign order per protocol,
+                # recovering exactly the per-cell grid's origin order.
+                by_cell: Dict[Tuple[str, int], List] = {}
+                if batched:
+                    for job in jobs:
+                        outputs = by_index.get(job.index)
+                        for k, trial in enumerate(job.trials):
+                            by_cell.setdefault(
+                                (job.protocol, trial), []).append(
+                                (job.origin.name,
+                                 None if outputs is None else outputs[k]))
+                else:
+                    for job in jobs:
+                        by_cell.setdefault(
+                            (job.protocol, job.trial), []).append(
+                            (job.origin.name, by_index.get(job.index)))
+                for protocol, trial in cells:
+                    members = by_cell[(protocol, trial)]
+                    names = [name for name, _ in members]
                     acc = accumulators.get((protocol, trial))
                     if acc is None:
                         acc = StreamingTrial(protocol=protocol,
                                              trial=trial, n_ases=n_ases)
                         accumulators[(protocol, trial)] = acc
+                    if plane_only:
+                        _reduce_planes(acc, names,
+                                       [s for _, s in members])
+                        continue
+                    obs = [o if o is not None else
+                           _empty_observation(protocol, trial, name)
+                           for name, o in members]
+                    table = _stack(protocol, trial, names, obs,
+                                   zmap.n_probes)
                     acc.add_shard(table)
                     if collect:
                         collected.setdefault((protocol, trial),
@@ -447,6 +484,7 @@ def run_sharded_campaign(sharded: ShardedWorld,
                 del world, by_index
 
     metadata = _merge_metadata(sharded, zmap, origins, n_trials, reports)
+    metadata["batch"] = batched
     result = StreamingCampaignResult(accumulators, metadata=metadata)
     if not collect:
         return result
@@ -454,6 +492,30 @@ def run_sharded_campaign(sharded: ShardedWorld,
               for parts in collected.values()]
     dataset = CampaignDataset(tables, metadata=dict(metadata))
     return result, dataset
+
+
+def _reduce_planes(acc: StreamingTrial, names: List[str],
+                   slices: List) -> None:
+    """Stream one cell's plane slices into an accumulator.
+
+    ``slices`` holds one :class:`~repro.sim.batch.PlaneSlice` per origin
+    (campaign order), or ``None`` entries when the shard has no hosts of
+    the protocol (reduced as zero rows, mirroring the empty-observation
+    fill of the materialized path).
+    """
+    reference = next((s for s in slices if s is not None), None)
+    if reference is None:
+        acc.add_shard_planes(names, np.zeros(0, dtype=np.int64),
+                             np.zeros((len(names), 0), dtype=bool))
+        return
+    for plane_slice in slices:
+        if not np.array_equal(plane_slice.ip, reference.ip):
+            raise AssertionError(
+                "origins disagree on the scanned service set — churn or "
+                "blocklists are origin-dependent, which violates the "
+                "synchronized-campaign invariant")
+    acc.add_shard_planes(names, reference.as_index,
+                         np.stack([s.accessible for s in slices]))
 
 
 def _concat_tables(parts):

@@ -40,9 +40,10 @@ from repro.hosts.table import HostTable
 from repro.origins import Origin
 from repro.rng import CounterRNG
 from repro.scanner.zmap import ZMapConfig, ZMapScanner
-from repro.sim.plan import (ASGrouping, CompiledOriginPolicy, IDSEntry,
-                            ObservationPlan, ObserveProfile, PolicyEntry,
-                            _StageTimer, sorted_membership_mask)
+from repro.sim.plan import (ASGrouping, CompiledOriginPolicy, HostCaches,
+                            IDSEntry, ObservationPlan, ObserveProfile,
+                            PolicyEntry, _StageTimer,
+                            sorted_membership_mask)
 from repro.telemetry.context import current as _telemetry
 from repro.topology.generator import Topology
 
@@ -122,6 +123,7 @@ class World:
         self._flaky_params: Optional[Tuple[np.ndarray, ...]] = None
         self._maxstartups_params: Optional[Tuple[np.ndarray, ...]] = None
         self._plans: Dict[Tuple[str, ZMapConfig], ObservationPlan] = {}
+        self._host_caches: Dict[str, HostCaches] = {}
 
     def __getstate__(self) -> dict:
         # Plans are pure acceleration state and can be large; dropping them
@@ -130,6 +132,7 @@ class World:
         # them identically.
         state = self.__dict__.copy()
         state["_plans"] = {}
+        state["_host_caches"] = {}
         return state
 
     # ------------------------------------------------------------------
@@ -344,8 +347,22 @@ class World:
         with _telemetry().span("cache.plan_build", protocol=protocol):
             return self._compile_plan(protocol, scanner)
 
-    def _compile_plan(self, protocol: str,
-                      scanner: ZMapScanner) -> ObservationPlan:
+    def host_caches(self, protocol: str) -> HostCaches:
+        """Scanner-independent per-protocol host state, built once.
+
+        Campaigns reseed the scanner per trial, which keys one
+        :class:`ObservationPlan` per trial — but everything here (churn
+        class, deadness, flakiness, MaxStartups membership, grouping,
+        GeoIP translation) depends only on the world and the protocol.
+        Hoisting it out of the plan makes per-trial plan builds cheap and
+        gives the fused trial-batch kernel one shared gather for a whole
+        trial axis.
+        """
+        cached = self._host_caches.get(protocol)
+        if cached is not None \
+                and cached.geo_version == self.topology.geoip.version:
+            return cached
+
         view = self.hosts.for_protocol(protocol)
         ips = view.ip
         as_index = view.as_index
@@ -376,7 +393,7 @@ class World:
             if s.spec.temporal_rst is not None
             and protocol in s.spec.temporal_rst.protocols)
 
-        return ObservationPlan(
+        caches = HostCaches(
             protocol=protocol,
             n_view=len(ips),
             n_ases=n_ases,
@@ -384,8 +401,6 @@ class World:
             grouping=ASGrouping(as_index, n_ases),
             geo_full=self.topology.geoip.geolocate_index_array(ips),
             host_ids_full=host_ids,
-            eligible_full=scanner.eligible_mask(ips),
-            base_first_full=scanner.first_probe_times(ips),
             stable_full=self.churn.stable_mask(ips, protocol),
             dead_full=self._flaky.dead_mask_params(
                 dead_f[as_index], host_ids, protocol),
@@ -399,6 +414,36 @@ class World:
             static_systems=static_systems,
             ids_systems=ids_systems,
             temporal_systems=temporal_systems)
+        self._host_caches[protocol] = caches
+        return caches
+
+    def _compile_plan(self, protocol: str,
+                      scanner: ZMapScanner) -> ObservationPlan:
+        caches = self.host_caches(protocol)
+        view = self.hosts.for_protocol(protocol)
+        ips = view.ip
+
+        return ObservationPlan(
+            protocol=protocol,
+            n_view=caches.n_view,
+            n_ases=caches.n_ases,
+            geo_version=caches.geo_version,
+            grouping=caches.grouping,
+            geo_full=caches.geo_full,
+            host_ids_full=caches.host_ids_full,
+            eligible_full=scanner.eligible_mask(ips),
+            base_first_full=scanner.first_probe_times(ips),
+            stable_full=caches.stable_full,
+            dead_full=caches.dead_full,
+            flaky_full=caches.flaky_full,
+            drop_full=caches.drop_full,
+            ms_affected_full=caches.ms_affected_full,
+            ms_probs_full=caches.ms_probs_full,
+            ms_style_full=caches.ms_style_full,
+            static_systems=caches.static_systems,
+            ids_systems=caches.ids_systems,
+            temporal_systems=caches.temporal_systems,
+            persist_u=caches.persist_u)
 
     def _origin_policy(self, plan: ObservationPlan, origin: Origin,
                        scanner: ZMapScanner) -> CompiledOriginPolicy:

@@ -66,31 +66,40 @@ def per_trial_span_tree(records: List[dict]) -> List[dict]:
     """Aggregate span records by the (protocol, trial) of their job.
 
     Walks each span's parent chain up to the nearest span carrying
-    ``protocol``/``trial`` attributes (the executor's per-job span) and
-    folds wall time and counts per span name under that trial.
+    ``protocol`` plus either ``trial`` (a per-cell executor job) or
+    ``trials`` (a fused trial-batch job / ``batch.stream`` span, which
+    covers several grid cells at once) and folds wall time and counts
+    per span name under each covered trial.  A batch span counts once
+    under every trial it covers; its wall time is split evenly so the
+    per-trial totals still sum to the measured wall.
     """
     by_id = {r["id"]: r for r in records
              if r.get("t") == "span" and r.get("id")}
 
-    def trial_of(record: dict) -> Optional[Tuple[str, int]]:
+    def trials_of(record: dict) -> List[Tuple[str, int]]:
         seen = 0
         while record is not None and seen < 64:
             attrs = record.get("attrs") or {}
             if "protocol" in attrs and "trial" in attrs:
-                return (str(attrs["protocol"]), int(attrs["trial"]))
+                return [(str(attrs["protocol"]), int(attrs["trial"]))]
+            if "protocol" in attrs and "trials" in attrs:
+                return [(str(attrs["protocol"]), int(t))
+                        for t in attrs["trials"]]
             record = by_id.get(record.get("parent"))
             seen += 1
-        return None
+        return []
 
     trials: Dict[Tuple[str, int], Dict[str, List[float]]] = {}
     for record in by_id.values():
-        key = trial_of(record)
-        if key is None:
+        keys = trials_of(record)
+        if not keys:
             continue
-        spans = trials.setdefault(key, {})
-        entry = spans.setdefault(record["name"], [0, 0.0])
-        entry[0] += 1
-        entry[1] += record.get("wall_s", 0.0)
+        share = record.get("wall_s", 0.0) / len(keys)
+        for key in keys:
+            spans = trials.setdefault(key, {})
+            entry = spans.setdefault(record["name"], [0, 0.0])
+            entry[0] += 1
+            entry[1] += share
 
     return [
         {"protocol": protocol, "trial": trial,

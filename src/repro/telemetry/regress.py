@@ -135,13 +135,23 @@ def bench_diff(directory: str = "bench_artifacts",
         check: dict = {"name": bench,
                        "latest_s": round(float(latest_s), 6),
                        "n_history": len(series)}
-        if len(series) < min_history:
+        # A metric with no comparable history is "new" even when
+        # min_history is 0 — there is nothing to take a median of, and
+        # a metric absent from every prior artifact must never crash or
+        # regress the run just by appearing.
+        if not series or len(series) < min_history:
             check["status"] = "new"
         else:
             baseline = statistics.median(series)
             check["baseline_s"] = round(float(baseline), 6)
-            ratio = float(latest_s) / baseline if baseline > 0 \
-                else float("inf")
+            if baseline <= 0:
+                # A non-positive baseline has no meaningful ratio;
+                # treat the series as not-yet-established rather than
+                # manufacturing an infinite regression.
+                check["status"] = "new"
+                checks.append(check)
+                continue
+            ratio = float(latest_s) / baseline
             check["ratio"] = round(ratio, 4)
             if ratio > 1.0 + tolerance:
                 check["status"] = "regression"

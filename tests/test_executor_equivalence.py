@@ -18,7 +18,8 @@ from repro.blocking.ids import RateIDSSpec
 from repro.core.dataset import CampaignDataset
 from repro.origins import Origin
 from repro.scanner.zmap import ZMapConfig, ZMapScanner
-from repro.sim.campaign import build_observation_grid, run_campaign
+from repro.sim.campaign import (build_observation_grid,
+                                build_trial_batches, run_campaign)
 from repro.sim.executor import ThreadExecutor
 from repro.sim.scenario import build_world_from_specs, paper_scenario
 from repro.sim.world import WorldDefaults
@@ -104,8 +105,8 @@ class TestExecutionReport:
         assert execution["backend"] == "serial"
         assert execution["workers"] == 1
         assert execution["n_jobs"] == len(
-            build_observation_grid(origins, config,
-                                   ("http", "https", "ssh"), 3))
+            build_trial_batches(origins, config,
+                                ("http", "https", "ssh"), 3))
         assert execution["wall_s"] > 0
         assert execution["busy_s"] > 0
 
@@ -305,4 +306,4 @@ def test_paper_scale_process_equivalence():
     assert signature(serial) == signature(processed)
     execution = processed.metadata["execution"]
     assert execution["backend"] == "process"
-    assert execution["n_jobs"] == 66  # 3 × (7 × 3 + 1): CARINET trial 0
+    assert execution["n_jobs"] == 24  # 3 protocols × 8 origins, batched

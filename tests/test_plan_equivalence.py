@@ -318,7 +318,9 @@ class TestProfileMetadata:
         dataset = run_campaign(world, origins, config,
                                protocols=("http",), n_trials=2)
         stages = dataset.metadata["execution"]["stages"]
-        assert set(stages) == set(STAGES)
+        # Batched execution (the default) adds an "emit" stage after the
+        # six plan stages for materializing the per-trial outputs.
+        assert set(stages) == set(STAGES) | {"emit"}
         assert all(seconds >= 0.0 for seconds in stages.values())
 
     def test_unplanned_campaign_has_no_stages(self, scenario):

@@ -72,6 +72,42 @@ class TestVerdicts:
         assert report["checks"][0]["status"] == "new"
         assert report["verdict"] == "ok"
 
+    def test_absent_metric_is_new_even_with_zero_min_history(self, tmp_path):
+        # min_history=0 must not feed an empty series to median(): a
+        # metric that no prior artifact recorded is "new", not a crash.
+        write_bench(tmp_path, 0, {"campaign": 0.1})
+        write_bench(tmp_path, 1, {"campaign": 0.1, "batch": 0.05})
+        report = bench_diff(tmp_path, min_history=0)
+        by_name = {c["name"]: c for c in report["checks"]}
+        assert by_name["batch"]["status"] == "new"
+        assert by_name["campaign"]["status"] == "ok"
+        assert report["verdict"] == "ok"
+
+    def test_new_metric_rides_alongside_established_series(self, tmp_path):
+        # A benchmark added in the newest artifact reports "new" while
+        # the established series keeps comparing normally.
+        for n, value in enumerate([0.100, 0.100, 0.100]):
+            write_bench(tmp_path, n, {"campaign": value})
+        write_bench(tmp_path, 3, {"campaign": 0.101, "batch": 0.02})
+        report = bench_diff(tmp_path)
+        by_name = {c["name"]: c for c in report["checks"]}
+        assert by_name["batch"]["status"] == "new"
+        assert by_name["batch"]["n_history"] == 0
+        assert by_name["campaign"]["status"] == "ok"
+        assert report["verdict"] == "ok"
+
+    def test_non_positive_baseline_is_new_not_regression(self, tmp_path):
+        # A zero baseline has no meaningful ratio; it must not turn
+        # into an infinite-ratio "regression".
+        for n in range(3):
+            write_bench(tmp_path, n, {"campaign": 0.0})
+        write_bench(tmp_path, 3, {"campaign": 0.1})
+        report = bench_diff(tmp_path)
+        (check,) = report["checks"]
+        assert check["status"] == "new"
+        assert "ratio" not in check
+        assert report["verdict"] == "ok"
+
     def test_single_noisy_artifact_cannot_poison_baseline(self, tmp_path):
         # One outlier in history barely moves the median-of-medians.
         for n, value in enumerate([0.100, 0.900, 0.101, 0.099, 0.102]):

@@ -364,7 +364,10 @@ class TestManifest:
         assert manifest["origins"] == [o.name for o in origins]
         assert manifest["protocols"] == ["http"]
         spans = manifest["trials"][0]["spans"]
-        assert spans["observe"]["count"] == len(
+        # Batched execution: one batch.stream span per (protocol, origin)
+        # covers each of its trials, so trial 0 is covered by exactly the
+        # origins that participate in it.
+        assert spans["batch.stream"]["count"] == len(
             [o for o in origins if o.participates(0)])
 
 

@@ -91,8 +91,9 @@ class TestCampaignTracePropagation:
         """Worker processes stamp the parent's trace on their snapshots."""
         trace, journal = self._traced_journal(scenario, tmp_path, "process")
         jobs = [s for s in journal.spans if s["name"] == "executor.job"]
-        # 7 origins x 2 trials + 1 (CARINET joins from its first_trial).
-        assert len(jobs) == 15
+        # Batched granularity: one trial-batch job per (protocol, origin)
+        # = 1 protocol x 8 origins (CARINET joins from its first_trial).
+        assert len(jobs) == 8
         assert all(span["trace"] == trace for span in jobs)
         # The snapshots were adopted: job spans carry re-namespaced ids
         # parented under the grid span.
