@@ -3,7 +3,8 @@
 
 .PHONY: install test test-parallel test-serve test-shard test-batch bench \
 	bench-show bench-analysis bench-io bench-serve bench-scale \
-	bench-batch bench-diff serve profile trace examples report all
+	bench-batch bench-incremental bench-diff serve profile trace \
+	examples report all
 
 install:
 	pip install -e . || python setup.py develop
@@ -80,6 +81,15 @@ bench-scale:
 # multi-CPU machines.
 bench-batch:
 	pytest benchmarks/test_perf_batch.py -s
+
+# Bracket an add-one-origin request against the whole-campaign cold
+# miss it used to be: seed the plane cache with a 7-origin run, then
+# serve the 8-origin grid cold (cache off) and warm (only the added
+# origin's batches dispatch); records the warm-delta speedup into the
+# BENCH_<n>.json trajectory and asserts the >=5x floor on multi-CPU
+# machines.
+bench-incremental:
+	pytest benchmarks/test_perf_incremental.py -s
 
 # Perf-regression sentinel: compare the newest BENCH_<n>.json against
 # the TRAJECTORY.json history with noise-tolerant thresholds; exits

@@ -139,15 +139,21 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="fraction of the world to probe")
 
     cache = commands.add_parser(
-        "cache", help="inspect or clear the world, shard, and result "
-                      "caches (REPRO_CACHE_DIR)")
-    cache.add_argument("action", choices=("ls", "clear"),
+        "cache", help="inspect, clear, or prune the world, shard, "
+                      "result, and plane caches (REPRO_CACHE_DIR)")
+    cache.add_argument("action", choices=("ls", "clear", "prune"),
                        help="'ls' lists cached worlds, shard segments, "
-                            "and served results; 'clear' deletes worlds "
-                            "and shard segments")
+                            "served results, and plane units; 'clear' "
+                            "deletes worlds and shard segments; 'prune' "
+                            "evicts oldest entries across every cache "
+                            "until the total fits the byte budget")
     cache.add_argument("--results", action="store_true",
                        help="with 'clear': also delete result-cache "
-                            "entries (REPRO_RESULT_CACHE_DIR)")
+                            "entries (REPRO_RESULT_CACHE_DIR) and plane "
+                            "units")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       help="with 'prune': total cache byte budget "
+                            "(default: REPRO_CACHE_MAX_BYTES)")
 
     serve = commands.add_parser(
         "serve", help="run the campaign service (HTTP/JSON + result "
@@ -175,6 +181,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="fused trial-batched kernels on the compute "
                             "path (default on; REPRO_BATCH=0 also "
                             "disables)")
+    serve.add_argument("--plane-cache",
+                       action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="plane-granular incremental recomputation on "
+                            "the grid-surface miss path (default on; "
+                            "REPRO_PLANE_CACHE=0 also disables)")
     serve.add_argument("--cache-dir", default=None,
                        help="result-cache root (default: "
                             "REPRO_RESULT_CACHE_DIR or the world-cache "
@@ -367,7 +379,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.io import worldcache
-    from repro.serve import resultcache
+    from repro.serve import planecache, resultcache
 
     root = worldcache.cache_dir()
     result_root = resultcache.cache_dir()
@@ -378,8 +390,25 @@ def _cmd_cache(args: argparse.Namespace) -> int:
               f"segment(s) from {root}")
         if args.results:
             results = resultcache.clear()
-            print(f"removed {results} cached result(s) from "
-                  f"{result_root}")
+            planes = planecache.clear()
+            print(f"removed {results} cached result(s) and {planes} "
+                  f"plane unit(s) from {result_root}")
+        return 0
+
+    if args.action == "prune":
+        from repro.io import prune
+        budget = args.max_bytes if args.max_bytes is not None \
+            else prune.max_bytes_env()
+        if budget is None:
+            print("repro cache prune: no byte budget — pass --max-bytes "
+                  f"or set {prune.ENV_CACHE_MAX_BYTES}", file=sys.stderr)
+            return 2
+        report = prune.prune(budget)
+        print(f"pruned {report.removed} of {report.scanned} cache "
+              f"entr{'y' if report.scanned == 1 else 'ies'} "
+              f"({report.freed_bytes:,} bytes freed); "
+              f"{report.kept} kept ({report.kept_bytes:,} bytes) against "
+              f"a {report.max_bytes:,}-byte budget")
         return 0
 
     printed = False
@@ -423,6 +452,17 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(render_table(["fingerprint", "engine", "bytes", "state"],
                            rows,
                            title=f"result cache — {result_root}"))
+    plane_entries = planecache.list_entries()
+    if plane_entries:
+        printed = True
+        rows = [[digest, f"{group['count']:,}", f"{group['nbytes']:,}"]
+                for digest, group
+                in sorted(planecache.by_world(plane_entries).items())]
+        total = sum(e.nbytes for e in plane_entries)
+        rows.append(["total", f"{len(plane_entries):,}", f"{total:,}"])
+        print(render_table(["world", "units", "bytes"], rows,
+                           title=f"plane cache — "
+                                 f"{planecache.cache_dir()}"))
     if not printed:
         print(f"caches at {root} and {result_root} are empty")
     return 0
@@ -439,6 +479,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                          pool_size=args.pool_size,
                          executor=args.executor, workers=args.workers,
                          batch=args.batch,
+                         plane_cache=args.plane_cache,
                          cache_dir=args.cache_dir,
                          journal=args.journal,
                          journal_max_bytes=args.journal_max_bytes,
@@ -480,6 +521,16 @@ def _render_top(history: dict, health: dict) -> str:
         lines.append("  " + "  ".join(f"{name}={value:g}"
                                       for name, value in gauges.items()))
     counters = latest.get("counters") or {}
+    rates = []
+    for label, hit_name, miss_name in (
+            ("result", "serve.cache_hit", "serve.cache_miss"),
+            ("plane", "serve.plane_hit", "serve.plane_miss")):
+        hit = counters.get(hit_name, 0)
+        total = hit + counters.get(miss_name, 0)
+        if total:
+            rates.append(f"{label} {hit / total:.1%} ({hit:g}/{total:g})")
+    if rates:
+        lines.append("  cache hit-rate: " + "   ".join(rates))
     if counters:
         dt = (latest.get("uptime_s", 0.0)
               - (previous or {}).get("uptime_s", 0.0)) or None

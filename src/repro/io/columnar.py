@@ -421,7 +421,9 @@ class ResultSnapshot:
     — the serving layer streams these bytes back on a cache hit, which
     is what makes hit and miss responses byte-identical.  ``dataset`` is
     the backing campaign (mmap-loaded, read-only), available for future
-    endpoints that need more than the rendered text.
+    endpoints that need more than the rendered text — or ``None`` for
+    report-only entries (streamed grid surfaces, which never
+    materialize a campaign).
     """
 
     report: str
@@ -437,12 +439,20 @@ def save_result(path: PathLike, report: str, dataset,
     The write inherits :func:`write_snapshot`'s temp-file + rename
     protocol and per-segment CRCs, so a reader either sees a complete,
     checksummed entry or no entry at all — a cancelled or killed writer
-    can never publish partial bytes.
+    can never publish partial bytes.  ``dataset=None`` writes a
+    report-only entry (no campaign arrays): the plane-incremental grid
+    surface memoizes exact repeats without ever holding a dataset.
     """
-    trials, arrays = campaign_arrays(dataset)
+    if dataset is None:
+        trials: List[dict] = []
+        arrays: Dict[str, np.ndarray] = {}
+        metadata: dict = {}
+    else:
+        trials, arrays = campaign_arrays(dataset)
+        metadata = dataset.metadata
     arrays["__report__"] = np.frombuffer(report.encode("utf-8"),
                                          dtype=np.uint8)
-    snapshot_meta = {"metadata": dataset.metadata, "trials": trials,
+    snapshot_meta = {"metadata": metadata, "trials": trials,
                      "result": dict(meta or {})}
     return write_snapshot(path, "result", snapshot_meta, arrays)
 
@@ -459,8 +469,10 @@ def load_result(path: PathLike, mmap: bool = True) -> ResultSnapshot:
             f"{os.fspath(path)}: snapshot holds a {snapshot.kind!r}, "
             f"not a served result")
     report = snapshot.arrays["__report__"].tobytes().decode("utf-8")
-    dataset = campaign_from_parts(snapshot.meta["trials"], snapshot.arrays,
-                                  snapshot.meta["metadata"])
+    trials = snapshot.meta["trials"]
+    dataset = campaign_from_parts(trials, snapshot.arrays,
+                                  snapshot.meta["metadata"]) \
+        if trials else None
     return ResultSnapshot(report=report, meta=snapshot.meta["result"],
                           dataset=dataset, path=os.fspath(path))
 

@@ -1,0 +1,157 @@
+"""LRU-by-mtime eviction for every on-disk cache.
+
+Four content-addressed caches accumulate under the cache roots — built
+worlds (``.world``), shard segments (``.shard``), served results
+(``.result``), and plane units (``.planes``) — and none of them, by
+design, ever re-addresses a stale key, so without a cap a long-lived
+host grows without bound.  This module enforces an optional total-size
+budget, ``REPRO_CACHE_MAX_BYTES``, across all of them: entries are
+ranked by mtime (newest first) and the oldest are unlinked until the
+survivors fit.
+
+Unlinking is safe against concurrent readers by construction: every
+cache reads via ``open``/``mmap`` on the published file, and POSIX
+unlink only removes the directory entry — a reader holding the file
+(or its mapping) keeps the inode alive until it closes.  Writers are
+equally safe: publications go through temp-file + atomic rename, so a
+pruned key that is re-stored simply reappears as a fresh entry.  Only
+cache entries themselves are candidates — ``.lock`` claims and ``.tmp``
+staging files are never touched.
+
+Invocation points:
+
+* ``repro cache prune [--max-bytes N]`` — explicit, one-shot;
+* :func:`maybe_prune` — called after every successful cache write
+  (worlds, shards, results, planes); a cheap no-op unless
+  ``REPRO_CACHE_MAX_BYTES`` is set.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.telemetry.context import current as _telemetry
+
+ENV_CACHE_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
+
+#: Every on-disk cache-entry suffix subject to eviction.
+CACHE_SUFFIXES = (".world", ".shard", ".result", ".planes")
+
+PathLike = Union[str, os.PathLike]
+
+
+def max_bytes_env() -> Optional[int]:
+    """The configured budget, or ``None`` when unset/invalid."""
+    raw = os.environ.get(ENV_CACHE_MAX_BYTES)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+def cache_roots() -> List[Path]:
+    """Every cache root currently in effect, deduplicated."""
+    from repro.io import worldcache
+    from repro.serve import planecache, resultcache
+
+    roots: List[Path] = []
+    for root in (worldcache.cache_dir(), resultcache.cache_dir(),
+                 planecache.cache_dir()):
+        resolved = Path(root)
+        if resolved not in roots:
+            roots.append(resolved)
+    return roots
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """What one prune pass scanned, kept, and removed."""
+
+    scanned: int
+    removed: int
+    freed_bytes: int
+    kept: int
+    kept_bytes: int
+    max_bytes: Optional[int]
+    roots: Tuple[str, ...]
+
+
+def _candidates(roots: Sequence[Path]) -> List[Tuple[float, str, int, Path]]:
+    """(mtime, name, nbytes, path) for every cache entry under ``roots``."""
+    out: List[Tuple[float, str, int, Path]] = []
+    for root in roots:
+        if not root.is_dir():
+            continue
+        for suffix in CACHE_SUFFIXES:
+            for path in root.glob(f"*{suffix}"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue  # racing unlink; nothing to evict
+                out.append((stat.st_mtime, path.name, stat.st_size, path))
+    return out
+
+
+def prune(max_bytes: Optional[int] = None,
+          roots: Optional[Sequence[PathLike]] = None) -> PruneReport:
+    """Evict oldest-first until total cache bytes fit ``max_bytes``.
+
+    ``max_bytes`` defaults to ``REPRO_CACHE_MAX_BYTES``; with neither
+    set this raises :class:`ValueError` (an unbounded prune would empty
+    every cache).  Entries are ranked by mtime with the file name as a
+    deterministic tiebreak; removal is plain ``unlink`` — concurrent
+    readers keep their inode, concurrent writers re-publish atomically.
+    """
+    if max_bytes is None:
+        max_bytes = max_bytes_env()
+    if max_bytes is None:
+        raise ValueError(
+            f"no budget: pass max_bytes or set {ENV_CACHE_MAX_BYTES}")
+    resolved = [Path(r) for r in roots] if roots is not None \
+        else cache_roots()
+    entries = _candidates(resolved)
+    # Newest first; name tiebreak keeps equal-mtime ordering stable.
+    entries.sort(key=lambda e: (-e[0], e[1]))
+    kept = kept_bytes = removed = freed = 0
+    for _mtime, _name, nbytes, path in entries:
+        if kept_bytes + nbytes <= max_bytes:
+            kept += 1
+            kept_bytes += nbytes
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            kept += 1  # racing reader platform quirk or permission: keep
+            kept_bytes += nbytes
+            continue
+        removed += 1
+        freed += nbytes
+    tel = _telemetry()
+    if removed:
+        tel.count("cache.pruned", removed)
+        tel.count("cache.pruned_bytes", freed)
+    return PruneReport(scanned=len(entries), removed=removed,
+                       freed_bytes=freed, kept=kept, kept_bytes=kept_bytes,
+                       max_bytes=max_bytes,
+                       roots=tuple(str(r) for r in resolved))
+
+
+def maybe_prune() -> Optional[PruneReport]:
+    """Post-write hook: prune iff ``REPRO_CACHE_MAX_BYTES`` is set.
+
+    Never raises — eviction is bookkeeping, and a failed prune must not
+    fail the cache write that triggered it.
+    """
+    budget = max_bytes_env()
+    if budget is None:
+        return None
+    try:
+        return prune(budget)
+    except (OSError, ValueError):
+        return None

@@ -226,6 +226,8 @@ def cached_build_world(specs: Sequence, seed: int, defaults,
                 save_world(world, path, extra_meta={"cache_key": key})
         finally:
             _release_claim(claim)
+        from repro.io import prune
+        prune.maybe_prune()
     except OSError:
         pass
     return world
@@ -289,6 +291,8 @@ def cached_build_shard(base_key: str, index: int,
             save_hosts(hosts, path)
         finally:
             _release_claim(claim)
+        from repro.io import prune
+        prune.maybe_prune()
     except OSError:
         pass
     return hosts

@@ -10,6 +10,7 @@ and a parser for the ZMap-style blocklist file format (one CIDR per line,
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, List, Tuple
 
 import numpy as np
@@ -120,6 +121,15 @@ class Blocklist:
 
     def __hash__(self) -> int:
         return hash((self._starts.tobytes(), self._ends.tobytes()))
+
+    def __repr__(self) -> str:
+        # Value-determined, never the default address-based repr:
+        # config_hash keys scan configs on the repr of every field, so
+        # equal blocklists must repr equal across processes or no cache
+        # entry would ever be shareable between runs.
+        digest = hashlib.sha256(
+            self._starts.tobytes() + self._ends.tobytes()).hexdigest()[:16]
+        return f"Blocklist(n={len(self._starts)}, digest={digest})"
 
 
 def _merge_intervals(

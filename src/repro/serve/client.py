@@ -80,6 +80,11 @@ class ServeClient:
     def cache(self) -> list:
         return json.loads(self._request("GET", "/cache")[1])["entries"]
 
+    def cache_planes(self) -> dict:
+        """The plane-cache summary (count, bytes, per-world groups)."""
+        return json.loads(self._request("GET", "/cache")[1]).get(
+            "planes", {})
+
     def campaign(self, **spec) -> dict:
         """Run (or serve from cache) a campaign; JSON summary, no report."""
         _, body, _ = self._post("/campaign", spec)

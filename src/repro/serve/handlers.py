@@ -22,8 +22,10 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.engine import ENGINES
 from repro.core.report import full_report
+from repro.origins import followup_origins, paper_origins
 from repro.serve import resultcache
-from repro.sim.campaign import campaign_fingerprint, run_campaign
+from repro.sim.campaign import (campaign_fingerprint, run_campaign,
+                                run_plane_campaign)
 from repro.sim.executor import BACKENDS
 from repro.sim.scenario import (followup_scenario, paper_scenario,
                                 paper_sharded_scenario)
@@ -37,6 +39,23 @@ SCENARIOS = {
     "paper": paper_scenario,
     "followup": followup_scenario,
 }
+
+#: Scenario name → its full origin-name universe, in scenario order.
+#: Requests may select a *subset* of these, but the campaign is always
+#: observed under the full universe — shared burst outages are drawn
+#: against the complete origin list, so this is what makes a subset
+#: request the exact restriction of the full campaign (and what lets
+#: the plane cache reuse units across subsets).
+SCENARIO_ORIGINS = {
+    "paper": tuple(o.name for o in paper_origins()),
+    "followup": tuple(o.name for o in followup_origins()),
+}
+
+#: Report surfaces: ``full`` renders :func:`repro.core.report.full_report`
+#: from a materialized dataset; ``grid`` renders the streaming paper grid
+#: (:meth:`~repro.core.streaming.StreamingCampaignResult.report`) and is
+#: served incrementally through the plane cache.
+REPORT_SURFACES = ("full", "grid")
 
 #: Validation bounds: requests are untrusted input.
 MAX_SEED = 2**32
@@ -72,6 +91,12 @@ class CampaignRequest:
     #: (``paper_sharded_scenario`` + ``run_sharded_campaign``) — same
     #: bytes, bounded memory, one ``shard.stream`` span per shard.
     shards: int = 1
+    #: ``None`` scans with every scenario origin; otherwise a subset of
+    #: :data:`SCENARIO_ORIGINS` (normalized to scenario order).  Either
+    #: way the campaign is observed under the full scenario universe.
+    origins: Optional[Tuple[str, ...]] = None
+    #: Report surface, one of :data:`REPORT_SURFACES`.
+    report: str = "full"
 
     def canonical(self) -> str:
         """The canonical JSON identity (single-flight / memo key)."""
@@ -80,6 +105,8 @@ class CampaignRequest:
             "scale": self.scale, "protocols": list(self.protocols),
             "n_trials": self.n_trials, "engine": self.engine,
             "shards": self.shards,
+            "origins": list(self.origins) if self.origins else None,
+            "report": self.report,
         }, sort_keys=True, separators=(",", ":"))
 
     def to_json(self) -> dict:
@@ -91,7 +118,8 @@ def parse_request(payload: object) -> CampaignRequest:
     if not isinstance(payload, dict):
         raise BadRequest("request body must be a JSON object")
     unknown = set(payload) - {"scenario", "seed", "scale", "protocols",
-                              "n_trials", "engine", "shards"}
+                              "n_trials", "engine", "shards", "origins",
+                              "report"}
     if unknown:
         raise BadRequest(f"unknown request fields: {sorted(unknown)}")
 
@@ -140,9 +168,29 @@ def parse_request(payload: object) -> CampaignRequest:
         raise BadRequest("sharded serving is only available for the "
                          "'paper' scenario")
 
+    origins = payload.get("origins")
+    if origins is not None:
+        universe = SCENARIO_ORIGINS[scenario]
+        if not isinstance(origins, (list, tuple)) or not origins \
+                or not all(o in universe for o in origins) \
+                or len(set(origins)) != len(origins):
+            raise BadRequest(
+                f"origins must be a non-empty subset of {list(universe)}")
+        # Normalize to scenario order: request identity (and cache keys)
+        # must ignore listing order, like protocols.
+        origins = tuple(o for o in universe if o in origins)
+        if origins == universe:
+            origins = None  # the full set is spelled "None"
+
+    surface = payload.get("report", "full")
+    if surface not in REPORT_SURFACES:
+        raise BadRequest(f"unknown report surface {surface!r}; "
+                         f"expected one of {list(REPORT_SURFACES)}")
+
     return CampaignRequest(scenario=scenario, seed=seed, scale=scale,
                            protocols=protocols, n_trials=n_trials,
-                           engine=engine, shards=shards)
+                           engine=engine, shards=shards, origins=origins,
+                           report=surface)
 
 
 @dataclass
@@ -184,6 +232,12 @@ class ServeState:
     #: request spec: batching is an execution detail, so cache keys —
     #: and the served bytes — are identical either way.
     batch: Optional[bool] = None
+    #: Plane-granular incremental recomputation on the ``grid``-surface
+    #: miss path.  ``None`` defers to ``REPRO_PLANE_CACHE`` (on by
+    #: default); ``False`` forces the non-incremental reference path.
+    #: Like ``batch``, deliberately *not* part of the request spec —
+    #: served bytes are identical either way.
+    plane_cache: Optional[bool] = None
     world_lru: int = 4
     _worlds: "OrderedDict[str, tuple]" = field(default_factory=OrderedDict)
     _keys: Dict[str, str] = field(default_factory=dict)
@@ -202,8 +256,12 @@ class ServeState:
         instead of a monolithic world; the LRU key includes the shard
         count so the two never alias.
         """
-        lru_key = json.dumps([request.scenario, request.seed,
-                              request.scale, request.shards])
+        # sort_keys keeps the key canonical: semantically identical
+        # requests must never split LRU slots on field ordering.
+        lru_key = json.dumps(
+            {"scenario": request.scenario, "seed": request.seed,
+             "scale": request.scale, "shards": request.shards},
+            sort_keys=True)
         with self._lock:
             hit = self._worlds.get(lru_key)
             if hit is not None:
@@ -230,12 +288,23 @@ class ServeState:
         if key is not None:
             return key
         world, origins, config = self.world_for(request)
+        selected, _ = _select_origins(request, origins)
+        surface = "report" if request.report == "full" else "grid"
         key = campaign_fingerprint(
-            world, config, origins, request.protocols, request.n_trials,
-            extra={"engine": request.engine or "", "surface": "report"})
+            world, config, selected, request.protocols, request.n_trials,
+            extra={"engine": request.engine or "", "surface": surface})
         with self._lock:
             self._keys[spec] = key
         return key
+
+
+def _select_origins(request: CampaignRequest, origins: tuple):
+    """(selected origin subset, full universe names) for a request."""
+    universe = tuple(o.name for o in origins)
+    if request.origins is None:
+        return tuple(origins), universe
+    chosen = set(request.origins)
+    return tuple(o for o in origins if o.name in chosen), universe
 
 
 def run_request(request: CampaignRequest, state: ServeState) -> ResultPayload:
@@ -261,36 +330,70 @@ def run_request(request: CampaignRequest, state: ServeState) -> ResultPayload:
                                      meta=dict(entry.meta), source="hit")
 
     world, origins, config = state.world_for(request)
+    selected, universe = _select_origins(request, origins)
     with tel.span("serve.compute", key=key[:12],
                   scenario=request.scenario, seed=request.seed,
-                  shards=request.shards):
-        if request.shards > 1:
-            _, dataset = run_sharded_campaign(world, origins, config,
+                  shards=request.shards, surface=request.report):
+        plane_stats = None
+        if request.report == "grid":
+            # Streaming grid surface: plane-granular and incremental —
+            # the run probes the plane cache per (protocol, origin,
+            # shard, trial) unit and dispatches only the misses.
+            plane_extra = {"engine": request.engine or ""}
+            dataset = None
+            if request.shards > 1:
+                result = run_sharded_campaign(
+                    world, selected, config,
+                    protocols=request.protocols,
+                    n_trials=request.n_trials,
+                    executor=state.executor, workers=state.workers,
+                    batch=state.batch, origin_universe=universe,
+                    plane_cache=state.plane_cache,
+                    plane_extra=plane_extra, plane_dir=state.cache_dir)
+            else:
+                result = run_plane_campaign(
+                    world, selected, config,
+                    protocols=request.protocols,
+                    n_trials=request.n_trials,
+                    executor=state.executor, workers=state.workers,
+                    batch=state.batch, origin_universe=universe,
+                    plane_cache=state.plane_cache,
+                    plane_extra=plane_extra, plane_dir=state.cache_dir)
+            plane_stats = result.metadata.get("plane_cache")
+            report = json.dumps(result.report(), sort_keys=True,
+                                indent=2, default=str) + "\n"
+        elif request.shards > 1:
+            _, dataset = run_sharded_campaign(world, selected, config,
                                               protocols=request.protocols,
                                               n_trials=request.n_trials,
                                               executor=state.executor,
                                               workers=state.workers,
                                               batch=state.batch,
+                                              origin_universe=universe,
                                               collect=True)
+            report = full_report(dataset, engine=request.engine)
         else:
-            dataset = run_campaign(world, origins, config,
+            dataset = run_campaign(world, selected, config,
                                    protocols=request.protocols,
                                    n_trials=request.n_trials,
                                    executor=state.executor,
                                    workers=state.workers,
-                                   batch=state.batch)
-        report = full_report(dataset, engine=request.engine)
+                                   batch=state.batch,
+                                   origin_universe=universe)
+            report = full_report(dataset, engine=request.engine)
     meta = {
         "request": request.to_json(),
         "seed": int(config.seed),
         "config_hash": config_hash(config),
         "world": world_fingerprint(world),
-        "origins": [o.name for o in origins],
+        "origins": [o.name for o in selected],
         "protocols": list(request.protocols),
         "n_trials": request.n_trials,
         "engine": request.engine,
         "report_nbytes": len(report.encode("utf-8")),
     }
+    if plane_stats is not None:
+        meta["plane_cache"] = plane_stats
     if resultcache.cache_enabled():
         resultcache.store(key, report, dataset, meta=meta,
                           directory=state.cache_dir)

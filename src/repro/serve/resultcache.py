@@ -93,6 +93,8 @@ def store(key: str, report: str, dataset, meta: Optional[Mapping] = None,
                         meta={**dict(meta or {}), "key": key})
     except (OSError, TypeError, ValueError):
         return None
+    from repro.io import prune
+    prune.maybe_prune()
     return path
 
 

@@ -91,6 +91,9 @@ class ServeConfig:
     executor: Optional[str] = None  # campaign backend (serial/thread/...)
     workers: Optional[int] = None  # campaign pool width
     batch: Optional[bool] = None   # trial-batched kernels (None → env/default)
+    #: Plane-granular incremental recomputation on the grid-surface miss
+    #: path (None → ``REPRO_PLANE_CACHE``; ``--no-plane-cache`` → False).
+    plane_cache: Optional[bool] = None
     cache_dir: Optional[str] = None
     world_lru: int = 4
     journal: Optional[str] = None  # NDJSON telemetry journal path
@@ -168,6 +171,7 @@ class ReproServer:
             executor=self.config.executor,
             workers=self.config.workers,
             batch=self.config.batch,
+            plane_cache=self.config.plane_cache,
             world_lru=self.config.world_lru)
         self.runner = runner
         self.history = TimeSeriesRecorder(
@@ -429,10 +433,15 @@ class ReproServer:
             return await self._respond(
                 writer, 200, self.history.as_dict(last), trace=trace)
         if path == "/cache" and method == "GET":
+            from repro.serve import planecache
             entries = resultcache.list_entries(self.state.cache_dir)
+            planes = planecache.list_entries(self.state.cache_dir)
             return await self._respond(writer, 200, {
                 "entries": [{"key": e.key, "nbytes": e.nbytes,
-                             "valid": e.valid} for e in entries]},
+                             "valid": e.valid} for e in entries],
+                "planes": {"count": len(planes),
+                           "nbytes": sum(p.nbytes for p in planes),
+                           "worlds": planecache.by_world(planes)}},
                 trace=trace)
         if path in ("/campaign", "/report"):
             if method != "POST":

@@ -87,10 +87,34 @@ class Campaign:
                             telemetry=self.telemetry)
 
 
+def _universe_names(origins: Sequence[Origin],
+                    origin_universe: Optional[Sequence[str]]
+                    ) -> Tuple[str, ...]:
+    """The origin-name universe jobs observe under.
+
+    Shared burst outages are drawn against the *full* origin-name list
+    (:mod:`repro.conditions.outages`), so observing a subset of origins
+    under the full universe — what the serving layer's ``origins``
+    filter does — must pass that universe explicitly; otherwise the
+    universe is simply the origins being run.
+    """
+    if origin_universe is None:
+        return tuple(o.name for o in origins)
+    universe = tuple(origin_universe)
+    missing = [o.name for o in origins if o.name not in universe]
+    if missing:
+        raise ValueError(
+            f"origins {missing} are not part of the origin universe "
+            f"{list(universe)}")
+    return universe
+
+
 def build_observation_grid(origins: Sequence[Origin], zmap: ZMapConfig,
                            protocols: Sequence[str],
                            n_trials: int,
-                           planned: bool = True) -> List[ObservationJob]:
+                           planned: bool = True,
+                           origin_universe: Optional[Sequence[str]] = None
+                           ) -> List[ObservationJob]:
     """Flatten the campaign into independent, self-contained jobs.
 
     Each job carries the trial-reseeded config (``seed + trial``) and the
@@ -98,7 +122,7 @@ def build_observation_grid(origins: Sequence[Origin], zmap: ZMapConfig,
     worker, because a worker cannot recover it without the full origin
     participation schedule.
     """
-    origin_names = tuple(o.name for o in origins)
+    origin_names = _universe_names(origins, origin_universe)
     first_trials = {o.name: _first_trial(o, n_trials) for o in origins}
 
     jobs: List[ObservationJob] = []
@@ -122,7 +146,9 @@ def build_observation_grid(origins: Sequence[Origin], zmap: ZMapConfig,
 def build_trial_batches(origins: Sequence[Origin], zmap: ZMapConfig,
                         protocols: Sequence[str], n_trials: int,
                         planned: bool = True,
-                        plane_only: bool = False) -> List[TrialBatchJob]:
+                        plane_only: bool = False,
+                        origin_universe: Optional[Sequence[str]] = None
+                        ) -> List[TrialBatchJob]:
     """Flatten the campaign into fused (protocol, origin) trial batches.
 
     The batched counterpart of :func:`build_observation_grid`: one job
@@ -133,7 +159,7 @@ def build_trial_batches(origins: Sequence[Origin], zmap: ZMapConfig,
     (:func:`repro.sim.batch.observe_trial_batch`) — the reassembled
     dataset is byte-identical to the per-cell grid's.
     """
-    origin_names = tuple(o.name for o in origins)
+    origin_names = _universe_names(origins, origin_universe)
     first_trials = {o.name: _first_trial(o, n_trials) for o in origins}
 
     jobs: List[TrialBatchJob] = []
@@ -165,7 +191,8 @@ def run_campaign(world: World, origins: Sequence[Origin],
                  progress: Optional[ProgressCallback] = None,
                  planned: bool = True,
                  batch: Optional[bool] = None,
-                 telemetry: Union[str, os.PathLike, Telemetry, None] = None
+                 telemetry: Union[str, os.PathLike, Telemetry, None] = None,
+                 origin_universe: Optional[Sequence[str]] = None
                  ) -> CampaignDataset:
     """Execute every (protocol, trial, origin) scan and collect results.
 
@@ -213,7 +240,7 @@ def run_campaign(world: World, origins: Sequence[Origin],
         with activate:
             return _run_campaign(world, origins, zmap, protocols, n_trials,
                                  executor, workers, progress, planned,
-                                 batch, tel)
+                                 batch, tel, origin_universe)
     finally:
         if owned is not None:
             owned.close()
@@ -222,17 +249,21 @@ def run_campaign(world: World, origins: Sequence[Origin],
 def _run_campaign(world: World, origins: Sequence[Origin],
                   zmap: ZMapConfig, protocols: Sequence[str],
                   n_trials: int, executor, workers, progress, planned,
-                  batch, tel) -> CampaignDataset:
+                  batch, tel,
+                  origin_universe: Optional[Sequence[str]] = None
+                  ) -> CampaignDataset:
     batched = batch_enabled(batch, planned)
     with tel.span("campaign.run", seed=zmap.seed,
                   protocols=list(protocols), n_trials=n_trials,
                   origins=[o.name for o in origins], batch=batched):
         if batched:
             jobs = build_trial_batches(origins, zmap, protocols, n_trials,
-                                       planned=planned)
+                                       planned=planned,
+                                       origin_universe=origin_universe)
         else:
             jobs = build_observation_grid(origins, zmap, protocols,
-                                          n_trials, planned=planned)
+                                          n_trials, planned=planned,
+                                          origin_universe=origin_universe)
         backend = make_executor(executor, workers)
         observations, report = backend.run_grid(world, jobs,
                                                 progress=progress)
@@ -284,6 +315,220 @@ def _run_campaign(world: World, origins: Sequence[Origin],
             metadata["telemetry"] = {"journal": tel.journal_path,
                                      "manifest": manifest}
     return CampaignDataset(tables, metadata=metadata)
+
+
+def _probe_plane_units(jobs: Sequence[TrialBatchJob], probe):
+    """Split batch jobs into cached units and a reduced live dispatch.
+
+    ``probe(job, trial)`` returns the cached
+    :class:`~repro.sim.batch.PlaneSlice` for one unit or ``None``.
+    Returns ``(live, cached)``: ``live`` holds the jobs still worth
+    dispatching — a job whose trials all hit disappears entirely, a
+    partial hit is re-issued via :func:`dataclasses.replace` with only
+    its missing trials (and their matching reseeded configs) while
+    keeping its ``index`` (executors map results by index) and its
+    origin's *true* ``first_trial`` (the scanned world's IDS/persistence
+    state depends on it, not on which trials this dispatch happens to
+    run).  ``cached`` maps ``job.index`` → ``{trial: PlaneSlice}``.
+    """
+    live: List[TrialBatchJob] = []
+    cached: Dict[int, Dict[int, object]] = {}
+    for job in jobs:
+        hits: Dict[int, object] = {}
+        for trial in job.trials:
+            plane = probe(job, trial)
+            if plane is not None:
+                hits[trial] = plane
+        cached[job.index] = hits
+        if not hits:
+            live.append(job)
+            continue
+        keep = [k for k, trial in enumerate(job.trials)
+                if trial not in hits]
+        if not keep:
+            continue  # full hit: nothing to dispatch
+        live.append(dataclasses.replace(
+            job,
+            trials=tuple(job.trials[k] for k in keep),
+            configs=tuple(job.configs[k] for k in keep)))
+    return live, cached
+
+
+def _merge_plane_outputs(jobs: Sequence[TrialBatchJob],
+                         by_index: Mapping[int, Sequence],
+                         cached: Mapping[int, Dict[int, object]],
+                         store=None) -> Dict[int, List]:
+    """Reassemble cached hits + fresh planes per original job.
+
+    Returns ``job.index`` → per-trial outputs in ``job.trials`` order —
+    exactly the shape an un-cached dispatch produces — and hands every
+    *fresh* unit to ``store(job, trial, plane)`` on the way through.
+    """
+    merged: Dict[int, List] = {}
+    for job in jobs:
+        hits = cached.get(job.index, {})
+        fresh = by_index.get(job.index)
+        fresh_by_trial: Dict[int, object] = {}
+        if fresh is not None:
+            missing = [t for t in job.trials if t not in hits]
+            fresh_by_trial = dict(zip(missing, fresh))
+        outputs: List = []
+        for trial in job.trials:
+            if trial in hits:
+                outputs.append(hits[trial])
+                continue
+            plane = fresh_by_trial.get(trial)
+            outputs.append(plane)
+            if store is not None and plane is not None:
+                store(job, trial, plane)
+        merged[job.index] = outputs
+    return merged
+
+
+def run_plane_campaign(world: World, origins: Sequence[Origin],
+                       zmap: ZMapConfig,
+                       protocols: Sequence[str] = PROTOCOLS,
+                       n_trials: int = 3,
+                       executor: Union[str, Executor, None] = None,
+                       workers: Optional[int] = None,
+                       planned: bool = True,
+                       batch: Optional[bool] = None,
+                       origin_universe: Optional[Sequence[str]] = None,
+                       plane_cache: Optional[bool] = None,
+                       plane_extra: Optional[Mapping] = None,
+                       plane_dir: Union[str, os.PathLike, None] = None,
+                       telemetry: Union[str, os.PathLike, Telemetry,
+                                        None] = None):
+    """Run a monolithic campaign straight into streaming accumulators.
+
+    The plane-granular counterpart of :func:`run_campaign`: fused
+    trial-batch jobs run in *plane-only* mode and their
+    :class:`~repro.sim.batch.PlaneSlice` columns stream into
+    :class:`~repro.core.streaming.StreamingTrial` accumulators — no
+    per-cell ``Observation``/``TrialData`` ever materializes — and the
+    grid is decomposed into per-(protocol, origin, trial) units probed
+    against the plane cache (:mod:`repro.serve.planecache`) so only
+    missing units are dispatched.  ``plane_cache`` is tri-state:
+    ``None`` defers to ``REPRO_PLANE_CACHE`` (on by default),
+    ``False`` forces the non-incremental differential reference.  With
+    batching disabled (``REPRO_BATCH=0`` / ``batch=False``) the per-cell
+    grid runs instead and is reduced table-wise — byte-identical planes,
+    no caching.
+
+    Returns a :class:`~repro.core.streaming.StreamingCampaignResult`
+    whose planes and report are byte-identical to a cold full
+    recompute, regardless of which units were cached.
+    """
+    from repro.core.streaming import StreamingCampaignResult, StreamingTrial
+
+    owned: Optional[Telemetry] = None
+    if telemetry is None:
+        tel = _telemetry()
+        activate = contextlib.nullcontext()
+    elif isinstance(telemetry, Telemetry):
+        tel = telemetry
+        activate = use(tel)
+    else:
+        owned = tel = Telemetry(journal=telemetry)
+        activate = use(tel)
+    if tel.enabled and getattr(tel, "trace_id", None) is None:
+        tel.trace_id = new_trace_id()
+    try:
+        with activate:
+            batched = batch_enabled(batch, planned)
+            session = None
+            if batched:
+                from repro.serve import planecache
+                session = planecache.session_for(
+                    world, zmap,
+                    _universe_names(origins, origin_universe),
+                    enabled=plane_cache, directory=plane_dir,
+                    extra=plane_extra)
+            with tel.span("campaign.run_planes", seed=zmap.seed,
+                          protocols=list(protocols), n_trials=n_trials,
+                          origins=[o.name for o in origins],
+                          batch=batched, plane_cache=session is not None):
+                if batched:
+                    jobs = build_trial_batches(
+                        origins, zmap, protocols, n_trials,
+                        planned=planned, plane_only=True,
+                        origin_universe=origin_universe)
+                else:
+                    jobs = build_observation_grid(
+                        origins, zmap, protocols, n_trials,
+                        planned=planned, origin_universe=origin_universe)
+                backend = make_executor(executor, workers)
+                if session is not None:
+                    live, cached = _probe_plane_units(
+                        jobs, lambda job, trial: session.probe(
+                            job.protocol, job.origin.name, trial))
+                else:
+                    live, cached = list(jobs), {}
+                report = None
+                if live:
+                    observations, report = backend.run_grid(world, live)
+                    by_index = dict(zip((j.index for j in live),
+                                        observations))
+                else:
+                    by_index = {}
+                if batched:
+                    store = None
+                    if session is not None:
+                        store = lambda job, trial, plane: session.store(  # noqa: E731
+                            job.protocol, job.origin.name, trial, plane)
+                    outputs_by_job = _merge_plane_outputs(
+                        jobs, by_index, cached, store=store)
+
+                by_cell: Dict[Tuple[str, int], List] = {}
+                if batched:
+                    for job in jobs:
+                        outputs = outputs_by_job[job.index]
+                        for trial, plane in zip(job.trials, outputs):
+                            by_cell.setdefault(
+                                (job.protocol, trial), []).append(
+                                (job.origin.name, plane))
+                else:
+                    for job in jobs:
+                        by_cell.setdefault(
+                            (job.protocol, job.trial), []).append(
+                            (job.origin.name, by_index[job.index]))
+
+                from repro.sim.shard import _reduce_planes
+                n_ases = len(world.topology.ases)
+                accumulators: Dict[Tuple[str, int], StreamingTrial] = {}
+                for protocol in protocols:
+                    for trial in range(n_trials):
+                        members = by_cell[(protocol, trial)]
+                        names = [name for name, _ in members]
+                        acc = StreamingTrial(protocol=protocol,
+                                             trial=trial, n_ases=n_ases)
+                        accumulators[(protocol, trial)] = acc
+                        if batched:
+                            _reduce_planes(acc, names,
+                                           [p for _, p in members])
+                        else:
+                            acc.add_shard(_stack(
+                                protocol, trial, names,
+                                [o for _, o in members], zmap.n_probes))
+
+                metadata: Dict[str, object] = {
+                    "seed": zmap.seed,
+                    "n_probes": zmap.n_probes,
+                    "probe_spacing_s": zmap.probe_spacing_s,
+                    "pps": zmap.pps,
+                    "scan_duration_s": zmap.scan_duration_s,
+                    "origins": [o.name for o in origins],
+                    "n_trials": n_trials,
+                    "batch": batched,
+                    "execution": report.to_metadata() if report is not None
+                    else {},
+                }
+                if session is not None:
+                    metadata["plane_cache"] = session.stats()
+            return StreamingCampaignResult(accumulators, metadata=metadata)
+    finally:
+        if owned is not None:
+            owned.close()
 
 
 def campaign_fingerprint(world: World, zmap: ZMapConfig,

@@ -355,6 +355,10 @@ def run_sharded_campaign(sharded: ShardedWorld,
                          batch: Optional[bool] = None,
                          budget: Optional[int] = None,
                          collect: bool = False,
+                         origin_universe: Optional[Sequence[str]] = None,
+                         plane_cache: Optional[bool] = None,
+                         plane_extra=None,
+                         plane_dir=None,
                          telemetry=None):
     """Stream the full campaign grid shard-by-shard under a memory budget.
 
@@ -377,6 +381,15 @@ def run_sharded_campaign(sharded: ShardedWorld,
     per-cell ``Observation``/``TrialData`` materialization entirely.
     Accumulated planes and analyses are byte-identical either way.
 
+    In plane-only mode every (protocol, origin, shard, trial) unit is
+    probed against the plane cache (:mod:`repro.serve.planecache`)
+    before dispatch, so a warm re-run with one new origin recomputes
+    only that origin's batches; ``plane_cache=False`` (or
+    ``REPRO_PLANE_CACHE=0``) forces the non-incremental reference
+    path.  ``origin_universe`` pins the origin-name list that shared
+    outage draws see, letting origin *subsets* reuse units computed
+    under the full scenario universe.
+
     Returns a :class:`~repro.core.streaming.StreamingCampaignResult`;
     with ``collect=True`` returns ``(result, dataset)`` where
     ``dataset`` is the fully materialized
@@ -387,7 +400,8 @@ def run_sharded_campaign(sharded: ShardedWorld,
     from repro.core.dataset import CampaignDataset, TrialData
     from repro.sim.batch import batch_enabled
     from repro.sim.campaign import build_observation_grid, \
-        build_trial_batches, _stack
+        build_trial_batches, _merge_plane_outputs, _probe_plane_units, \
+        _stack, _universe_names
     from repro.sim.executor import make_executor
 
     tel = _telemetry()
@@ -412,10 +426,19 @@ def run_sharded_campaign(sharded: ShardedWorld,
     plane_only = batched and not collect
     if batched:
         jobs = build_trial_batches(origins, zmap, protocols, n_trials,
-                                   planned=planned, plane_only=plane_only)
+                                   planned=planned, plane_only=plane_only,
+                                   origin_universe=origin_universe)
     else:
         jobs = build_observation_grid(origins, zmap, protocols, n_trials,
-                                      planned=planned)
+                                      planned=planned,
+                                      origin_universe=origin_universe)
+    session = None
+    if plane_only:
+        from repro.serve import planecache
+        session = planecache.session_for(
+            sharded, zmap, _universe_names(origins, origin_universe),
+            n_shards=sharded.n_shards, enabled=plane_cache,
+            directory=plane_dir, extra=plane_extra)
     backend = make_executor(executor, workers)
     n_ases = len(sharded.topology.ases)
     cells = [(protocol, trial) for protocol in protocols
@@ -435,13 +458,30 @@ def run_sharded_campaign(sharded: ShardedWorld,
                 present = {p: len(world.hosts.for_protocol(p)) > 0
                            for p in protocols}
                 live = [j for j in jobs if present[j.protocol]]
-                if live:
-                    observations, report = backend.run_grid(world, live)
+                if session is not None:
+                    reduced, cached = _probe_plane_units(
+                        live,
+                        lambda job, trial: session.probe(
+                            job.protocol, job.origin.name, trial,
+                            shard_index=index))
+                else:
+                    reduced, cached = live, {}
+                if reduced:
+                    observations, report = backend.run_grid(world, reduced)
                     reports.append(report)
-                    by_index = dict(zip((j.index for j in live),
+                    by_index = dict(zip((j.index for j in reduced),
                                         observations))
                 else:
                     by_index = {}
+                if session is not None:
+                    # Per-job outputs, cache hits and fresh planes merged
+                    # back into job-trial order; fresh units persist as
+                    # they stream through.
+                    by_index = _merge_plane_outputs(
+                        live, by_index, cached,
+                        store=lambda job, trial, plane: session.store(
+                            job.protocol, job.origin.name, trial, plane,
+                            shard_index=index))
                 # One (origin name, output-or-None) list per cell; batch
                 # jobs iterate origins in campaign order per protocol,
                 # recovering exactly the per-cell grid's origin order.
@@ -485,6 +525,8 @@ def run_sharded_campaign(sharded: ShardedWorld,
 
     metadata = _merge_metadata(sharded, zmap, origins, n_trials, reports)
     metadata["batch"] = batched
+    if session is not None:
+        metadata["plane_cache"] = session.stats()
     result = StreamingCampaignResult(accumulators, metadata=metadata)
     if not collect:
         return result

@@ -16,6 +16,7 @@ import time
 
 import pytest
 
+from repro.core.engine import clear_context_cache
 from repro.core.report import full_report
 from repro.serve import resultcache
 from repro.serve.client import ServeClient, ServeError
@@ -152,6 +153,11 @@ def test_identical_concurrent_requests_run_once(tmp_path):
     """N identical in-flight requests → one execution, N-1 joiners."""
     n = 5
     release = threading.Event()
+    # The presence-build assertion below counts this test's execution;
+    # start from a cold process-wide context memo so an earlier test's
+    # identical dataset (same seed/scale → same fingerprint) cannot
+    # satisfy the build.
+    clear_context_cache()
 
     def gated(request, state):
         # Hold the leader's compute until every rival has joined the
